@@ -1,0 +1,68 @@
+// Ablation D — perturbation neighbourhood: pairwise interchange vs single
+// exchange (remove-and-reinsert).
+//
+// §4.2.2 notes that [COHO83a] "experimented with several different
+// interchange heuristics such as pairwise and single exchange" and found
+// the best variant used single exchange from the Goto start with the
+// Figure 2 strategy.  This ablation crosses move kind x strategy x start
+// for the recommended g = 1 and the [COHO83a] g.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/gfunction.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mcopt;
+  bench::print_header(
+      "Ablation D — pairwise interchange vs single exchange ([COHO83a])",
+      "GOLA set; 12 s budget; move kind x strategy x start");
+
+  const auto instances = bench::gola_instances();
+  const std::vector<bench::Method> methods{
+      {"g = 1", core::GClass::kGOne, 1.0},
+      {"[COHO83a]", core::GClass::kCohoonSahni, 1.0},
+  };
+
+  util::Table table;
+  table.add_column("g function", util::Table::Align::kLeft);
+  table.add_column("moves", util::Table::Align::kLeft);
+  table.add_column("strategy", util::Table::Align::kLeft);
+  table.add_column("random start");
+  table.add_column("Goto start");
+
+  for (const auto& method : methods) {
+    for (const auto move_kind : {linarr::MoveKind::kPairwiseInterchange,
+                                 linarr::MoveKind::kSingleExchange}) {
+      for (const bool figure2 : {false, true}) {
+        bench::TableRunConfig config;
+        config.budgets = {bench::scaled(bench::kTwelveSec)};
+        config.move_kind = move_kind;
+        config.figure2 = figure2;
+        config.move_seed = 41;
+        const double random_total =
+            bench::run_method_row(method, instances, config)[0];
+        config.start = bench::StartKind::kGoto;
+        const double goto_total =
+            bench::run_method_row(method, instances, config)[0];
+
+        table.begin_row();
+        table.cell(method.name);
+        table.cell(move_kind == linarr::MoveKind::kPairwiseInterchange
+                       ? "pairwise"
+                       : "single exch");
+        table.cell(figure2 ? "Figure 2" : "Figure 1");
+        table.cell(static_cast<long long>(random_total));
+        table.cell(static_cast<long long>(goto_total));
+      }
+    }
+  }
+  table.print();
+  bench::maybe_write_csv("ablation_moves", table);
+
+  std::printf(
+      "\nShape check ([COHO83a] via §4.2.2/§4.2.4): the Cohoon-Sahni g is\n"
+      "dramatically better under the Figure 2 strategy it was designed\n"
+      "for, from either start; move kind is a second-order effect.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "util/csv.hpp"
+
+#include "core/figure1.hpp"
+#include "core/figure2.hpp"
+#include "linarr/goto_heuristic.hpp"
+#include "netlist/generator.hpp"
+#include "util/rng.hpp"
+
+namespace mcopt::bench {
+
+double bench_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("MCOPT_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v >= 0.01 ? v : 1.0;
+  }();
+  return scale;
+}
+
+std::uint64_t scaled(std::uint64_t budget) {
+  const double v = static_cast<double>(budget) * bench_scale();
+  return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+std::vector<netlist::Netlist> gola_instances() {
+  return netlist::gola_test_set(30, netlist::GolaParams{15, 150}, kSeed);
+}
+
+std::vector<netlist::Netlist> nola_instances() {
+  return netlist::nola_test_set(30, netlist::NolaParams{15, 150, 2, 6},
+                                kSeed);
+}
+
+linarr::Arrangement random_start(std::size_t instance, std::size_t n) {
+  util::Rng rng{util::derive_seed(kSeed + 1, instance)};
+  return linarr::Arrangement::random(n, rng);
+}
+
+std::unique_ptr<core::GFunction> make_method_g(const Method& method,
+                                               const netlist::Netlist& nl) {
+  core::GParams params;
+  params.scale = method.scale;
+  params.num_nets = nl.num_nets();
+  return core::make_g(method.cls, params);
+}
+
+std::vector<Method> tune_methods(
+    const std::vector<core::GClass>& classes,
+    const std::vector<netlist::Netlist>& instances, bool goto_start,
+    double typical_cost, double typical_delta) {
+  const std::size_t train_count =
+      std::min<std::size_t>(kTuneInstances, instances.size());
+
+  std::vector<Method> methods;
+  methods.reserve(classes.size());
+  for (const core::GClass cls : classes) {
+    Method method;
+    method.name = core::g_class_name(cls);
+    method.cls = cls;
+    if (core::g_class_uses_scale(cls)) {
+      core::ProblemFactory factory =
+          [&instances, goto_start](
+              std::size_t i) -> std::unique_ptr<core::Problem> {
+        const auto& nl = instances[i];
+        auto start = goto_start ? linarr::goto_arrangement(nl)
+                                : random_start(i, nl.num_cells());
+        return std::make_unique<linarr::LinArrProblem>(nl, std::move(start));
+      };
+      core::TunerOptions options;
+      options.budget = scaled(kTuneBudget);
+      options.num_instances = train_count;
+      options.seed = kSeed + 2;
+      options.typical_cost = typical_cost;
+      options.typical_delta = typical_delta;
+      method.scale = core::tune_scale(cls, factory, options).best_scale;
+    }
+    methods.push_back(std::move(method));
+  }
+  return methods;
+}
+
+std::vector<double> run_method_row(
+    const Method& method, const std::vector<netlist::Netlist>& instances,
+    const TableRunConfig& config) {
+  std::vector<double> totals(config.budgets.size(), 0.0);
+  for (std::size_t b = 0; b < config.budgets.size(); ++b) {
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const auto& nl = instances[i];
+      auto start = config.start == StartKind::kGoto
+                       ? linarr::goto_arrangement(nl)
+                       : random_start(i, nl.num_cells());
+      linarr::LinArrProblem problem{nl, std::move(start), config.move_kind};
+      const auto g = make_method_g(method, nl);
+      util::Rng rng{util::derive_seed(config.move_seed, i)};
+      core::RunResult result;
+      if (config.figure2) {
+        core::Figure2Options fig2;
+        fig2.budget = config.budgets[b];
+        result = core::run_figure2(problem, *g, fig2, rng);
+      } else {
+        core::Figure1Options fig1;
+        fig1.budget = config.budgets[b];
+        result = core::run_figure1(problem, *g, fig1, rng);
+      }
+      totals[b] += result.reduction();
+    }
+  }
+  return totals;
+}
+
+long long total_start_density(const std::vector<netlist::Netlist>& instances,
+                              StartKind start) {
+  long long total = 0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto& nl = instances[i];
+    const auto arr = start == StartKind::kGoto
+                         ? linarr::goto_arrangement(nl)
+                         : random_start(i, nl.num_cells());
+    total += linarr::density_of(nl, arr);
+  }
+  return total;
+}
+
+long long goto_total_reduction(
+    const std::vector<netlist::Netlist>& instances) {
+  return total_start_density(instances, StartKind::kRandom) -
+         total_start_density(instances, StartKind::kGoto);
+}
+
+void print_header(const std::string& title, const std::string& protocol) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", protocol.c_str());
+  std::printf("seed=%llu  tick calibration: 6 s ~= %llu ticks  scale=%.2f\n",
+              static_cast<unsigned long long>(kSeed),
+              static_cast<unsigned long long>(scaled(kSixSec)),
+              bench_scale());
+  std::printf("================================================================\n");
+}
+
+void maybe_write_csv(const std::string& experiment,
+                     const util::Table& table) {
+  const char* dir = std::getenv("MCOPT_BENCH_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string{dir} + "/" + experiment + ".csv";
+  std::ofstream out{path};
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  util::CsvWriter csv{out};
+  csv.row(table.headers());
+  for (const auto& row : table.data()) csv.row(row);
+  std::printf("(csv mirrored to %s)\n", path.c_str());
+}
+
+}  // namespace mcopt::bench

@@ -1,0 +1,114 @@
+// Shared harness for the table-reproduction benches.
+//
+// Time -> work calibration.  The paper ran on a VAX 11/780 and gave every
+// method 6/9/12 seconds (Tables 4.1, 4.2(a), (c), (d)) or 3 minutes
+// (Table 4.2(b)) per instance.  We replace wall-clock with deterministic
+// tick budgets (one tick per proposal / descent evaluation).  The mapping
+// 6 s ~= 600 ticks was calibrated empirically so the reproduction sits in
+// the same regime as the paper's Table 4.1: the Goto construction ties the
+// best Monte Carlo methods at the 6 s budget, every method is still
+// climbing from 6 s to 12 s, and full convergence (where all g classes
+// collapse to the same number) is several budgets away.  Table 4.2(b)'s
+// 3 minutes maps to 30x the 6 s budget, by then deep in the converged
+// regime — which is the paper's own observation there ("the performance of
+// all 13 classes is about the same").  Set MCOPT_BENCH_SCALE to scale all
+// budgets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gfunction.hpp"
+#include "core/result.hpp"
+#include "core/tuner.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/netlist.hpp"
+#include "util/table.hpp"
+
+namespace mcopt::bench {
+
+/// Master seed for every bench; printed in the headers so EXPERIMENTS.md
+/// numbers are attributable.
+inline constexpr std::uint64_t kSeed = 1985;
+
+/// Tick equivalents of the paper's budgets (before MCOPT_BENCH_SCALE).
+inline constexpr std::uint64_t kSixSec = 600;
+inline constexpr std::uint64_t kNineSec = 900;
+inline constexpr std::uint64_t kTwelveSec = 1'200;
+inline constexpr std::uint64_t kThreeMin = 18'000;
+/// Tuning budget per (candidate, instance): the paper used about a 5 s run.
+inline constexpr std::uint64_t kTuneBudget = 500;
+/// Training-set size for the tuning pass (the paper used all 30).
+inline constexpr std::size_t kTuneInstances = 30;
+
+/// MCOPT_BENCH_SCALE (double >= 0.01); 1.0 when unset/invalid.
+double bench_scale();
+
+/// Budget scaled by bench_scale(), minimum 1 tick.
+std::uint64_t scaled(std::uint64_t budget);
+
+/// The 30-instance GOLA / NOLA test sets of §4.2.1 / §4.3.1.
+std::vector<netlist::Netlist> gola_instances();
+std::vector<netlist::Netlist> nola_instances();
+
+/// Deterministic per-instance random starting arrangement — identical for
+/// every method, as §4.2.1 prescribes.
+linarr::Arrangement random_start(std::size_t instance, std::size_t n);
+
+/// A configured Monte Carlo row of a table.
+struct Method {
+  std::string name;       ///< paper row label
+  core::GClass cls;
+  double scale = 1.0;     ///< tuned Y scale (Y1; k=6 schedules decay x0.9)
+};
+
+/// Runs the §4.2.1 tuning pass for each class on GOLA training data with
+/// the given start policy and returns the configured methods.  Scale-free
+/// classes pass through untuned.  Deterministic.
+std::vector<Method> tune_methods(
+    const std::vector<core::GClass>& classes,
+    const std::vector<netlist::Netlist>& instances, bool goto_start,
+    double typical_cost, double typical_delta);
+
+/// Instantiates a method's g for a given instance (Cohoon-Sahni needs the
+/// instance's net count).
+std::unique_ptr<core::GFunction> make_method_g(const Method& method,
+                                               const netlist::Netlist& nl);
+
+enum class StartKind { kRandom, kGoto };
+
+struct TableRunConfig {
+  std::vector<std::uint64_t> budgets;  ///< already scaled
+  StartKind start = StartKind::kRandom;
+  bool figure2 = false;
+  linarr::MoveKind move_kind = linarr::MoveKind::kPairwiseInterchange;
+  std::uint64_t move_seed = 7;  ///< stream id for the perturbation RNG
+};
+
+/// Total reduction (summed over instances) for one method at each budget —
+/// one table row.  Follows the paper's protocol: same instances, same
+/// starts, per-(instance, method) move streams.
+std::vector<double> run_method_row(const Method& method,
+                                   const std::vector<netlist::Netlist>& instances,
+                                   const TableRunConfig& config);
+
+/// Sum of the starting densities over the instance set for the given start
+/// policy (the paper quotes 2594 random / 4254 NOLA-random etc.).
+long long total_start_density(const std::vector<netlist::Netlist>& instances,
+                              StartKind start);
+
+/// Total reduction achieved by the Goto heuristic itself versus the random
+/// starts (the "Goto" row of Tables 4.1 / 4.2(c)).
+long long goto_total_reduction(const std::vector<netlist::Netlist>& instances);
+
+/// Prints the standard bench preamble (experiment id, seed, scale).
+void print_header(const std::string& title, const std::string& protocol);
+
+/// When MCOPT_BENCH_CSV_DIR is set, mirrors the table to
+/// <dir>/<experiment>.csv (header row + data rows) so plots can be
+/// regenerated outside the repo.  No-op otherwise.
+void maybe_write_csv(const std::string& experiment, const util::Table& table);
+
+}  // namespace mcopt::bench

@@ -1,0 +1,88 @@
+// Extension — replica exchange vs the paper's methods at equal work.
+//
+// The paper's question, asked forward in time: annealing's schedule
+// machinery did not beat g = 1 in 1985; does replica exchange (parallel
+// tempering), the schedule machinery's modern successor, fare better on
+// the same workloads under the same equal-tick discipline?
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/figure1.hpp"
+#include "core/gfunction.hpp"
+#include "core/schedule.hpp"
+#include "core/tempering.hpp"
+#include "linarr/problem.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mcopt;
+  bench::print_header(
+      "Extension — parallel tempering vs the paper's methods (GOLA)",
+      "30 instances; equal tick budgets; tempering uses 4 replicas");
+
+  const auto instances = bench::gola_instances();
+  const auto methods =
+      bench::tune_methods({core::GClass::kSixTempAnnealing,
+                           core::GClass::kGOne, core::GClass::kCubicDiff,
+                           core::GClass::kThresholdAccepting},
+                          instances, /*goto_start=*/false, 80.0, 2.0);
+  const double y1 = methods.front().scale;  // reuse the tuned hot end
+
+  util::Table table;
+  table.add_column("method", util::Table::Align::kLeft);
+  table.add_column("6 sec");
+  table.add_column("12 sec");
+  table.add_column("24 sec");
+  const std::vector<std::uint64_t> budgets{
+      bench::scaled(bench::kSixSec), bench::scaled(bench::kTwelveSec),
+      bench::scaled(2 * bench::kTwelveSec)};
+
+  for (const auto& method : methods) {
+    bench::TableRunConfig config;
+    config.budgets = budgets;
+    config.move_seed = 47;
+    const auto totals = bench::run_method_row(method, instances, config);
+    table.begin_row();
+    table.cell(method.name);
+    for (const double t : totals) table.cell(static_cast<long long>(t));
+  }
+
+  table.begin_row();
+  table.cell("Parallel tempering (R=4)");
+  for (const auto budget : budgets) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const auto& nl = instances[i];
+      auto factory = [&](std::size_t replica) {
+        // Replica 0 starts from the shared experiment start; the others
+        // from derived random arrangements.
+        util::Rng start_rng{util::derive_seed(bench::kSeed + 70,
+                                              100 * i + replica)};
+        auto start = replica == 0
+                         ? bench::random_start(i, nl.num_cells())
+                         : linarr::Arrangement::random(nl.num_cells(),
+                                                       start_rng);
+        return std::unique_ptr<core::Problem>(
+            new linarr::LinArrProblem(nl, std::move(start)));
+      };
+      util::Rng rng{util::derive_seed(48, i)};
+      core::TemperingOptions options;
+      options.temperatures = core::geometric_schedule(y1, 0.5, 4);
+      options.budget = budget;
+      options.sweep = 25;
+      const auto result = core::parallel_tempering(factory, options, rng);
+      total += result.aggregate.initial_cost - result.aggregate.best_cost;
+    }
+    table.cell(static_cast<long long>(total));
+  }
+  table.print();
+  bench::maybe_write_csv("extension_tempering", table);
+
+  std::printf(
+      "\nShape check: at equal work the verdict of 1985 extends.  Splitting\n"
+      "the budget over R walkers costs tempering roughly a factor R in\n"
+      "useful moves, and on these short-horizon workloads it never earns it\n"
+      "back — the simplest acceptance rules win, exactly the paper's point\n"
+      "about annealing's own machinery (§5).\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks of the primitives the equal-time methodology rests on:
+// if one method's "tick" were much more expensive than another's, the
+// equal-tick tables would not correspond to equal time.  google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "core/figure1.hpp"
+#include "core/gfunction.hpp"
+#include "linarr/goto_heuristic.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/generator.hpp"
+#include "partition/kl.hpp"
+#include "partition/problem.hpp"
+#include "tsp/local_search.hpp"
+#include "tsp/problem.hpp"
+
+namespace {
+
+using namespace mcopt;
+
+netlist::Netlist gola(std::size_t cells, std::size_t nets) {
+  util::Rng rng{1};
+  return netlist::random_gola(netlist::GolaParams{cells, nets}, rng);
+}
+
+void BM_DensitySwapUndo(benchmark::State& state) {
+  const auto nl = gola(static_cast<std::size_t>(state.range(0)),
+                       static_cast<std::size_t>(state.range(0)) * 10);
+  util::Rng rng{2};
+  linarr::DensityState ds{nl, linarr::Arrangement::random(nl.num_cells(), rng)};
+  const std::size_t n = nl.num_cells();
+  for (auto _ : state) {
+    const auto [a, b] = rng.next_distinct_pair(n);
+    ds.apply_swap(a, b);
+    benchmark::DoNotOptimize(ds.density());
+    ds.apply_swap(a, b);
+  }
+}
+BENCHMARK(BM_DensitySwapUndo)->Arg(15)->Arg(60)->Arg(240);
+
+void BM_DensityFullRecount(benchmark::State& state) {
+  const auto nl = gola(static_cast<std::size_t>(state.range(0)),
+                       static_cast<std::size_t>(state.range(0)) * 10);
+  util::Rng rng{3};
+  const auto arr = linarr::Arrangement::random(nl.num_cells(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linarr::density_of(nl, arr));
+  }
+}
+BENCHMARK(BM_DensityFullRecount)->Arg(15)->Arg(60)->Arg(240);
+
+void BM_LinArrProposeReject(benchmark::State& state) {
+  const auto nl = gola(15, 150);
+  util::Rng rng{4};
+  linarr::LinArrProblem problem{nl, linarr::Arrangement::random(15, rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.propose(rng));
+    problem.reject();
+  }
+}
+BENCHMARK(BM_LinArrProposeReject);
+
+void BM_GEvaluate(benchmark::State& state) {
+  const auto cls = static_cast<core::GClass>(state.range(0));
+  const auto g = core::make_g(cls, {.scale = 0.5, .num_nets = 150});
+  double h = 60.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->probability(0, h, h + 2.0));
+    h += 1e-9;  // defeat constant folding
+  }
+}
+BENCHMARK(BM_GEvaluate)
+    ->Arg(static_cast<int>(core::GClass::kMetropolis))
+    ->Arg(static_cast<int>(core::GClass::kGOne))
+    ->Arg(static_cast<int>(core::GClass::kCubicDiff))
+    ->Arg(static_cast<int>(core::GClass::kExponentialDiff));
+
+void BM_Figure1Run1k(benchmark::State& state) {
+  const auto nl = gola(15, 150);
+  const auto g = core::make_g(core::GClass::kSixTempAnnealing, {.scale = 4.0});
+  util::Rng rng{5};
+  for (auto _ : state) {
+    linarr::LinArrProblem problem{nl, linarr::Arrangement::random(15, rng)};
+    core::Figure1Options options;
+    options.budget = 1000;
+    benchmark::DoNotOptimize(core::run_figure1(problem, *g, options, rng));
+  }
+}
+BENCHMARK(BM_Figure1Run1k);
+
+void BM_GotoConstruct(benchmark::State& state) {
+  const auto nl = gola(static_cast<std::size_t>(state.range(0)),
+                       static_cast<std::size_t>(state.range(0)) * 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linarr::goto_arrangement(nl));
+  }
+}
+BENCHMARK(BM_GotoConstruct)->Arg(15)->Arg(60)->Arg(240);
+
+void BM_KernighanLin(benchmark::State& state) {
+  util::Rng rng{6};
+  const auto nl = netlist::random_graph(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 3, rng);
+  const auto start = partition::PartitionState::random(nl, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::kernighan_lin(nl, start.sides()));
+  }
+}
+BENCHMARK(BM_KernighanLin)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_PartitionProposeReject(benchmark::State& state) {
+  util::Rng rng{7};
+  const auto nl = netlist::random_graph(40, 120, rng);
+  partition::PartitionProblem problem{partition::PartitionState::random(nl, rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.propose(rng));
+    problem.reject();
+  }
+}
+BENCHMARK(BM_PartitionProposeReject);
+
+void BM_TwoOptDelta(benchmark::State& state) {
+  util::Rng rng{8};
+  const auto inst =
+      tsp::TspInstance::random_euclidean(static_cast<std::size_t>(state.range(0)), rng);
+  const auto order = tsp::random_order(inst.size(), rng);
+  std::size_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsp::two_opt_delta(inst, order, 0, i));
+    i = i % (inst.size() - 2) + 1;
+  }
+}
+BENCHMARK(BM_TwoOptDelta)->Arg(50)->Arg(200);
+
+void BM_TspProposeReject(benchmark::State& state) {
+  util::Rng rng{9};
+  const auto inst = tsp::TspInstance::random_euclidean(100, rng);
+  tsp::TspProblem problem{inst, tsp::random_order(100, rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.propose(rng));
+    problem.reject();
+  }
+}
+BENCHMARK(BM_TspProposeReject);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// §5 extension — the circuit-partition experiment of [NAHA84]/[KIRK83].
+//
+// Balanced bipartition of random graphs.  Methods: Kernighan-Lin (the
+// "proven heuristic" §2 faults [KIRK83] for not comparing against),
+// simulated annealing with the quoted Kirkpatrick schedule (Y1 = 10,
+// x0.9, k = 6), the paper's recommended g = 1, and pure random descent.
+// Monte Carlo methods get a budget equal to a multiple of KL's own
+// pair-evaluation count so the comparison stays equal-work.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/annealer.hpp"
+#include "core/figure1.hpp"
+#include "core/gfunction.hpp"
+#include "netlist/generator.hpp"
+#include "partition/kl.hpp"
+#include "partition/problem.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mcopt;
+  bench::print_header(
+      "Circuit partition comparison (§5 / [NAHA84]; schedule from [KIRK83])",
+      "10 random graphs per size; balanced bipartition; cut size; Monte "
+      "Carlo budget = 4x KL's evaluation count");
+
+  for (const auto& [n, m] : {std::pair<std::size_t, std::size_t>{40, 120},
+                             {80, 240}}) {
+    util::Summary start_cut;
+    util::Summary kl_cut;
+    util::Summary kl_ticks;
+    util::Summary sa_cut;
+    util::Summary gone_cut;
+    util::Summary descent_cut;
+    int kl_beats_sa = 0;
+
+    for (int i = 0; i < 10; ++i) {
+      util::Rng gen{util::derive_seed(bench::kSeed + 50, 1000 * n + i)};
+      const auto nl = netlist::random_graph(n, m, gen);
+      util::Rng start_rng = gen.split();
+      const auto start = partition::PartitionState::random(nl, start_rng);
+      start_cut.add(start.cut());
+
+      const auto kl = partition::kernighan_lin(nl, start.sides());
+      kl_cut.add(kl.cut);
+      kl_ticks.add(static_cast<double>(kl.evaluations));
+      const std::uint64_t budget = bench::scaled(4 * kl.evaluations);
+
+      {
+        partition::PartitionProblem problem{
+            partition::PartitionState{nl, start.sides()}};
+        util::Rng rng = gen.split();
+        core::AnnealOptions options;  // default = Kirkpatrick schedule
+        options.budget = budget;
+        const auto result = core::simulated_annealing(problem, options, rng);
+        sa_cut.add(result.best_cost);
+        kl_beats_sa += kl.cut < result.best_cost;
+      }
+      {
+        partition::PartitionProblem problem{
+            partition::PartitionState{nl, start.sides()}};
+        util::Rng rng = gen.split();
+        const auto g = core::make_g(core::GClass::kGOne);
+        core::Figure1Options options;
+        options.budget = budget;
+        const auto result = core::run_figure1(problem, *g, options, rng);
+        gone_cut.add(result.best_cost);
+      }
+      {
+        partition::PartitionProblem problem{
+            partition::PartitionState{nl, start.sides()}};
+        util::Rng rng = gen.split();
+        const auto result = core::random_descent(problem, budget, rng);
+        descent_cut.add(result.best_cost);
+      }
+    }
+
+    std::printf("\n-- n = %zu cells, m = %zu nets --\n", n, m);
+    util::Table table;
+    table.add_column("method", util::Table::Align::kLeft);
+    table.add_column("mean cut");
+    table.add_column("min");
+    table.add_column("max");
+    table.add_column("mean ticks");
+    auto row = [&](const char* name, const util::Summary& s, double ticks) {
+      table.begin_row();
+      table.cell(name);
+      table.cell(s.mean(), 1);
+      table.cell(static_cast<long long>(s.min()));
+      table.cell(static_cast<long long>(s.max()));
+      table.cell(static_cast<long long>(ticks));
+    };
+    row("random start", start_cut, 0);
+    row("Kernighan-Lin", kl_cut, kl_ticks.mean());
+    row("SA (Y1=10, x0.9, k=6)", sa_cut, 4 * kl_ticks.mean());
+    row("g = 1 (Figure 1)", gone_cut, 4 * kl_ticks.mean());
+    row("random descent", descent_cut, 4 * kl_ticks.mean());
+    table.print();
+    std::printf("KL beats SA on %d/10 instances at 4x KL's work\n",
+                kl_beats_sa);
+  }
+  std::printf(
+      "\nShape check: the proven deterministic heuristic is at least\n"
+      "competitive with annealing at comparable work — the paper's core\n"
+      "methodological point (§2).\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Plugging your own problem into the framework: implement core::Problem
+// and every runner, g class, and tuner in the library works on it.
+//
+// The example problem is number partitioning: split a multiset of weights
+// into two halves minimizing the absolute sum difference.  The random
+// perturbation swaps two items across the split; descent sweeps all pairs.
+//
+//   $ ./custom_problem
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/annealer.hpp"
+#include "core/figure1.hpp"
+#include "core/figure2.hpp"
+#include "core/gfunction.hpp"
+#include "core/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mcopt;
+
+class NumberPartition final : public core::Problem {
+ public:
+  NumberPartition(std::vector<double> weights, util::Rng& rng)
+      : weights_(std::move(weights)), side_(weights_.size(), 0) {
+    for (std::size_t i = 0; i < side_.size(); ++i) side_[i] = i % 2;
+    randomize(rng);
+  }
+
+  [[nodiscard]] double cost() const override { return std::abs(diff_); }
+
+  double propose(util::Rng& rng) override {
+    // Swap one item from each side; keeps the halves the same size.
+    const std::size_t n = weights_.size();
+    do {
+      const auto [x, y] = rng.next_distinct_pair(n);
+      a_ = x;
+      b_ = y;
+    } while (side_[a_] == side_[b_]);
+    flip_pair();
+    return std::abs(diff_);
+  }
+
+  void accept() override {}
+  void reject() override { flip_pair(); }
+
+  void descend(util::WorkBudget& budget) override {
+    const std::size_t n = weights_.size();
+    bool improved = true;
+    while (improved && !budget.exhausted()) {
+      improved = false;
+      for (std::size_t i = 0; i < n && !budget.exhausted(); ++i) {
+        for (std::size_t j = i + 1; j < n && !budget.exhausted(); ++j) {
+          if (side_[i] == side_[j]) continue;
+          const double before = std::abs(diff_);
+          a_ = i;
+          b_ = j;
+          flip_pair();
+          budget.charge();
+          if (std::abs(diff_) < before) {
+            improved = true;
+          } else {
+            flip_pair();
+          }
+        }
+      }
+    }
+  }
+
+  void randomize(util::Rng& rng) override {
+    rng.shuffle(side_);
+    recompute();
+  }
+
+  [[nodiscard]] core::Snapshot snapshot() const override {
+    return core::Snapshot(side_.begin(), side_.end());
+  }
+
+  void restore(const core::Snapshot& snap) override {
+    side_.assign(snap.begin(), snap.end());
+    recompute();
+  }
+
+ private:
+  void flip_pair() {
+    // Moving item a across changes the signed difference by -+2w.
+    diff_ += side_[a_] == 0 ? -2.0 * weights_[a_] : 2.0 * weights_[a_];
+    diff_ += side_[b_] == 0 ? -2.0 * weights_[b_] : 2.0 * weights_[b_];
+    side_[a_] ^= 1;
+    side_[b_] ^= 1;
+  }
+
+  void recompute() {
+    diff_ = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      diff_ += side_[i] == 0 ? weights_[i] : -weights_[i];
+    }
+  }
+
+  std::vector<double> weights_;
+  std::vector<std::uint32_t> side_;
+  double diff_ = 0.0;
+  std::size_t a_ = 0;
+  std::size_t b_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  util::Rng rng{17};
+  std::vector<double> weights(40);
+  for (auto& w : weights) w = rng.next_double(1.0, 1000.0);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::printf("40 random weights, total %.1f; perfect split diff ~ 0\n\n",
+              total);
+
+  NumberPartition problem{weights, rng};
+  std::printf("random split difference: %.3f\n", problem.cost());
+
+  core::AnnealOptions sa;
+  sa.schedule = core::geometric_schedule(500.0, 0.5, 10);
+  sa.budget = 50'000;
+  const auto annealed = core::simulated_annealing(problem, sa, rng);
+  std::printf("simulated annealing:     %.3f\n", annealed.best_cost);
+
+  problem.randomize(rng);
+  const auto g1 = core::make_g(core::GClass::kGOne);
+  core::Figure2Options fig2;
+  fig2.budget = 50'000;
+  const auto kicked = core::run_figure2(problem, *g1, fig2, rng);
+  std::printf("Figure 2 with g = 1:     %.3f\n", kicked.best_cost);
+
+  problem.randomize(rng);
+  const auto cubic = core::make_g(core::GClass::kCubicDiff, {.scale = 50.0});
+  core::Figure1Options fig1;
+  fig1.budget = 50'000;
+  const auto diff = core::run_figure1(problem, *cubic, fig1, rng);
+  std::printf("Figure 1, cubic diff:    %.3f\n", diff.best_cost);
+  return 0;
+}

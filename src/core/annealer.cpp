@@ -1,0 +1,51 @@
+#include "core/annealer.hpp"
+
+#include "core/figure1.hpp"
+#include "core/gfunction.hpp"
+#include "core/schedule.hpp"
+
+namespace mcopt::core {
+
+RunResult simulated_annealing(Problem& problem, const AnnealOptions& options,
+                              util::Rng& rng) {
+  auto ys = options.schedule.empty() ? kirkpatrick_schedule()
+                                     : validated_schedule(options.schedule);
+  const auto g = make_annealing_g(std::move(ys));
+  Figure1Options fig1;
+  fig1.budget = options.budget;
+  fig1.equilibrium_rejects = options.equilibrium_rejects;
+  return run_figure1(problem, *g, fig1, rng);
+}
+
+RunResult random_descent(Problem& problem, std::uint64_t budget,
+                         util::Rng& rng) {
+  RunResult result;
+  result.initial_cost = problem.cost();
+  result.best_cost = result.initial_cost;
+  result.best_state = problem.snapshot();
+  result.temperatures_visited = 1;
+
+  double h_i = result.initial_cost;
+  util::WorkBudget work{budget};
+  while (!work.exhausted()) {
+    const double h_j = problem.propose(rng);
+    work.charge();
+    ++result.proposals;
+    if (h_j < h_i) {
+      problem.accept();
+      ++result.accepts;
+      h_i = h_j;
+      if (h_i < result.best_cost) {
+        result.best_cost = h_i;
+        result.best_state = problem.snapshot();
+      }
+    } else {
+      problem.reject();
+    }
+  }
+  result.ticks = work.spent();
+  result.final_cost = problem.cost();
+  return result;
+}
+
+}  // namespace mcopt::core

@@ -1,0 +1,92 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/budget.hpp"
+#include "util/stats.hpp"
+
+namespace mcopt::core {
+
+MoveStatistics sample_move_statistics(Problem& problem, std::size_t samples,
+                                      util::Rng& rng) {
+  if (samples == 0) {
+    throw std::invalid_argument("sample_move_statistics: samples must be > 0");
+  }
+  const Snapshot origin = problem.snapshot();
+
+  util::Summary costs;
+  util::Summary deltas;
+  util::Summary uphill;
+  double h_i = problem.cost();
+  costs.add(h_i);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double h_j = problem.propose(rng);
+    problem.accept();  // infinite-temperature walk
+    const double delta = h_j - h_i;
+    deltas.add(delta);
+    if (delta > 0.0) uphill.add(delta);
+    costs.add(h_j);
+    h_i = h_j;
+  }
+  problem.restore(origin);
+
+  MoveStatistics stats;
+  stats.mean_cost = costs.mean();
+  stats.cost_stddev = costs.stddev();
+  stats.mean_uphill_delta = uphill.mean();
+  stats.max_uphill_delta = uphill.count() ? uphill.max() : 0.0;
+  stats.delta_stddev = deltas.stddev();
+  stats.uphill_fraction =
+      static_cast<double>(uphill.count()) / static_cast<double>(samples);
+  stats.samples = samples;
+  return stats;
+}
+
+std::vector<double> white_schedule(const MoveStatistics& stats, unsigned k,
+                                   double cold_acceptance) {
+  if (k == 0) {
+    throw std::invalid_argument("white_schedule: k must be >= 1");
+  }
+  if (!(cold_acceptance > 0.0) || !(cold_acceptance < 1.0)) {
+    throw std::invalid_argument(
+        "white_schedule: cold_acceptance must be in (0, 1)");
+  }
+  const double typical = stats.mean_uphill_delta;
+  if (!(typical > 0.0)) {
+    return std::vector<double>(k, 1.0);  // flat landscape: Y is irrelevant
+  }
+  const double hot = std::max(stats.delta_stddev, typical);
+  // exp(-typical / cold) == cold_acceptance  =>  cold = typical / ln(1/p).
+  const double cold = typical / std::log(1.0 / cold_acceptance);
+
+  std::vector<double> ys(k);
+  if (k == 1) {
+    ys[0] = hot;
+    return ys;
+  }
+  const double ratio =
+      std::pow(std::min(cold, hot) / hot, 1.0 / static_cast<double>(k - 1));
+  ys[0] = hot;
+  for (unsigned t = 1; t < k; ++t) ys[t] = ys[t - 1] * ratio;
+  return ys;
+}
+
+double measure_tick_rate(Problem& problem, std::size_t samples,
+                         util::Rng& rng) {
+  if (samples == 0) {
+    throw std::invalid_argument("measure_tick_rate: samples must be > 0");
+  }
+  util::Stopwatch watch;
+  for (std::size_t i = 0; i < samples; ++i) {
+    (void)problem.propose(rng);
+    problem.reject();
+  }
+  const double elapsed = watch.seconds();
+  // Sub-resolution timings (tiny sample counts) degrade to "very fast"
+  // rather than dividing by zero.
+  return static_cast<double>(samples) / std::max(elapsed, 1e-9);
+}
+
+}  // namespace mcopt::core

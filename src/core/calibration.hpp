@@ -1,0 +1,59 @@
+// Temperature-scale calibration from sampled move statistics.
+//
+// §2 cites White [WHIT84] ("Concepts of scale in simulated annealing") for
+// "guidelines on choosing the highest and lowest temperatures in an
+// annealing schedule": start hot enough that the acceptance probability of
+// a typical uphill move is near one (Y_hot on the order of the cost-delta
+// standard deviation) and end cold enough that it is negligible.  This
+// module implements that recipe on top of the Problem interface: sample a
+// short random walk, collect cost-delta statistics, and derive a geometric
+// schedule between the White endpoints.  The same statistics feed
+// TunerOptions::typical_cost / typical_delta, replacing hand-picked
+// magnitudes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace mcopt::core {
+
+/// Statistics of the cost landscape around the problem's current solution,
+/// gathered from an accept-everything random walk.
+struct MoveStatistics {
+  double mean_cost = 0.0;          ///< mean h over the walk
+  double cost_stddev = 0.0;        ///< stddev of h over the walk
+  double mean_uphill_delta = 0.0;  ///< mean of positive cost deltas
+  double max_uphill_delta = 0.0;   ///< largest positive delta seen
+  double delta_stddev = 0.0;       ///< stddev of all cost deltas
+  double uphill_fraction = 0.0;    ///< share of proposals with delta > 0
+  std::size_t samples = 0;
+};
+
+/// Walks `samples` random perturbations (accepting every one — the
+/// infinite-temperature limit), then restores the starting solution.
+/// Throws std::invalid_argument when samples == 0.
+[[nodiscard]] MoveStatistics sample_move_statistics(Problem& problem,
+                                                    std::size_t samples,
+                                                    util::Rng& rng);
+
+/// White's schedule: Y_1 = max(delta_stddev, mean_uphill_delta) so typical
+/// uphill moves start near-certain to be accepted; Y_k chosen so the mean
+/// uphill move is accepted with probability `cold_acceptance`; geometric
+/// interpolation in between.  Requires k >= 1 and 0 < cold_acceptance < 1;
+/// degenerate statistics (no uphill moves seen) yield a flat schedule of 1s.
+[[nodiscard]] std::vector<double> white_schedule(const MoveStatistics& stats,
+                                                 unsigned k,
+                                                 double cold_acceptance = 0.01);
+
+/// Measures this problem's proposal throughput (propose+reject pairs per
+/// second) so callers can convert literal wall-clock budgets — the paper's
+/// 6/9/12 s — into tick budgets for the deterministic runners.  Leaves the
+/// current solution unchanged.  Throws std::invalid_argument when
+/// samples == 0.
+[[nodiscard]] double measure_tick_rate(Problem& problem, std::size_t samples,
+                                       util::Rng& rng);
+
+}  // namespace mcopt::core

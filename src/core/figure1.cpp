@@ -1,0 +1,115 @@
+#include "core/figure1.hpp"
+
+#include <stdexcept>
+
+namespace mcopt::core {
+
+RunResult run_figure1(Problem& problem, const GFunction& g,
+                      const Figure1Options& options, util::Rng& rng) {
+  if (options.gate_threshold == 0) {
+    throw std::invalid_argument("figure1: gate_threshold must be >= 1");
+  }
+  const unsigned k = g.num_temperatures();
+  util::WorkBudget budget{options.budget};
+
+  RunResult result;
+  result.initial_cost = problem.cost();
+  result.best_cost = result.initial_cost;
+  result.best_state = problem.snapshot();
+  result.temperatures_visited = k == 0 ? 0 : 1;
+
+  unsigned temp = 0;
+  std::uint64_t reject_counter = 0;  // Step 4's `counter`
+  std::uint64_t accept_counter = 0;  // the [KIRK83] equilibrium counter
+  unsigned gate_counter = 0;         // the §3 gate for g == 1 levels
+  double h_i = result.initial_cost;
+
+  auto advance_temperature = [&]() -> bool {
+    // Returns false when the schedule is exhausted (temp == k in the paper).
+    if (temp + 1 >= k) return false;
+    ++temp;
+    ++result.temperatures_visited;
+    reject_counter = 0;
+    accept_counter = 0;
+    return true;
+  };
+
+  bool schedule_exhausted = false;
+  while (!budget.exhausted() && !schedule_exhausted && k > 0) {
+    // Budget-slice criterion: level `temp` owns ticks up to slice_end.
+    while (budget.spent() >= budget.slice_end(k, temp)) {
+      if (!advance_temperature()) {  // unreachable with slices, kept for
+        schedule_exhausted = true;   // safety against future criteria
+        break;
+      }
+    }
+    if (schedule_exhausted) break;
+
+    const double h_j = problem.propose(rng);
+    budget.charge();
+    ++result.proposals;
+    result.ticks = budget.spent();
+
+    // [KIRK83] equilibrium: enough acceptances at this level.
+    auto note_accept = [&]() {
+      ++accept_counter;
+      if (options.equilibrium_accepts > 0 &&
+          accept_counter >= options.equilibrium_accepts &&
+          !advance_temperature()) {
+        schedule_exhausted = true;
+      }
+    };
+
+    const double delta = h_j - h_i;
+    if (delta < 0.0) {
+      // Step 3: strict improvement.
+      problem.accept();
+      ++result.accepts;
+      h_i = h_j;
+      gate_counter = 0;
+      reject_counter = 0;
+      if (h_i < result.best_cost) {
+        result.best_cost = h_i;
+        result.best_state = problem.snapshot();
+      }
+      note_accept();
+      continue;
+    }
+
+    // Step 4: uphill (or sideways) proposal.
+    if (options.equilibrium_rejects > 0 &&
+        reject_counter >= options.equilibrium_rejects) {
+      problem.reject();
+      if (!advance_temperature()) break;
+      continue;
+    }
+
+    bool take = false;
+    if (g.always_accepts(temp)) {
+      ++gate_counter;
+      if (gate_counter >= options.gate_threshold) {
+        take = true;
+        gate_counter = 1;  // the paper resets to 1, not 0
+      }
+    } else {
+      take = rng.next_double() < g.probability(temp, h_i, h_j);
+    }
+
+    if (take) {
+      problem.accept();
+      ++result.accepts;
+      if (delta > 0.0) ++result.uphill_accepts;
+      h_i = h_j;
+      reject_counter = 0;
+      note_accept();
+    } else {
+      problem.reject();
+      ++reject_counter;
+    }
+  }
+
+  result.final_cost = problem.cost();
+  return result;
+}
+
+}  // namespace mcopt::core

@@ -1,0 +1,81 @@
+#include "core/figure2.hpp"
+
+namespace mcopt::core {
+
+RunResult run_figure2(Problem& problem, const GFunction& g,
+                      const Figure2Options& options, util::Rng& rng) {
+  const unsigned k = g.num_temperatures();
+  util::WorkBudget budget{options.budget};
+
+  RunResult result;
+  result.initial_cost = problem.cost();
+  result.best_cost = result.initial_cost;
+  result.best_state = problem.snapshot();
+  result.temperatures_visited = k == 0 ? 0 : 1;
+
+  unsigned temp = 0;
+  std::uint64_t kick_counter = 0;
+
+  auto advance_temperature = [&]() -> bool {
+    if (temp + 1 >= k) return false;
+    ++temp;
+    ++result.temperatures_visited;
+    kick_counter = 0;
+    return true;
+  };
+
+  auto update_best = [&](double h) {
+    if (h < result.best_cost) {
+      result.best_cost = h;
+      result.best_state = problem.snapshot();
+    }
+  };
+
+  bool done = false;
+  while (!done && !budget.exhausted() && k > 0) {
+    // Step 2: descend to a local optimum (charges the budget internally).
+    const std::uint64_t before = budget.spent();
+    problem.descend(budget);
+    result.descent_steps += budget.spent() - before;
+    const double h_i = problem.cost();
+
+    // Step 3.
+    update_best(h_i);
+
+    // Steps 4-5: kick until one is taken (then descend again) or the level
+    // sequence / budget runs out.
+    bool kicked = false;
+    while (!kicked && !budget.exhausted()) {
+      while (budget.spent() >= budget.slice_end(k, temp) ||
+             (options.equilibrium_kicks > 0 &&
+              kick_counter >= options.equilibrium_kicks)) {
+        if (!advance_temperature()) {
+          done = true;
+          break;
+        }
+      }
+      if (done) break;
+
+      ++kick_counter;
+      const double h_j = problem.propose(rng);
+      budget.charge();
+      ++result.proposals;
+
+      if (rng.next_double() < g.probability(temp, h_i, h_j)) {
+        problem.accept();
+        ++result.accepts;
+        if (h_j > h_i) ++result.uphill_accepts;
+        update_best(h_j);
+        kicked = true;  // back to Step 2
+      } else {
+        problem.reject();
+      }
+    }
+  }
+
+  result.ticks = budget.spent();
+  result.final_cost = problem.cost();
+  return result;
+}
+
+}  // namespace mcopt::core

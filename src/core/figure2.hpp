@@ -1,0 +1,48 @@
+// The strategy of the paper's Figure 2: the Cohoon-Sahni [COHO83a and b]
+// local-optimum-first method.
+//
+//   Step 1  i = starting solution; temp = 1, counter = 0.
+//   Step 2  descend: perturb i until no perturbation decreases h (local
+//           optimum with respect to the systematic neighbourhood).
+//   Step 3  update best.
+//   Step 4  if counter >= n: advance temperature (stop after level k).
+//   Step 5  counter += 1; j = random perturbation of i; with probability
+//           g_temp(h(i), h(j)) set i = j and go to Step 2, else go to Step 4.
+//
+// Uphill perturbations are considered only after a local optimum has been
+// reached — the first of the paper's two §3 modifications.  No gate is
+// needed for g = 1 here ("no special considerations are needed", §3).
+//
+// The budget covers both the descent evaluations (each candidate evaluated
+// by Problem::descend charges one tick) and the kick proposals, so Figure 1
+// and Figure 2 runs with equal budgets use equal work, as §4.2.4 requires.
+// Temperature advance follows the same two criteria as Figure 1: budget
+// slices always, the Step 4 counter optionally.
+#pragma once
+
+#include <cstdint>
+
+#include "core/gfunction.hpp"
+#include "core/problem.hpp"
+#include "core/result.hpp"
+#include "util/budget.hpp"
+#include "util/rng.hpp"
+
+namespace mcopt::core {
+
+struct Figure2Options {
+  /// Total ticks shared by descents and kick proposals.
+  std::uint64_t budget = 900'000;
+  /// If > 0, Step 4's counter advances the temperature after this many kick
+  /// proposals at the current level.
+  std::uint64_t equilibrium_kicks = 0;
+};
+
+/// Runs Figure 2 from the problem's current solution.  On return the
+/// problem holds the last-visited solution; the best (always a local
+/// optimum unless the budget died mid-descent) is in result.best_state.
+[[nodiscard]] RunResult run_figure2(Problem& problem, const GFunction& g,
+                                    const Figure2Options& options,
+                                    util::Rng& rng);
+
+}  // namespace mcopt::core

@@ -1,0 +1,47 @@
+#include "core/multistart.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcopt::core {
+
+MultistartResult multistart(Problem& problem, const Runner& runner,
+                            const MultistartOptions& options,
+                            util::Rng& rng) {
+  if (!runner) throw std::invalid_argument("multistart: null runner");
+  if (options.budget_per_start == 0) {
+    throw std::invalid_argument("multistart: budget_per_start must be >= 1");
+  }
+
+  MultistartResult out;
+  std::uint64_t spent = 0;
+  bool first = true;
+  while (spent < options.total_budget) {
+    const std::uint64_t slice =
+        std::min(options.budget_per_start, options.total_budget - spent);
+    if (!first || options.randomize_first) problem.randomize(rng);
+    const RunResult run = runner(problem, slice, rng);
+    spent += std::max<std::uint64_t>(run.ticks, slice);
+    ++out.restarts;
+
+    if (first) {
+      out.aggregate = run;
+      first = false;
+    } else {
+      out.aggregate.final_cost = run.final_cost;
+      out.aggregate.proposals += run.proposals;
+      out.aggregate.accepts += run.accepts;
+      out.aggregate.uphill_accepts += run.uphill_accepts;
+      out.aggregate.descent_steps += run.descent_steps;
+      out.aggregate.ticks += run.ticks;
+      out.aggregate.temperatures_visited += run.temperatures_visited;
+      if (run.best_cost < out.aggregate.best_cost) {
+        out.aggregate.best_cost = run.best_cost;
+        out.aggregate.best_state = run.best_state;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mcopt::core

@@ -1,0 +1,50 @@
+// Multistart: repeat a Monte Carlo run from fresh random solutions under a
+// shared work budget, keeping the best result.
+//
+// This is the protocol §2 describes for the 2-opt baseline ("given enough
+// starting random tours to make its run time comparable to that of
+// simulated annealing"), generalized to any runner.  Restarts matter for
+// the paper's methodology: an equal-time comparison against a cheap
+// descent method is only fair if the descent gets to spend its leftover
+// time on more starts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/problem.hpp"
+#include "core/result.hpp"
+#include "util/rng.hpp"
+
+namespace mcopt::core {
+
+/// Runs one attempt from the problem's current solution with the given
+/// tick budget (e.g. a lambda wrapping run_figure1 with fixed options).
+using Runner =
+    std::function<RunResult(Problem&, std::uint64_t budget, util::Rng&)>;
+
+struct MultistartOptions {
+  /// Total ticks across all restarts.
+  std::uint64_t total_budget = 30'000;
+  /// Ticks per restart; the last restart gets the (possibly smaller)
+  /// remainder.  Must be >= 1.
+  std::uint64_t budget_per_start = 3'000;
+  /// Randomize the problem before every restart (including the first).
+  /// When false the first restart continues from the current solution.
+  bool randomize_first = true;
+};
+
+struct MultistartResult {
+  /// Best cost over all restarts, with summed work counters; initial_cost
+  /// is the first restart's, final_cost the last restart's.
+  RunResult aggregate;
+  std::uint64_t restarts = 0;
+};
+
+/// Throws std::invalid_argument on a null runner or zero budget_per_start.
+[[nodiscard]] MultistartResult multistart(Problem& problem,
+                                          const Runner& runner,
+                                          const MultistartOptions& options,
+                                          util::Rng& rng);
+
+}  // namespace mcopt::core

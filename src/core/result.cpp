@@ -1,0 +1,17 @@
+#include "core/result.hpp"
+
+#include <sstream>
+
+namespace mcopt::core {
+
+std::string to_string(const RunResult& result) {
+  std::ostringstream os;
+  os << "h0=" << result.initial_cost << " best=" << result.best_cost
+     << " final=" << result.final_cost << " (-" << result.reduction() << ")"
+     << " proposals=" << result.proposals << " accepts=" << result.accepts
+     << " uphill=" << result.uphill_accepts << " ticks=" << result.ticks
+     << " temps=" << result.temperatures_visited;
+  return os.str();
+}
+
+}  // namespace mcopt::core

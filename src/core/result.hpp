@@ -1,0 +1,35 @@
+// Run bookkeeping shared by the Figure 1 / Figure 2 runners.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/problem.hpp"
+
+namespace mcopt::core {
+
+/// Outcome of one Monte Carlo run on one instance.
+struct RunResult {
+  double initial_cost = 0.0;  ///< h of the starting solution
+  double final_cost = 0.0;    ///< h of the solution held at termination
+  double best_cost = 0.0;     ///< best h seen at any point of the run
+  Snapshot best_state;        ///< solution achieving best_cost
+
+  std::uint64_t proposals = 0;        ///< random perturbations generated
+  std::uint64_t accepts = 0;          ///< perturbations committed
+  std::uint64_t uphill_accepts = 0;   ///< committed with h(j) > h(i)
+  std::uint64_t descent_steps = 0;    ///< Figure 2 systematic evaluations
+  std::uint64_t ticks = 0;            ///< total budget consumed
+  unsigned temperatures_visited = 0;  ///< how many Y_i levels were entered
+
+  /// initial_cost - best_cost; the paper's tables total this over 30
+  /// instances ("total reduction in density").
+  [[nodiscard]] double reduction() const noexcept {
+    return initial_cost - best_cost;
+  }
+};
+
+/// Human-readable one-line summary, used by examples and debug logging.
+[[nodiscard]] std::string to_string(const RunResult& result);
+
+}  // namespace mcopt::core

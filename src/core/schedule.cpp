@@ -1,0 +1,47 @@
+#include "core/schedule.hpp"
+
+#include <stdexcept>
+
+namespace mcopt::core {
+
+std::vector<double> geometric_schedule(double y1, double ratio, unsigned k) {
+  if (!(y1 > 0.0) || !(ratio > 0.0) || k == 0) {
+    throw std::invalid_argument("geometric_schedule: need y1>0, ratio>0, k>=1");
+  }
+  std::vector<double> ys(k);
+  ys[0] = y1;
+  for (unsigned i = 1; i < k; ++i) ys[i] = ys[i - 1] * ratio;
+  return ys;
+}
+
+std::vector<double> kirkpatrick_schedule() {
+  return geometric_schedule(10.0, 0.9, 6);
+}
+
+std::vector<double> uniform_schedule(double tau, unsigned k) {
+  if (!(tau > 0.0) || k == 0) {
+    throw std::invalid_argument("uniform_schedule: need tau>0, k>=1");
+  }
+  std::vector<double> ys(k);
+  for (unsigned i = 0; i < k; ++i) {
+    ys[i] = tau * static_cast<double>(k - i) / static_cast<double>(k);
+  }
+  return ys;
+}
+
+std::vector<double> validated_schedule(std::vector<double> ys) {
+  if (ys.empty()) {
+    throw std::invalid_argument("schedule must be non-empty");
+  }
+  double prev = ys.front();
+  for (const double y : ys) {
+    if (!(y > 0.0)) throw std::invalid_argument("schedule values must be > 0");
+    if (y > prev) {
+      throw std::invalid_argument("schedule must be non-increasing");
+    }
+    prev = y;
+  }
+  return ys;
+}
+
+}  // namespace mcopt::core

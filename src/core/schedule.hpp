@@ -1,0 +1,30 @@
+// Temperature schedules (sequences of Y_i = k_b * T_i, §1).
+//
+// Two published shapes are provided: Kirkpatrick's geometric schedule
+// ([KIRK83]: Y1 = 10, Y_i = 0.9 * Y_{i-1} for the circuit partition
+// problem) and Golden-Skiscim's uniform grid ([GOLD84]: k uniformly
+// distributed points in (0, tau], descending).
+#pragma once
+
+#include <vector>
+
+namespace mcopt::core {
+
+/// Geometric schedule: y1, y1*ratio, ..., k values.  Requires y1 > 0,
+/// 0 < ratio, k >= 1.
+[[nodiscard]] std::vector<double> geometric_schedule(double y1, double ratio,
+                                                     unsigned k);
+
+/// The [KIRK83] circuit-partition schedule: geometric_schedule(10, 0.9, 6).
+[[nodiscard]] std::vector<double> kirkpatrick_schedule();
+
+/// [GOLD84]: k uniformly spaced points in (0, tau], highest first:
+/// tau, tau*(k-1)/k, ..., tau/k.  Requires tau > 0, k >= 1.
+[[nodiscard]] std::vector<double> uniform_schedule(double tau, unsigned k);
+
+/// Validates a user-supplied schedule: non-empty, all positive,
+/// non-increasing.  Throws std::invalid_argument otherwise; returns its
+/// argument so it can be used inline.
+std::vector<double> validated_schedule(std::vector<double> ys);
+
+}  // namespace mcopt::core

@@ -1,0 +1,100 @@
+#include "core/tempering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/schedule.hpp"
+#include "util/budget.hpp"
+
+namespace mcopt::core {
+
+TemperingResult parallel_tempering(
+    const std::function<std::unique_ptr<Problem>(std::size_t)>& make_replica,
+    const TemperingOptions& options, util::Rng& rng) {
+  if (!make_replica) {
+    throw std::invalid_argument("parallel_tempering: null replica factory");
+  }
+  if (options.sweep == 0) {
+    throw std::invalid_argument("parallel_tempering: sweep must be >= 1");
+  }
+  const std::vector<double> ys = validated_schedule(options.temperatures);
+  const std::size_t num_replicas = ys.size();
+
+  std::vector<std::unique_ptr<Problem>> replicas(num_replicas);
+  std::vector<double> h(num_replicas);
+  for (std::size_t r = 0; r < num_replicas; ++r) {
+    replicas[r] = make_replica(r);
+    if (!replicas[r]) {
+      throw std::invalid_argument("parallel_tempering: factory returned null");
+    }
+    h[r] = replicas[r]->cost();
+  }
+
+  TemperingResult out;
+  out.aggregate.temperatures_visited = static_cast<unsigned>(num_replicas);
+  std::size_t best_replica = 0;
+  for (std::size_t r = 1; r < num_replicas; ++r) {
+    if (h[r] < h[best_replica]) best_replica = r;
+  }
+  out.aggregate.initial_cost = h[best_replica];
+  out.aggregate.best_cost = h[best_replica];
+  out.aggregate.best_state = replicas[best_replica]->snapshot();
+
+  auto update_best = [&](std::size_t r) {
+    if (h[r] < out.aggregate.best_cost) {
+      out.aggregate.best_cost = h[r];
+      out.aggregate.best_state = replicas[r]->snapshot();
+    }
+  };
+
+  util::WorkBudget budget{options.budget};
+  std::uint64_t cycles = 0;
+  while (!budget.exhausted()) {
+    // One proposal per replica, hottest to coldest.
+    for (std::size_t r = 0; r < num_replicas && !budget.exhausted(); ++r) {
+      const double h_j = replicas[r]->propose(rng);
+      budget.charge();
+      ++out.aggregate.proposals;
+      const double delta = h_j - h[r];
+      const bool take =
+          delta <= 0.0 || rng.next_double() < std::exp(-delta / ys[r]);
+      if (take) {
+        replicas[r]->accept();
+        ++out.aggregate.accepts;
+        if (delta > 0.0) ++out.aggregate.uphill_accepts;
+        h[r] = h_j;
+        update_best(r);
+      } else {
+        replicas[r]->reject();
+      }
+    }
+
+    if (++cycles % options.sweep != 0) continue;
+    // Swap phase: adjacent pairs, alternating parity per phase so every
+    // boundary is exercised.
+    const std::size_t start = (cycles / options.sweep) % 2;
+    for (std::size_t r = start; r + 1 < num_replicas; r += 2) {
+      ++out.swap_attempts;
+      const double exponent =
+          (h[r] - h[r + 1]) * (1.0 / ys[r + 1] - 1.0 / ys[r]);
+      if (exponent >= 0.0 || rng.next_double() < std::exp(exponent)) {
+        const Snapshot cold = replicas[r + 1]->snapshot();
+        replicas[r + 1]->restore(replicas[r]->snapshot());
+        replicas[r]->restore(cold);
+        std::swap(h[r], h[r + 1]);
+        ++out.swap_accepts;
+      }
+    }
+  }
+
+  std::size_t final_best = 0;
+  for (std::size_t r = 1; r < num_replicas; ++r) {
+    if (h[r] < h[final_best]) final_best = r;
+  }
+  out.aggregate.final_cost = h[final_best];
+  out.aggregate.ticks = budget.spent();
+  return out;
+}
+
+}  // namespace mcopt::core

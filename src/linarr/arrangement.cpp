@@ -1,0 +1,76 @@
+#include "linarr/arrangement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mcopt::linarr {
+
+Arrangement::Arrangement(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Arrangement: n must be >= 1");
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), CellId{0});
+  position_.resize(n);
+  std::iota(position_.begin(), position_.end(), std::size_t{0});
+}
+
+Arrangement Arrangement::random(std::size_t n, util::Rng& rng) {
+  Arrangement arr{n};
+  rng.shuffle(arr.order_);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    arr.position_[arr.order_[pos]] = pos;
+  }
+  return arr;
+}
+
+Arrangement Arrangement::from_order(std::vector<CellId> order) {
+  const std::size_t n = order.size();
+  if (n == 0) throw std::invalid_argument("Arrangement: empty order");
+  std::vector<std::size_t> position(n, n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const CellId c = order[pos];
+    if (c >= n || position[c] != n) {
+      throw std::invalid_argument("Arrangement: order is not a permutation");
+    }
+    position[c] = pos;
+  }
+  Arrangement arr;
+  arr.order_ = std::move(order);
+  arr.position_ = std::move(position);
+  return arr;
+}
+
+void Arrangement::swap_positions(std::size_t p, std::size_t q) noexcept {
+  std::swap(order_[p], order_[q]);
+  position_[order_[p]] = p;
+  position_[order_[q]] = q;
+}
+
+void Arrangement::move_position(std::size_t from, std::size_t to) noexcept {
+  if (from == to) return;
+  const CellId moving = order_[from];
+  if (from < to) {
+    for (std::size_t p = from; p < to; ++p) {
+      order_[p] = order_[p + 1];
+      position_[order_[p]] = p;
+    }
+  } else {
+    for (std::size_t p = from; p > to; --p) {
+      order_[p] = order_[p - 1];
+      position_[order_[p]] = p;
+    }
+  }
+  order_[to] = moving;
+  position_[moving] = to;
+}
+
+bool Arrangement::is_consistent() const noexcept {
+  if (order_.size() != position_.size()) return false;
+  for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+    const CellId c = order_[pos];
+    if (c >= order_.size() || position_[c] != pos) return false;
+  }
+  return true;
+}
+
+}  // namespace mcopt::linarr

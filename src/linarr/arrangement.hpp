@@ -1,0 +1,60 @@
+// A linear arrangement: a bijection between cells and the positions
+// 0..n-1 of a line (§4.1, "a linear ordering of these n elements").
+// Maintains both directions (cell at position, position of cell) so swap
+// and insertion moves are O(1) / O(distance).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace mcopt::linarr {
+
+using netlist::CellId;
+
+class Arrangement {
+ public:
+  /// Identity arrangement: cell c at position c.  n must be >= 1.
+  explicit Arrangement(std::size_t n);
+
+  /// Uniformly random arrangement.
+  [[nodiscard]] static Arrangement random(std::size_t n, util::Rng& rng);
+
+  /// Adopts an explicit order (order[pos] = cell).  Throws
+  /// std::invalid_argument unless it is a permutation of 0..n-1.
+  [[nodiscard]] static Arrangement from_order(std::vector<CellId> order);
+
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+
+  [[nodiscard]] CellId cell_at(std::size_t pos) const noexcept {
+    return order_[pos];
+  }
+  [[nodiscard]] std::size_t position_of(CellId cell) const noexcept {
+    return position_[cell];
+  }
+
+  /// Pairwise interchange of the cells at positions p and q.
+  void swap_positions(std::size_t p, std::size_t q) noexcept;
+
+  /// Single-exchange move: removes the cell at `from` and reinserts it at
+  /// `to`, shifting the cells in between by one.
+  void move_position(std::size_t from, std::size_t to) noexcept;
+
+  /// order()[pos] == cell at pos.
+  [[nodiscard]] const std::vector<CellId>& order() const noexcept {
+    return order_;
+  }
+
+  /// Invariant check: order/position are inverse permutations.  Used by
+  /// tests; O(n).
+  [[nodiscard]] bool is_consistent() const noexcept;
+
+ private:
+  Arrangement() = default;
+  std::vector<CellId> order_;        // position -> cell
+  std::vector<std::size_t> position_;  // cell -> position
+};
+
+}  // namespace mcopt::linarr

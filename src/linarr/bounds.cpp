@@ -1,0 +1,63 @@
+#include "linarr/bounds.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "linarr/density.hpp"
+
+namespace mcopt::linarr {
+
+using netlist::Netlist;
+
+int density_lower_bound(const Netlist& netlist) {
+  if (netlist.num_nets() == 0) return 0;
+
+  std::size_t min_degree = netlist.degree(0);
+  for (CellId c = 1; c < netlist.num_cells(); ++c) {
+    min_degree = std::min(min_degree, netlist.degree(c));
+  }
+
+  const long long mass = total_span_lower_bound(netlist);
+  const auto boundaries =
+      static_cast<long long>(netlist.num_cells()) - 1;
+  const long long span_bound =
+      boundaries > 0 ? (mass + boundaries - 1) / boundaries : 0;
+
+  return static_cast<int>(
+      std::max<long long>(static_cast<long long>(min_degree), span_bound));
+}
+
+long long total_span_lower_bound(const Netlist& netlist) {
+  long long mass = 0;
+  for (netlist::NetId n = 0; n < netlist.num_nets(); ++n) {
+    mass += static_cast<long long>(netlist.pins(n).size()) - 1;
+  }
+  return mass;
+}
+
+BruteForceResult brute_force_optimum(const Netlist& netlist,
+                                     std::size_t max_cells) {
+  const std::size_t n = netlist.num_cells();
+  if (n > max_cells) {
+    throw std::invalid_argument(
+        "brute_force_optimum: instance too large for enumeration");
+  }
+  std::vector<CellId> order(n);
+  std::iota(order.begin(), order.end(), CellId{0});
+
+  BruteForceResult best{0, Arrangement::from_order(order)};
+  best.density = density_of(netlist, best.arrangement);
+  do {
+    if (n > 1 && order.front() > order.back()) continue;  // reversal dup
+    const Arrangement arr = Arrangement::from_order(order);
+    const int d = density_of(netlist, arr);
+    if (d < best.density) {
+      best.density = d;
+      best.arrangement = arr;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+}  // namespace mcopt::linarr

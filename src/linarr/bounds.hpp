@@ -1,0 +1,41 @@
+// Density bounds and exact small-instance optima.
+//
+// The paper reports only *reductions*; these utilities bound how much
+// reduction is possible at all, which the reproduction uses to verify that
+// the Monte Carlo methods approach the attainable floor:
+//
+//  * degree bound — the first boundary's crossing count equals the number
+//    of nets incident to the leftmost cell (every net reaches at least one
+//    other cell), so density >= min_c degree(c) for every arrangement;
+//  * span bound — a net with p pins spans at least p-1 boundaries, so the
+//    total crossing mass is at least sum(p_i - 1) spread over n-1
+//    boundaries: density >= ceil(sum(p_i - 1) / (n - 1));
+//  * brute force — exact optimum by permutation enumeration, for tests and
+//    gap reporting on small instances.
+#pragma once
+
+#include "linarr/arrangement.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mcopt::linarr {
+
+/// max(degree bound, span bound); 0 for a net-free netlist.
+[[nodiscard]] int density_lower_bound(const netlist::Netlist& netlist);
+
+/// sum over nets of (pins - 1): a lower bound on the total span of any
+/// arrangement (apply_swap-invariant mass of density.hpp's total_span()).
+[[nodiscard]] long long total_span_lower_bound(const netlist::Netlist& netlist);
+
+struct BruteForceResult {
+  int density = 0;
+  Arrangement arrangement;
+};
+
+/// Exact minimum density by permutation enumeration, skipping reversal
+/// duplicates (density is reversal-invariant, so only orders with
+/// front < back are evaluated).  Throws std::invalid_argument when the
+/// netlist has more than `max_cells` cells (default 10).
+[[nodiscard]] BruteForceResult brute_force_optimum(
+    const netlist::Netlist& netlist, std::size_t max_cells = 10);
+
+}  // namespace mcopt::linarr

@@ -1,0 +1,25 @@
+#include "linarr/cohoon.hpp"
+
+#include "core/figure1.hpp"
+#include "core/figure2.hpp"
+#include "core/gfunction.hpp"
+
+namespace mcopt::linarr {
+
+core::RunResult cohoon_sahni(LinArrProblem& problem,
+                             const CohoonOptions& options, util::Rng& rng) {
+  core::GParams params;
+  params.num_nets = problem.state().netlist().num_nets();
+  const auto g = core::make_g(core::GClass::kCohoonSahni, params);
+
+  if (options.strategy == Strategy::kFigure1) {
+    core::Figure1Options fig1;
+    fig1.budget = options.budget;
+    return core::run_figure1(problem, *g, fig1, rng);
+  }
+  core::Figure2Options fig2;
+  fig2.budget = options.budget;
+  return core::run_figure2(problem, *g, fig2, rng);
+}
+
+}  // namespace mcopt::linarr

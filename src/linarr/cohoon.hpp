@@ -1,0 +1,32 @@
+// The Cohoon-Sahni board-permutation heuristic [COHO83a], assembled from
+// library pieces: the g function g(density) = min(density/(m+5), 0.9)
+// (available as core::GClass::kCohoonSahni) combined with either strategy.
+//
+// The paper's §4.2.2 row uses this g with the Figure 1 strategy and
+// pairwise interchange; [COHO83a]'s own best variant starts from the Goto
+// arrangement and uses single exchange with the Figure 2 strategy.  Both
+// are provided.
+#pragma once
+
+#include <cstdint>
+
+#include "core/result.hpp"
+#include "linarr/problem.hpp"
+#include "util/rng.hpp"
+
+namespace mcopt::linarr {
+
+enum class Strategy { kFigure1, kFigure2 };
+
+struct CohoonOptions {
+  Strategy strategy = Strategy::kFigure1;
+  std::uint64_t budget = 30'000;
+};
+
+/// Runs [COHO83a]'s g function on `problem` from its current solution.
+/// `problem` must be bound to the instance whose net count parameterizes g.
+[[nodiscard]] core::RunResult cohoon_sahni(LinArrProblem& problem,
+                                           const CohoonOptions& options,
+                                           util::Rng& rng);
+
+}  // namespace mcopt::linarr

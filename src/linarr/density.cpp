@@ -1,0 +1,132 @@
+#include "linarr/density.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcopt::linarr {
+
+DensityState::DensityState(const Netlist& netlist, Arrangement arrangement)
+    : netlist_(&netlist), arrangement_(std::move(arrangement)) {
+  if (arrangement_.size() != netlist.num_cells()) {
+    throw std::invalid_argument(
+        "DensityState: arrangement size != netlist cell count");
+  }
+  net_lo_.resize(netlist.num_nets());
+  net_hi_.resize(netlist.num_nets());
+  touched_mark_.assign(netlist.num_nets(), 0);
+  rebuild();
+}
+
+void DensityState::rebuild() {
+  const std::size_t n = arrangement_.size();
+  cuts_.assign(n > 0 ? n - 1 : 0, 0);
+  cut_histogram_.assign(netlist_->num_nets() + 2, 0);
+  if (!cuts_.empty()) {
+    cut_histogram_[0] = static_cast<int>(cuts_.size());
+  }
+  max_cut_ = 0;
+  total_span_ = 0;
+  for (NetId net = 0; net < netlist_->num_nets(); ++net) {
+    activate_net(net);
+  }
+}
+
+int DensityState::density() const noexcept {
+  while (max_cut_ > 0 && cut_histogram_[max_cut_] == 0) --max_cut_;
+  return max_cut_;
+}
+
+void DensityState::bump_boundary(std::size_t b, int delta) {
+  const int old_cut = cuts_[b];
+  const int new_cut = old_cut + delta;
+  cuts_[b] = new_cut;
+  --cut_histogram_[old_cut];
+  ++cut_histogram_[new_cut];
+  if (new_cut > max_cut_) max_cut_ = new_cut;
+  total_span_ += delta;
+}
+
+void DensityState::add_span(std::size_t lo, std::size_t hi, int delta) {
+  for (std::size_t b = lo; b < hi; ++b) bump_boundary(b, delta);
+}
+
+void DensityState::retire_net(NetId n) {
+  add_span(net_lo_[n], net_hi_[n], -1);
+}
+
+void DensityState::activate_net(NetId n) {
+  std::size_t lo = arrangement_.size();
+  std::size_t hi = 0;
+  for (const auto cell : netlist_->pins(n)) {
+    const std::size_t pos = arrangement_.position_of(cell);
+    lo = std::min(lo, pos);
+    hi = std::max(hi, pos);
+  }
+  net_lo_[n] = lo;
+  net_hi_[n] = hi;
+  add_span(lo, hi, +1);
+}
+
+void DensityState::apply_swap(std::size_t p, std::size_t q) {
+  if (p == q) return;
+  touched_.clear();
+  for (const std::size_t pos : {p, q}) {
+    for (const NetId net : netlist_->nets_of(arrangement_.cell_at(pos))) {
+      if (!touched_mark_[net]) {
+        touched_mark_[net] = 1;
+        touched_.push_back(net);
+      }
+    }
+  }
+  for (const NetId net : touched_) retire_net(net);
+  arrangement_.swap_positions(p, q);
+  for (const NetId net : touched_) {
+    activate_net(net);
+    touched_mark_[net] = 0;
+  }
+}
+
+void DensityState::apply_move(std::size_t from, std::size_t to) {
+  if (from == to) return;
+  touched_.clear();
+  const auto lo = std::min(from, to);
+  const auto hi = std::max(from, to);
+  for (std::size_t pos = lo; pos <= hi; ++pos) {
+    for (const NetId net : netlist_->nets_of(arrangement_.cell_at(pos))) {
+      if (!touched_mark_[net]) {
+        touched_mark_[net] = 1;
+        touched_.push_back(net);
+      }
+    }
+  }
+  for (const NetId net : touched_) retire_net(net);
+  arrangement_.move_position(from, to);
+  for (const NetId net : touched_) {
+    activate_net(net);
+    touched_mark_[net] = 0;
+  }
+}
+
+void DensityState::reset(Arrangement arrangement) {
+  if (arrangement.size() != netlist_->num_cells()) {
+    throw std::invalid_argument(
+        "DensityState::reset: arrangement size != netlist cell count");
+  }
+  arrangement_ = std::move(arrangement);
+  rebuild();
+}
+
+bool DensityState::verify() const {
+  if (!arrangement_.is_consistent()) return false;
+  DensityState fresh{*netlist_, arrangement_};
+  if (fresh.density() != density()) return false;
+  if (fresh.total_span_ != total_span_) return false;
+  return fresh.cuts_ == cuts_ && fresh.net_lo_ == net_lo_ &&
+         fresh.net_hi_ == net_hi_;
+}
+
+int density_of(const Netlist& netlist, const Arrangement& arrangement) {
+  return DensityState{netlist, arrangement}.density();
+}
+
+}  // namespace mcopt::linarr

@@ -1,0 +1,91 @@
+// Density bookkeeping for a netlist under a linear arrangement.
+//
+// A net whose pins occupy positions [lo, hi] crosses exactly the boundaries
+// lo, lo+1, ..., hi-1 (boundary b separates positions b and b+1).  The
+// *density* of an arrangement is the maximum crossing count over all n-1
+// boundaries — the quantity GOLA/NOLA minimize (§4.1).  The *total span*
+// (sum of crossing counts == sum of net extents) is also maintained; it is
+// the wirelength-style objective used by an ablation bench.
+//
+// DensityState keeps, incrementally:
+//   * per-net position extrema (lo, hi),
+//   * per-boundary crossing counts,
+//   * a histogram of crossing counts with a lazily-decremented maximum, so
+//     density() is O(1) amortized after O(pins-touched) move updates.
+//
+// Moves are applied through DensityState so the arrangement and the counts
+// never diverge; `verify()` recomputes everything from scratch for tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linarr/arrangement.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mcopt::linarr {
+
+using netlist::NetId;
+using netlist::Netlist;
+
+class DensityState {
+ public:
+  /// Binds to `netlist` (which must outlive this object) and computes all
+  /// counts for `arrangement`.
+  DensityState(const Netlist& netlist, Arrangement arrangement);
+
+  [[nodiscard]] const Arrangement& arrangement() const noexcept {
+    return arrangement_;
+  }
+  [[nodiscard]] const Netlist& netlist() const noexcept { return *netlist_; }
+
+  /// Max crossing count over all boundaries; 0 when n == 1.
+  [[nodiscard]] int density() const noexcept;
+
+  /// Sum of crossing counts over all boundaries (== sum of net spans).
+  [[nodiscard]] long long total_span() const noexcept { return total_span_; }
+
+  /// Crossing count at boundary b (between positions b and b+1).
+  [[nodiscard]] int cut_at(std::size_t boundary) const noexcept {
+    return cuts_[boundary];
+  }
+
+  /// Applies a pairwise interchange of positions p and q.  O(pins of nets
+  /// incident to the two cells).  Self-inverse: applying twice restores.
+  void apply_swap(std::size_t p, std::size_t q);
+
+  /// Applies a single-exchange (remove at `from`, insert at `to`).
+  /// O(pins of nets incident to the cells in [min(from,to), max(from,to)]).
+  void apply_move(std::size_t from, std::size_t to);
+
+  /// Replaces the arrangement wholesale (full recount).
+  void reset(Arrangement arrangement);
+
+  /// Recomputes from scratch and compares with the incremental state.
+  /// Returns true when they agree; tests assert this after random moves.
+  [[nodiscard]] bool verify() const;
+
+ private:
+  void rebuild();
+  void retire_net(NetId n);    // remove net's span from cuts_/histogram
+  void activate_net(NetId n);  // recompute extrema, add span back
+  void add_span(std::size_t lo, std::size_t hi, int delta);
+  void bump_boundary(std::size_t b, int delta);
+
+  const Netlist* netlist_;
+  Arrangement arrangement_;
+  std::vector<std::size_t> net_lo_;
+  std::vector<std::size_t> net_hi_;
+  std::vector<int> cuts_;            // size n-1
+  std::vector<int> cut_histogram_;   // value -> #boundaries, size num_nets+1
+  mutable int max_cut_ = 0;          // lazily tightened upper bound
+  long long total_span_ = 0;
+  std::vector<NetId> touched_;       // scratch, de-duplicated per move
+  std::vector<char> touched_mark_;
+};
+
+/// One-shot density of an arrangement (builds a temporary state).
+[[nodiscard]] int density_of(const Netlist& netlist,
+                             const Arrangement& arrangement);
+
+}  // namespace mcopt::linarr

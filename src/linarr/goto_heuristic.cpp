@@ -1,0 +1,73 @@
+#include "linarr/goto_heuristic.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace mcopt::linarr {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+
+Arrangement goto_arrangement(const Netlist& netlist) {
+  const std::size_t n = netlist.num_cells();
+  std::vector<CellId> order;
+  order.reserve(n);
+  std::vector<char> placed(n, 0);
+  // placed_pins[net]: how many of the net's pins are already placed.
+  std::vector<std::size_t> placed_pins(netlist.num_nets(), 0);
+  // Number of "open" nets: some but not all pins placed.  Open nets all
+  // cross the next boundary; a candidate i additionally opens its untouched
+  // nets and closes nets it completes.
+  std::size_t open_nets = 0;
+
+  // Seed: the most lightly connected element (fewest incident nets).
+  CellId seed = 0;
+  for (CellId c = 1; c < n; ++c) {
+    if (netlist.degree(c) < netlist.degree(seed)) seed = c;
+  }
+
+  auto place = [&](CellId c) {
+    order.push_back(c);
+    placed[c] = 1;
+    for (const NetId net : netlist.nets_of(c)) {
+      const std::size_t size = netlist.pins(net).size();
+      if (placed_pins[net] == 0) ++open_nets;
+      ++placed_pins[net];
+      if (placed_pins[net] == size) --open_nets;
+    }
+  };
+
+  place(seed);
+
+  for (std::size_t step = 1; step < n; ++step) {
+    auto best = static_cast<CellId>(n);  // sentinel
+    long long best_cut = std::numeric_limits<long long>::max();
+    long long best_opened = std::numeric_limits<long long>::max();
+    for (CellId c = 0; c < n; ++c) {
+      if (placed[c]) continue;
+      long long opened = 0;
+      long long closed = 0;
+      for (const NetId net : netlist.nets_of(c)) {
+        const std::size_t size = netlist.pins(net).size();
+        if (placed_pins[net] == 0) {
+          ++opened;  // size >= 2, so at least one pin remains unplaced
+        } else if (placed_pins[net] + 1 == size) {
+          ++closed;
+        }
+      }
+      const long long cut =
+          static_cast<long long>(open_nets) + opened - closed;
+      if (cut < best_cut || (cut == best_cut && opened < best_opened)) {
+        best = c;
+        best_cut = cut;
+        best_opened = opened;
+      }
+    }
+    place(best);
+  }
+
+  return Arrangement::from_order(std::move(order));
+}
+
+}  // namespace mcopt::linarr

@@ -1,0 +1,25 @@
+// The constructive heuristic of Goto, Cederbaum and Ting [GOTO77], as
+// described in §4.2.2:
+//
+//   "The heuristic of Goto constructs the linear arrangement left to right.
+//    It begins with the most lightly connected element and places this at
+//    the leftmost position.  Let S be the set of nets in the elements
+//    already placed [and] T the nets in the remaining elements not yet
+//    placed.  The next element i to be placed is chosen such that |S ∩ T|
+//    is minimum over all choices for i."
+//
+// |S ∩ T| after tentatively placing i is exactly the crossing count of the
+// newly created boundary, so each step greedily minimizes the next
+// boundary's cut.  Ties are broken by the fewest newly opened nets, then by
+// the smallest cell id (deterministic output).
+#pragma once
+
+#include "linarr/arrangement.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mcopt::linarr {
+
+/// Builds Goto's arrangement for `netlist`.  O(n * (n + pins)).
+[[nodiscard]] Arrangement goto_arrangement(const netlist::Netlist& netlist);
+
+}  // namespace mcopt::linarr

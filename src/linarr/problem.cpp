@@ -1,0 +1,152 @@
+#include "linarr/problem.hpp"
+
+#include <stdexcept>
+
+namespace mcopt::linarr {
+
+LinArrProblem::LinArrProblem(const Netlist& netlist, Arrangement start,
+                             MoveKind move_kind, Objective objective)
+    : state_(netlist, std::move(start)),
+      move_kind_(move_kind),
+      objective_(objective) {
+  if (netlist.num_cells() < 2) {
+    throw std::invalid_argument("LinArrProblem: need at least two cells");
+  }
+}
+
+double LinArrProblem::objective_value() const noexcept {
+  return objective_ == Objective::kDensity
+             ? static_cast<double>(state_.density())
+             : static_cast<double>(state_.total_span());
+}
+
+double LinArrProblem::cost() const { return objective_value(); }
+
+double LinArrProblem::propose(util::Rng& rng) {
+  if (pending_ != Pending::kNone) {
+    throw std::logic_error("propose: a perturbation is already pending");
+  }
+  const std::size_t n = state_.arrangement().size();
+  const auto [a, b] = rng.next_distinct_pair(n);
+  if (move_kind_ == MoveKind::kPairwiseInterchange) {
+    state_.apply_swap(a, b);
+    pending_ = Pending::kSwap;
+  } else {
+    state_.apply_move(a, b);
+    pending_ = Pending::kMove;
+  }
+  pending_a_ = a;
+  pending_b_ = b;
+  return objective_value();
+}
+
+void LinArrProblem::accept() {
+  if (pending_ == Pending::kNone) {
+    throw std::logic_error("accept: no pending perturbation");
+  }
+  pending_ = Pending::kNone;
+}
+
+void LinArrProblem::reject() {
+  if (pending_ == Pending::kNone) {
+    throw std::logic_error("reject: no pending perturbation");
+  }
+  undo_pending();
+  pending_ = Pending::kNone;
+}
+
+void LinArrProblem::undo_pending() {
+  if (pending_ == Pending::kSwap) {
+    state_.apply_swap(pending_a_, pending_b_);
+  } else if (pending_ == Pending::kMove) {
+    // move_position(from, to) is undone by move_position(to, from).
+    state_.apply_move(pending_b_, pending_a_);
+  }
+}
+
+void LinArrProblem::descend(util::WorkBudget& budget) {
+  if (pending_ != Pending::kNone) {
+    throw std::logic_error("descend: a perturbation is pending");
+  }
+  const std::size_t n = state_.arrangement().size();
+  bool improved = true;
+  while (improved && !budget.exhausted()) {
+    improved = false;
+    for (std::size_t a = 0; a + 1 < n && !budget.exhausted(); ++a) {
+      for (std::size_t b = a + 1; b < n && !budget.exhausted(); ++b) {
+        const double before = objective_value();
+        if (move_kind_ == MoveKind::kPairwiseInterchange) {
+          state_.apply_swap(a, b);
+          budget.charge();
+          if (objective_value() < before) {
+            improved = true;
+          } else {
+            state_.apply_swap(a, b);
+          }
+        } else {
+          // Single exchange is directional: try a->b, then b->a.
+          state_.apply_move(a, b);
+          budget.charge();
+          if (objective_value() < before) {
+            improved = true;
+            continue;
+          }
+          state_.apply_move(b, a);
+          if (budget.exhausted()) break;
+          state_.apply_move(b, a);
+          budget.charge();
+          if (objective_value() < before) {
+            improved = true;
+          } else {
+            state_.apply_move(a, b);
+          }
+        }
+      }
+    }
+  }
+}
+
+void LinArrProblem::randomize(util::Rng& rng) {
+  if (pending_ != Pending::kNone) {
+    throw std::logic_error("randomize: a perturbation is pending");
+  }
+  state_.reset(Arrangement::random(state_.arrangement().size(), rng));
+}
+
+core::Snapshot LinArrProblem::snapshot() const {
+  const auto& order = state_.arrangement().order();
+  return core::Snapshot(order.begin(), order.end());
+}
+
+void LinArrProblem::restore(const core::Snapshot& snap) {
+  if (pending_ != Pending::kNone) {
+    throw std::logic_error("restore: a perturbation is pending");
+  }
+  state_.reset(Arrangement::from_order(
+      std::vector<CellId>(snap.begin(), snap.end())));
+}
+
+bool LinArrProblem::is_local_optimum() {
+  const std::size_t n = state_.arrangement().size();
+  const double h0 = objective_value();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (move_kind_ == MoveKind::kPairwiseInterchange) {
+        if (b < a) continue;  // swaps are symmetric
+        state_.apply_swap(a, b);
+        const double h = objective_value();
+        state_.apply_swap(a, b);
+        if (h < h0) return false;
+      } else {
+        state_.apply_move(a, b);
+        const double h = objective_value();
+        state_.apply_move(b, a);
+        if (h < h0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mcopt::linarr

@@ -1,0 +1,73 @@
+// GOLA / NOLA as a core::Problem (§4.1).
+//
+// The solution is an arrangement; the cost is its density (or, optionally,
+// the total span — an ablation objective).  Two perturbation strategies
+// from the paper are available: pairwise interchange (used throughout §4)
+// and single exchange, i.e. remove-and-reinsert ([COHO83a]'s alternative).
+// The same move kind drives both the random perturbations of Figures 1/2
+// and the systematic descent of Figure 2, as §4.2.1 prescribes ("locally
+// optimal with respect to the perturbation strategy").
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+#include "linarr/density.hpp"
+
+namespace mcopt::linarr {
+
+enum class MoveKind {
+  kPairwiseInterchange,  ///< swap the cells at two random positions
+  kSingleExchange,       ///< remove one cell, reinsert at a random position
+};
+
+enum class Objective {
+  kDensity,    ///< the paper's h: max crossings over boundaries
+  kTotalSpan,  ///< ablation: sum of crossings (wirelength-like)
+};
+
+class LinArrProblem final : public core::Problem {
+ public:
+  /// Starts from `start`; `netlist` must outlive the problem.
+  LinArrProblem(const Netlist& netlist, Arrangement start,
+                MoveKind move_kind = MoveKind::kPairwiseInterchange,
+                Objective objective = Objective::kDensity);
+
+  // core::Problem
+  [[nodiscard]] double cost() const override;
+  double propose(util::Rng& rng) override;
+  void accept() override;
+  void reject() override;
+  void descend(util::WorkBudget& budget) override;
+  void randomize(util::Rng& rng) override;
+  [[nodiscard]] core::Snapshot snapshot() const override;
+  void restore(const core::Snapshot& snap) override;
+
+  /// Read access for reporting and tests.
+  [[nodiscard]] const DensityState& state() const noexcept { return state_; }
+  [[nodiscard]] const Arrangement& arrangement() const noexcept {
+    return state_.arrangement();
+  }
+  [[nodiscard]] MoveKind move_kind() const noexcept { return move_kind_; }
+
+  /// True when no pairwise interchange (resp. single exchange) lowers the
+  /// cost; Figure 2 tests assert this postcondition of descend().  O(n^2)
+  /// evaluations.
+  [[nodiscard]] bool is_local_optimum();
+
+ private:
+  double objective_value() const noexcept;
+  /// Applies the pending move's inverse.
+  void undo_pending();
+
+  DensityState state_;
+  MoveKind move_kind_;
+  Objective objective_;
+
+  enum class Pending { kNone, kSwap, kMove };
+  Pending pending_ = Pending::kNone;
+  std::size_t pending_a_ = 0;  // swap: positions; move: from -> to
+  std::size_t pending_b_ = 0;
+};
+
+}  // namespace mcopt::linarr

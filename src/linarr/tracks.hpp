@@ -1,0 +1,55 @@
+// Track assignment for a linear arrangement — the physical meaning of
+// density.
+//
+// §4.1 motivates NOLA through "the ordering of via columns in single row
+// routing [RAGH84] [TING78]": once the columns are ordered, every net
+// occupies the horizontal interval between its leftmost and rightmost pin,
+// and nets whose intervals overlap must be routed on different tracks.
+// The minimum number of tracks equals the maximum interval overlap — which
+// is exactly the arrangement's density.  The classic left-edge algorithm
+// achieves that optimum, so minimizing density (what the Monte Carlo
+// methods do) is minimizing the routed channel's height.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "linarr/arrangement.hpp"
+#include "netlist/netlist.hpp"
+
+namespace mcopt::linarr {
+
+/// One routed net: its horizontal extent (positions, inclusive) and the
+/// track it was assigned.
+struct RoutedNet {
+  netlist::NetId net = 0;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::size_t track = 0;
+};
+
+struct TrackAssignment {
+  std::vector<RoutedNet> nets;  ///< in net-id order
+  std::size_t num_tracks = 0;
+};
+
+/// Left-edge track assignment of every net interval under `arrangement`.
+/// Guaranteed optimal: num_tracks == density of the arrangement (interval
+/// graphs are perfect; tests assert the equality).  Zero-length intervals
+/// (single-column nets cannot occur — every net spans >= 2 cells) still
+/// occupy their column.  O(nets log nets + nets * tracks) worst case.
+[[nodiscard]] TrackAssignment assign_tracks(const netlist::Netlist& netlist,
+                                            const Arrangement& arrangement);
+
+/// True when no two nets on the same track overlap (closed intervals) and
+/// every net is assigned a track below num_tracks.  Used by tests.
+[[nodiscard]] bool is_valid_assignment(const TrackAssignment& assignment);
+
+/// ASCII channel picture: one row per track, '-' where a net runs, its
+/// net id digit (mod 10) at pin columns.  Educational output used by the
+/// board_ordering example.
+void render_channel(std::ostream& out, const netlist::Netlist& netlist,
+                    const Arrangement& arrangement,
+                    const TrackAssignment& assignment);
+
+}  // namespace mcopt::linarr

@@ -1,0 +1,33 @@
+// Plain-text netlist serialization.
+//
+// Format ("mcnl v1"):
+//
+//   mcnl 1
+//   cells <n>
+//   net <cell> <cell> [...]
+//   ...
+//
+// Blank lines and lines starting with '#' are ignored.  The format is
+// line-oriented so instances used in EXPERIMENTS.md can be archived and
+// diffed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace mcopt::netlist {
+
+/// Writes `nl` in mcnl v1 form.
+void write_netlist(std::ostream& out, const Netlist& nl);
+
+/// Parses mcnl v1.  Throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] Netlist read_netlist(std::istream& in);
+
+/// Convenience round-trips through strings (used by tests and examples).
+[[nodiscard]] std::string to_string(const Netlist& nl);
+[[nodiscard]] Netlist from_string(const std::string& text);
+
+}  // namespace mcopt::netlist

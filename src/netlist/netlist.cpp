@@ -1,0 +1,71 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcopt::netlist {
+
+bool Netlist::is_graph() const noexcept {
+  for (std::size_t n = 0; n + 1 < net_offsets_.size(); ++n) {
+    if (net_offsets_[n + 1] - net_offsets_[n] != 2) return false;
+  }
+  return num_nets() > 0;
+}
+
+std::size_t Netlist::max_net_size() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t n = 0; n + 1 < net_offsets_.size(); ++n) {
+    best = std::max(best, net_offsets_[n + 1] - net_offsets_[n]);
+  }
+  return best;
+}
+
+Netlist::Builder::Builder(std::size_t num_cells) : num_cells_(num_cells) {
+  if (num_cells == 0) {
+    throw std::invalid_argument("Netlist must have at least one cell");
+  }
+}
+
+NetId Netlist::Builder::add_net(std::span<const CellId> cells) {
+  std::vector<CellId> pins(cells.begin(), cells.end());
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  if (pins.size() < 2) {
+    throw std::invalid_argument("a net must connect at least two distinct cells");
+  }
+  if (pins.back() >= num_cells_) {
+    throw std::invalid_argument("net pin refers to a cell out of range");
+  }
+  nets_.push_back(std::move(pins));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+NetId Netlist::Builder::add_net(std::initializer_list<CellId> cells) {
+  return add_net(std::span<const CellId>{cells.begin(), cells.size()});
+}
+
+Netlist Netlist::Builder::build() const {
+  Netlist out;
+  out.num_cells_ = num_cells_;
+  out.net_offsets_.reserve(nets_.size() + 1);
+  for (const auto& pins : nets_) {
+    out.net_pins_.insert(out.net_pins_.end(), pins.begin(), pins.end());
+    out.net_offsets_.push_back(out.net_pins_.size());
+  }
+
+  // Inverse incidence via counting sort.
+  std::vector<std::size_t> counts(num_cells_ + 1, 0);
+  for (const CellId c : out.net_pins_) ++counts[c + 1];
+  for (std::size_t c = 0; c < num_cells_; ++c) counts[c + 1] += counts[c];
+  out.cell_offsets_ = counts;
+  out.cell_nets_.resize(out.net_pins_.size());
+  std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    for (const CellId c : nets_[n]) {
+      out.cell_nets_[cursor[c]++] = static_cast<NetId>(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcopt::netlist

@@ -1,0 +1,91 @@
+// Hypergraph netlist substrate.
+//
+// The linear-arrangement problems of the paper (GOLA / NOLA, §4.1) operate
+// on "n circuit elements (cells, boards, chips, ...) and connectivity
+// information".  We model that as a hypergraph: cells 0..n-1 and nets, each
+// net a set of >= 2 distinct cells (its pins).  GOLA is the special case
+// where every net has exactly two pins.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcopt::netlist {
+
+using CellId = std::uint32_t;
+using NetId = std::uint32_t;
+
+/// Immutable hypergraph with forward (net -> cells) and inverse
+/// (cell -> nets) incidence, both in CSR form.  Construct via Builder.
+class Netlist {
+ public:
+  class Builder;
+
+  Netlist() = default;
+
+  [[nodiscard]] std::size_t num_cells() const noexcept { return num_cells_; }
+  [[nodiscard]] std::size_t num_nets() const noexcept {
+    return net_offsets_.empty() ? 0 : net_offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_pins() const noexcept { return net_pins_.size(); }
+
+  /// Pins (cells) of net `n`, in insertion order, duplicates removed.
+  [[nodiscard]] std::span<const CellId> pins(NetId n) const noexcept {
+    return {net_pins_.data() + net_offsets_[n],
+            net_offsets_[n + 1] - net_offsets_[n]};
+  }
+
+  /// Nets incident to cell `c`.
+  [[nodiscard]] std::span<const NetId> nets_of(CellId c) const noexcept {
+    return {cell_nets_.data() + cell_offsets_[c],
+            cell_offsets_[c + 1] - cell_offsets_[c]};
+  }
+
+  /// Number of nets incident to cell `c` ("connectedness" in Goto's
+  /// heuristic).
+  [[nodiscard]] std::size_t degree(CellId c) const noexcept {
+    return cell_offsets_[c + 1] - cell_offsets_[c];
+  }
+
+  /// True when every net has exactly two pins (a GOLA / graph instance).
+  [[nodiscard]] bool is_graph() const noexcept;
+
+  /// Largest pin count over all nets; 0 for a net-free list.
+  [[nodiscard]] std::size_t max_net_size() const noexcept;
+
+ private:
+  std::size_t num_cells_ = 0;
+  // CSR: net n occupies net_pins_[net_offsets_[n] .. net_offsets_[n+1]).
+  std::vector<std::size_t> net_offsets_{0};
+  std::vector<CellId> net_pins_;
+  // CSR inverse: cell c is on nets cell_nets_[cell_offsets_[c] .. ...c+1]).
+  std::vector<std::size_t> cell_offsets_;
+  std::vector<NetId> cell_nets_;
+};
+
+/// Incremental construction with validation.  Throws std::invalid_argument
+/// on out-of-range pins or nets with fewer than two distinct pins.
+class Netlist::Builder {
+ public:
+  explicit Builder(std::size_t num_cells);
+
+  /// Adds a net over the given cells.  Duplicate pins within a net are
+  /// collapsed; a net must connect at least two distinct cells.
+  /// Returns the new net's id.
+  NetId add_net(std::span<const CellId> cells);
+  NetId add_net(std::initializer_list<CellId> cells);
+
+  [[nodiscard]] std::size_t num_cells() const noexcept { return num_cells_; }
+  [[nodiscard]] std::size_t num_nets() const noexcept { return nets_.size(); }
+
+  /// Finalizes into an immutable Netlist (builds the inverse incidence).
+  [[nodiscard]] Netlist build() const;
+
+ private:
+  std::size_t num_cells_;
+  std::vector<std::vector<CellId>> nets_;
+};
+
+}  // namespace mcopt::netlist

@@ -1,0 +1,64 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace mcopt::netlist {
+
+NetlistStats compute_stats(const Netlist& netlist) {
+  NetlistStats stats;
+  stats.num_cells = netlist.num_cells();
+  stats.num_nets = netlist.num_nets();
+  stats.num_pins = netlist.num_pins();
+  stats.is_graph = netlist.is_graph();
+
+  if (stats.num_cells > 0) {
+    stats.min_degree = netlist.degree(0);
+    for (CellId c = 0; c < stats.num_cells; ++c) {
+      const std::size_t d = netlist.degree(c);
+      stats.min_degree = std::min(stats.min_degree, d);
+      stats.max_degree = std::max(stats.max_degree, d);
+      if (d >= stats.degree_histogram.size()) {
+        stats.degree_histogram.resize(d + 1, 0);
+      }
+      ++stats.degree_histogram[d];
+    }
+    stats.mean_degree = static_cast<double>(stats.num_pins) /
+                        static_cast<double>(stats.num_cells);
+  }
+
+  if (stats.num_nets > 0) {
+    stats.min_net_size = netlist.pins(0).size();
+    for (NetId n = 0; n < stats.num_nets; ++n) {
+      const std::size_t p = netlist.pins(n).size();
+      stats.min_net_size = std::min(stats.min_net_size, p);
+      stats.max_net_size = std::max(stats.max_net_size, p);
+      if (p >= stats.net_size_histogram.size()) {
+        stats.net_size_histogram.resize(p + 1, 0);
+      }
+      ++stats.net_size_histogram[p];
+    }
+    stats.mean_net_size = static_cast<double>(stats.num_pins) /
+                          static_cast<double>(stats.num_nets);
+  }
+  return stats;
+}
+
+void print_stats(std::ostream& out, const NetlistStats& stats) {
+  out << "cells: " << stats.num_cells << "  nets: " << stats.num_nets
+      << "  pins: " << stats.num_pins
+      << (stats.is_graph ? "  (graph: all two-pin nets)\n" : "\n");
+  out << "degree: min " << stats.min_degree << ", mean " << stats.mean_degree
+      << ", max " << stats.max_degree << '\n';
+  out << "net size: min " << stats.min_net_size << ", mean "
+      << stats.mean_net_size << ", max " << stats.max_net_size << '\n';
+  out << "net-size histogram:";
+  for (std::size_t p = 0; p < stats.net_size_histogram.size(); ++p) {
+    if (stats.net_size_histogram[p] > 0) {
+      out << "  " << p << "-pin x" << stats.net_size_histogram[p];
+    }
+  }
+  out << '\n';
+}
+
+}  // namespace mcopt::netlist

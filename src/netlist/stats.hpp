@@ -1,0 +1,41 @@
+// Instance characterization: degree and net-size distributions.
+//
+// The paper describes its workloads only by (elements, nets, pins-per-net);
+// these statistics let a reproduction verify that generated instances match
+// the described distribution, and give downstream users a quick profile of
+// their own netlists (the board_ordering example and the CLI print them).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace mcopt::netlist {
+
+struct NetlistStats {
+  std::size_t num_cells = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_pins = 0;
+  bool is_graph = false;
+
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// degree_histogram[d] = number of cells incident to exactly d nets.
+  std::vector<std::size_t> degree_histogram;
+
+  std::size_t min_net_size = 0;
+  std::size_t max_net_size = 0;
+  double mean_net_size = 0.0;
+  /// net_size_histogram[p] = number of nets with exactly p pins.
+  std::vector<std::size_t> net_size_histogram;
+};
+
+[[nodiscard]] NetlistStats compute_stats(const Netlist& netlist);
+
+/// Multi-line human-readable profile.
+void print_stats(std::ostream& out, const NetlistStats& stats);
+
+}  // namespace mcopt::netlist

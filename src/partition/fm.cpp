@@ -1,0 +1,246 @@
+#include "partition/fm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcopt::partition {
+
+namespace {
+
+/// Doubly-linked gain buckets for one side: cells live in the bucket of
+/// their current gain; picking the max-gain cell is O(1) amortized via a
+/// descending cursor.
+class GainBuckets {
+ public:
+  GainBuckets(std::size_t num_cells, int max_gain)
+      : max_gain_(max_gain),
+        heads_(2 * static_cast<std::size_t>(max_gain) + 1, kNil),
+        next_(num_cells, kNil),
+        prev_(num_cells, kNil),
+        bucket_of_(num_cells, kNoBucket) {}
+
+  void insert(CellId c, int gain) {
+    const std::size_t b = index(gain);
+    next_[c] = heads_[b];
+    prev_[c] = kNil;
+    if (heads_[b] != kNil) prev_[heads_[b]] = c;
+    heads_[b] = c;
+    bucket_of_[c] = static_cast<int>(b);
+    top_ = std::max(top_, static_cast<int>(b));
+  }
+
+  void erase(CellId c) {
+    const int b = bucket_of_[c];
+    if (b == kNoBucket) return;
+    if (prev_[c] != kNil) {
+      next_[prev_[c]] = next_[c];
+    } else {
+      heads_[static_cast<std::size_t>(b)] = next_[c];
+    }
+    if (next_[c] != kNil) prev_[next_[c]] = prev_[c];
+    bucket_of_[c] = kNoBucket;
+  }
+
+  void reinsert(CellId c, int gain) {
+    erase(c);
+    insert(c, gain);
+  }
+
+  /// Highest-gain cell on this side, or kNil when empty.
+  [[nodiscard]] CellId best() {
+    while (top_ >= 0 && heads_[static_cast<std::size_t>(top_)] == kNil) {
+      --top_;
+    }
+    return top_ < 0 ? kNil : heads_[static_cast<std::size_t>(top_)];
+  }
+
+  [[nodiscard]] int gain_of_bucket(CellId c) const {
+    return bucket_of_[c] - max_gain_;
+  }
+
+  static constexpr CellId kNil = ~CellId{0};
+
+ private:
+  [[nodiscard]] std::size_t index(int gain) const {
+    return static_cast<std::size_t>(gain + max_gain_);
+  }
+
+  static constexpr int kNoBucket = -1;
+  int max_gain_;
+  int top_ = -1;
+  std::vector<CellId> heads_;
+  std::vector<CellId> next_;
+  std::vector<CellId> prev_;
+  std::vector<int> bucket_of_;
+};
+
+}  // namespace
+
+FmResult fiduccia_mattheyses(const Netlist& netlist,
+                             std::vector<std::uint8_t> start,
+                             const FmOptions& options) {
+  const std::size_t n = netlist.num_cells();
+  if (start.size() != n) {
+    throw std::invalid_argument("fiduccia_mattheyses: sides size mismatch");
+  }
+  PartitionState state{netlist, std::move(start)};
+  {
+    const auto s0 = state.side_count(0);
+    const auto s1 = state.side_count(1);
+    const auto imbalance = s0 > s1 ? s0 - s1 : s1 - s0;
+    if (imbalance > options.balance_tolerance) {
+      throw std::invalid_argument(
+          "fiduccia_mattheyses: start violates the balance tolerance");
+    }
+  }
+
+  int max_gain = 1;
+  for (CellId c = 0; c < n; ++c) {
+    max_gain = std::max(max_gain, static_cast<int>(netlist.degree(c)));
+  }
+
+  FmResult result;
+  // pins_on[side][net], maintained across tentative moves within a pass.
+  std::vector<int> pins_on0(netlist.num_nets());
+  std::vector<int> pins_on1(netlist.num_nets());
+  std::vector<int> gain(n);
+  std::vector<char> locked(n);
+
+  bool improved = true;
+  while (improved && result.passes < options.max_passes) {
+    improved = false;
+    ++result.passes;
+
+    for (NetId net = 0; net < netlist.num_nets(); ++net) {
+      int zero = 0;
+      for (const CellId c : netlist.pins(net)) zero += state.side(c) == 0;
+      pins_on0[net] = zero;
+      pins_on1[net] = static_cast<int>(netlist.pins(net).size()) - zero;
+    }
+
+    GainBuckets buckets0(n, max_gain);
+    GainBuckets buckets1(n, max_gain);
+    auto buckets_of = [&](std::uint8_t side) -> GainBuckets& {
+      return side == 0 ? buckets0 : buckets1;
+    };
+
+    for (CellId c = 0; c < n; ++c) {
+      locked[c] = 0;
+      int g = 0;
+      for (const NetId net : netlist.nets_of(c)) {
+        const int from = state.side(c) == 0 ? pins_on0[net] : pins_on1[net];
+        const int to = state.side(c) == 0 ? pins_on1[net] : pins_on0[net];
+        if (from == 1) ++g;  // moving c heals the cut net
+        if (to == 0) --g;    // moving c cuts an uncut net
+        ++result.evaluations;
+      }
+      gain[c] = g;
+      buckets_of(state.side(c)).insert(c, g);
+    }
+
+    const int start_cut = state.cut();
+    int best_cut = start_cut;
+    std::size_t best_prefix = 0;
+    std::vector<CellId> moves;
+    moves.reserve(n);
+
+    auto imbalance_after_move = [&](std::uint8_t from_side) {
+      const auto from = state.side_count(from_side);
+      const auto other = n - from;
+      const auto new_from = from - 1;
+      const auto new_other = other + 1;
+      return new_from > new_other ? new_from - new_other
+                                  : new_other - new_from;
+    };
+    auto move_is_legal = [&](std::uint8_t from_side) {
+      // A single move changes the imbalance by 2, so a perfectly balanced
+      // state could never move under a tight tolerance.  FM therefore
+      // allows one unit of transient slack during the pass; only the
+      // *committed prefix* must satisfy the tolerance (checked below).
+      return state.side_count(from_side) > 0 &&
+             imbalance_after_move(from_side) <=
+                 options.balance_tolerance + 1;
+    };
+
+    while (moves.size() < n) {
+      // Pick the legal move with the highest gain across both sides.
+      const CellId c0 = move_is_legal(0) ? buckets0.best() : GainBuckets::kNil;
+      const CellId c1 = move_is_legal(1) ? buckets1.best() : GainBuckets::kNil;
+      CellId chosen = GainBuckets::kNil;
+      if (c0 != GainBuckets::kNil && c1 != GainBuckets::kNil) {
+        chosen = gain[c0] >= gain[c1] ? c0 : c1;
+      } else if (c0 != GainBuckets::kNil) {
+        chosen = c0;
+      } else if (c1 != GainBuckets::kNil) {
+        chosen = c1;
+      }
+      if (chosen == GainBuckets::kNil) break;
+
+      const std::uint8_t from_side = state.side(chosen);
+      buckets_of(from_side).erase(chosen);
+      locked[chosen] = 1;
+      ++result.evaluations;
+
+      // Standard FM critical-net gain updates around the move.
+      for (const NetId net : netlist.nets_of(chosen)) {
+        auto& from_pins = from_side == 0 ? pins_on0[net] : pins_on1[net];
+        auto& to_pins = from_side == 0 ? pins_on1[net] : pins_on0[net];
+        const auto pins = netlist.pins(net);
+
+        auto bump = [&](CellId d, int delta) {
+          if (locked[d]) return;
+          gain[d] += delta;
+          buckets_of(state.side(d)).reinsert(d, gain[d]);
+          ++result.evaluations;
+        };
+
+        if (to_pins == 0) {
+          for (const CellId d : pins) bump(d, +1);
+        } else if (to_pins == 1) {
+          for (const CellId d : pins) {
+            if (state.side(d) != from_side) bump(d, -1);
+          }
+        }
+        --from_pins;
+        ++to_pins;
+        if (from_pins == 0) {
+          for (const CellId d : pins) bump(d, -1);
+        } else if (from_pins == 1) {
+          for (const CellId d : pins) {
+            if (state.side(d) == from_side && d != chosen) bump(d, +1);
+          }
+        }
+      }
+      state.flip(chosen);
+      moves.push_back(chosen);
+
+      const auto s0 = state.side_count(0);
+      const auto s1 = n - s0;
+      const auto imbalance = s0 > s1 ? s0 - s1 : s1 - s0;
+      if (imbalance <= options.balance_tolerance &&
+          state.cut() < best_cut) {
+        best_cut = state.cut();
+        best_prefix = moves.size();
+      }
+    }
+
+    // Roll back to the best prefix.
+    for (std::size_t i = moves.size(); i > best_prefix; --i) {
+      state.flip(moves[i - 1]);
+    }
+    if (best_cut < start_cut) improved = true;
+  }
+
+  result.sides = state.sides();
+  result.cut = state.cut();
+  return result;
+}
+
+FmResult fiduccia_mattheyses_random(const Netlist& netlist, util::Rng& rng,
+                                    const FmOptions& options) {
+  return fiduccia_mattheyses(netlist,
+                             PartitionState::random(netlist, rng).sides(),
+                             options);
+}
+
+}  // namespace mcopt::partition

@@ -1,0 +1,52 @@
+// Fiduccia-Mattheyses single-pass-move partitioning.
+//
+// Kernighan-Lin (kl.hpp) is the classic graph baseline, but the paper's
+// circuit workloads are hypergraphs (NOLA nets connect 2..6 cells), and KL's
+// pair-swap gain algebra does not extend to multi-pin nets.  FM does: it
+// moves one cell at a time, maintains per-cell gains in bucket lists keyed
+// by the cut change of moving the cell, and commits the best prefix of the
+// tentative move sequence, subject to a balance tolerance.  This is the
+// deterministic "proven heuristic" counterpart for the hypergraph
+// experiments, exactly the kind of baseline §2 faults [KIRK83] for
+// omitting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace mcopt::partition {
+
+struct FmOptions {
+  /// Maximum allowed |#side0 - #side1| after any committed move.  The
+  /// classic balanced formulation is 1 (the default); larger values let FM
+  /// trade balance for cut.
+  std::size_t balance_tolerance = 1;
+  /// Stop after this many full passes even if still improving (a safety
+  /// valve; FM converges in a handful of passes in practice).
+  unsigned max_passes = 64;
+};
+
+struct FmResult {
+  std::vector<std::uint8_t> sides;
+  int cut = 0;
+  unsigned passes = 0;
+  /// Cell moves tentatively evaluated across all passes (comparable to
+  /// Monte Carlo ticks for equal-work accounting).
+  std::uint64_t evaluations = 0;
+};
+
+/// Runs FM from the given assignment (any netlist, including hypergraphs).
+/// The starting assignment must satisfy the balance tolerance.  Throws
+/// std::invalid_argument on size mismatch or an out-of-tolerance start.
+[[nodiscard]] FmResult fiduccia_mattheyses(const Netlist& netlist,
+                                           std::vector<std::uint8_t> start,
+                                           const FmOptions& options = {});
+
+/// Convenience: FM from a balanced random start.
+[[nodiscard]] FmResult fiduccia_mattheyses_random(const Netlist& netlist,
+                                                  util::Rng& rng,
+                                                  const FmOptions& options = {});
+
+}  // namespace mcopt::partition

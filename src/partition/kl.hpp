@@ -1,0 +1,39 @@
+// The Kernighan-Lin two-way partitioning heuristic — the proven
+// deterministic baseline the paper's methodology demands ("No attempt is
+// made [in KIRK83] to compare annealing with other proven heuristic
+// methods", §2).
+//
+// Classic formulation on graphs (every net has exactly two pins): repeat
+// passes; each pass tentatively swaps the best remaining unlocked pair by
+// gain g(a,b) = D_a + D_b - 2*w(a,b), locks it, and finally commits the
+// prefix of tentative swaps with the largest cumulative gain.  Stops when a
+// pass yields no positive gain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace mcopt::partition {
+
+struct KlResult {
+  std::vector<std::uint8_t> sides;
+  int cut = 0;
+  unsigned passes = 0;
+  /// Pair-gain evaluations performed; comparable to Monte Carlo ticks for
+  /// the equal-time accounting of the partition bench.
+  std::uint64_t evaluations = 0;
+};
+
+/// Runs KL from the given balanced starting assignment.  Throws
+/// std::invalid_argument when the netlist is not a graph (KL's gain update
+/// is defined on two-pin nets).
+[[nodiscard]] KlResult kernighan_lin(const Netlist& netlist,
+                                     std::vector<std::uint8_t> start_sides);
+
+/// Convenience: KL from a balanced random start.
+[[nodiscard]] KlResult kernighan_lin_random(const Netlist& netlist,
+                                            util::Rng& rng);
+
+}  // namespace mcopt::partition

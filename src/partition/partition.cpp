@@ -1,0 +1,85 @@
+#include "partition/partition.hpp"
+
+#include <stdexcept>
+
+namespace mcopt::partition {
+
+PartitionState::PartitionState(const Netlist& netlist,
+                               std::vector<std::uint8_t> sides)
+    : netlist_(&netlist), sides_(std::move(sides)) {
+  if (sides_.size() != netlist.num_cells()) {
+    throw std::invalid_argument("PartitionState: sides size != cell count");
+  }
+  for (const auto s : sides_) {
+    if (s > 1) throw std::invalid_argument("PartitionState: side must be 0/1");
+  }
+  rebuild();
+}
+
+PartitionState PartitionState::random(const Netlist& netlist, util::Rng& rng) {
+  const std::size_t n = netlist.num_cells();
+  std::vector<std::uint8_t> sides(n, 1);
+  std::vector<CellId> cells(n);
+  for (std::size_t i = 0; i < n; ++i) cells[i] = static_cast<CellId>(i);
+  rng.shuffle(cells);
+  for (std::size_t i = 0; i < (n + 1) / 2; ++i) sides[cells[i]] = 0;
+  return PartitionState{netlist, std::move(sides)};
+}
+
+void PartitionState::rebuild() {
+  on_side0_.assign(netlist_->num_nets(), 0);
+  cut_ = 0;
+  side0_count_ = 0;
+  for (CellId c = 0; c < sides_.size(); ++c) {
+    if (sides_[c] == 0) ++side0_count_;
+  }
+  for (NetId n = 0; n < netlist_->num_nets(); ++n) {
+    int zero = 0;
+    for (const CellId c : netlist_->pins(n)) zero += sides_[c] == 0;
+    on_side0_[n] = zero;
+    const auto size = static_cast<int>(netlist_->pins(n).size());
+    if (zero > 0 && zero < size) ++cut_;
+  }
+}
+
+bool PartitionState::is_balanced() const noexcept {
+  const auto n = sides_.size();
+  const auto s0 = side0_count_;
+  const auto s1 = n - s0;
+  return (s0 > s1 ? s0 - s1 : s1 - s0) <= 1;
+}
+
+void PartitionState::flip(CellId c) {
+  const int to_side0 = sides_[c] == 1 ? 1 : -1;  // +1 when moving onto side 0
+  sides_[c] ^= 1;
+  if (to_side0 > 0) {
+    ++side0_count_;
+  } else {
+    --side0_count_;
+  }
+  for (const NetId n : netlist_->nets_of(c)) {
+    const auto size = static_cast<int>(netlist_->pins(n).size());
+    const int before = on_side0_[n];
+    const int after = before + to_side0;
+    const bool was_cut = before > 0 && before < size;
+    const bool is_cut = after > 0 && after < size;
+    on_side0_[n] = after;
+    cut_ += static_cast<int>(is_cut) - static_cast<int>(was_cut);
+  }
+}
+
+void PartitionState::swap(CellId a, CellId b) {
+  if (sides_[a] == sides_[b]) {
+    throw std::invalid_argument("PartitionState::swap: same side");
+  }
+  flip(a);
+  flip(b);
+}
+
+bool PartitionState::verify() const {
+  PartitionState fresh{*netlist_, sides_};
+  return fresh.cut_ == cut_ && fresh.on_side0_ == on_side0_ &&
+         fresh.side0_count_ == side0_count_;
+}
+
+}  // namespace mcopt::partition

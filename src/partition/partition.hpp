@@ -1,0 +1,69 @@
+// Balanced two-way circuit partitioning.
+//
+// The circuit partition problem is the original application of [KIRK83]
+// (schedule Y1 = 10, Yi = 0.9 * Yi-1, k = 6, quoted in the paper's §1) and
+// one of the two extra problems the authors studied in [NAHA84] (§5).  A
+// partition assigns every cell to side 0 or 1 with sizes differing by at
+// most one; the cost is the cut size — the number of nets with pins on both
+// sides.  PartitionState maintains the cut incrementally under single-cell
+// flips and cross-side swaps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace mcopt::partition {
+
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+
+class PartitionState {
+ public:
+  /// Binds to `netlist` (must outlive this object) with the given
+  /// assignment.  Throws std::invalid_argument on a size mismatch.
+  PartitionState(const Netlist& netlist, std::vector<std::uint8_t> sides);
+
+  /// Balanced random assignment: exactly ceil(n/2) cells on side 0.
+  [[nodiscard]] static PartitionState random(const Netlist& netlist,
+                                             util::Rng& rng);
+
+  [[nodiscard]] const Netlist& netlist() const noexcept { return *netlist_; }
+  [[nodiscard]] std::uint8_t side(CellId c) const noexcept {
+    return sides_[c];
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& sides() const noexcept {
+    return sides_;
+  }
+  [[nodiscard]] int cut() const noexcept { return cut_; }
+  [[nodiscard]] std::size_t side_count(std::uint8_t side) const noexcept {
+    return side == 0 ? side0_count_ : sides_.size() - side0_count_;
+  }
+
+  /// |#side0 - #side1| <= 1.
+  [[nodiscard]] bool is_balanced() const noexcept;
+
+  /// Flips one cell to the other side.  O(deg).
+  void flip(CellId c);
+
+  /// Swaps two cells across the cut (a and b must be on opposite sides);
+  /// preserves balance.  O(deg(a) + deg(b)).
+  void swap(CellId a, CellId b);
+
+  /// Recomputes from scratch and compares; tests assert this.
+  [[nodiscard]] bool verify() const;
+
+ private:
+  void rebuild();
+
+  const Netlist* netlist_;
+  std::vector<std::uint8_t> sides_;
+  std::vector<int> on_side0_;  // per net: pins on side 0
+  int cut_ = 0;
+  std::size_t side0_count_ = 0;
+};
+
+}  // namespace mcopt::partition

@@ -1,0 +1,87 @@
+#include "partition/problem.hpp"
+
+#include <stdexcept>
+
+namespace mcopt::partition {
+
+PartitionProblem::PartitionProblem(PartitionState start)
+    : state_(std::move(start)) {
+  if (!state_.is_balanced()) {
+    throw std::invalid_argument("PartitionProblem: start is not balanced");
+  }
+  if (state_.netlist().num_cells() < 2) {
+    throw std::invalid_argument("PartitionProblem: need at least two cells");
+  }
+}
+
+double PartitionProblem::propose(util::Rng& rng) {
+  if (pending_) {
+    throw std::logic_error("propose: a perturbation is already pending");
+  }
+  // Uniform cross-side pair via rejection on uniform distinct pairs; at
+  // balance, acceptance probability is ~1/2 per draw.
+  const std::size_t n = state_.netlist().num_cells();
+  CellId a;
+  CellId b;
+  do {
+    const auto [x, y] = rng.next_distinct_pair(n);
+    a = static_cast<CellId>(x);
+    b = static_cast<CellId>(y);
+  } while (state_.side(a) == state_.side(b));
+  state_.swap(a, b);
+  pending_ = true;
+  pending_a_ = a;
+  pending_b_ = b;
+  return cost();
+}
+
+void PartitionProblem::accept() {
+  if (!pending_) throw std::logic_error("accept: no pending perturbation");
+  pending_ = false;
+}
+
+void PartitionProblem::reject() {
+  if (!pending_) throw std::logic_error("reject: no pending perturbation");
+  state_.swap(pending_a_, pending_b_);
+  pending_ = false;
+}
+
+void PartitionProblem::descend(util::WorkBudget& budget) {
+  if (pending_) throw std::logic_error("descend: a perturbation is pending");
+  const std::size_t n = state_.netlist().num_cells();
+  bool improved = true;
+  while (improved && !budget.exhausted()) {
+    improved = false;
+    for (CellId a = 0; a < n && !budget.exhausted(); ++a) {
+      for (CellId b = a + 1; b < n && !budget.exhausted(); ++b) {
+        if (state_.side(a) == state_.side(b)) continue;
+        const int before = state_.cut();
+        state_.swap(a, b);
+        budget.charge();
+        if (state_.cut() < before) {
+          improved = true;
+        } else {
+          state_.swap(a, b);
+        }
+      }
+    }
+  }
+}
+
+void PartitionProblem::randomize(util::Rng& rng) {
+  if (pending_) throw std::logic_error("randomize: a perturbation is pending");
+  state_ = PartitionState::random(state_.netlist(), rng);
+}
+
+core::Snapshot PartitionProblem::snapshot() const {
+  const auto& sides = state_.sides();
+  return core::Snapshot(sides.begin(), sides.end());
+}
+
+void PartitionProblem::restore(const core::Snapshot& snap) {
+  if (pending_) throw std::logic_error("restore: a perturbation is pending");
+  std::vector<std::uint8_t> sides(snap.begin(), snap.end());
+  state_ = PartitionState{state_.netlist(), std::move(sides)};
+}
+
+}  // namespace mcopt::partition

@@ -1,0 +1,153 @@
+#include "tsp/construct.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mcopt::tsp {
+
+Order nearest_neighbour(const TspInstance& instance, City start) {
+  const std::size_t n = instance.size();
+  if (start >= n) throw std::invalid_argument("nearest_neighbour: bad start");
+  Order order;
+  order.reserve(n);
+  std::vector<char> visited(n, 0);
+  City current = start;
+  order.push_back(current);
+  visited[current] = 1;
+  for (std::size_t step = 1; step < n; ++step) {
+    City best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (City c = 0; c < n; ++c) {
+      if (visited[c]) continue;
+      const double d = instance.dist(current, c);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    order.push_back(best);
+    visited[best] = 1;
+    current = best;
+  }
+  return order;
+}
+
+std::vector<City> convex_hull(const TspInstance& instance) {
+  const auto& pts = instance.points();
+  const std::size_t n = pts.size();
+  std::vector<City> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<City>(i);
+  std::sort(idx.begin(), idx.end(), [&](City a, City b) {
+    if (pts[a].x != pts[b].x) return pts[a].x < pts[b].x;
+    return pts[a].y < pts[b].y;
+  });
+
+  auto cross = [&](City o, City a, City b) {
+    return (pts[a].x - pts[o].x) * (pts[b].y - pts[o].y) -
+           (pts[a].y - pts[o].y) * (pts[b].x - pts[o].x);
+  };
+
+  std::vector<City> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], idx[i]) <= 0) --k;
+    hull[k++] = idx[i];
+  }
+  for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {  // upper hull
+    while (k >= t && cross(hull[k - 2], hull[k - 1], idx[i]) <= 0) --k;
+    hull[k++] = idx[i];
+  }
+  hull.resize(k > 0 ? k - 1 : 0);  // last point == first point
+  return hull;
+}
+
+Order hull_cheapest_insertion(const TspInstance& instance) {
+  return hull_cheapest_insertion_counted(instance).order;
+}
+
+InsertionResult hull_cheapest_insertion_counted(const TspInstance& instance) {
+  const std::size_t n = instance.size();
+  InsertionResult result;
+
+  Order skeleton = convex_hull(instance);
+  if (skeleton.size() < 2) {
+    // Degenerate (collinear points collapse the hull); fall back to a
+    // two-city skeleton so insertion still works.
+    skeleton = {0, 1};
+  }
+
+  // Successor representation for O(1) edge lookups.
+  constexpr City kNone = ~City{0};
+  std::vector<City> next(n, kNone);
+  std::vector<City> tour_cities = skeleton;
+  for (std::size_t i = 0; i < skeleton.size(); ++i) {
+    next[skeleton[i]] = skeleton[(i + 1) % skeleton.size()];
+  }
+
+  auto eval = [&](City d, City a) {
+    ++result.evaluations;
+    const City b = next[a];
+    return instance.dist(a, d) + instance.dist(d, b) - instance.dist(a, b);
+  };
+
+  struct Candidate {
+    double cost = 0.0;
+    City left = 0;  // insert after this city
+  };
+  std::vector<Candidate> best(n);
+  std::vector<City> pending;
+  pending.reserve(n - tour_cities.size());
+  auto rescan = [&](City d) {
+    Candidate cand{std::numeric_limits<double>::max(), 0};
+    for (const City a : tour_cities) {
+      const double cost = eval(d, a);
+      if (cost < cand.cost) cand = {cost, a};
+    }
+    best[d] = cand;
+  };
+  for (City d = 0; d < n; ++d) {
+    if (next[d] != kNone) continue;  // already on the skeleton
+    pending.push_back(d);
+    rescan(d);
+  }
+
+  while (!pending.empty()) {
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+      if (best[pending[i]].cost < best[pending[pick]].cost) pick = i;
+    }
+    const City chosen = pending[pick];
+    pending[pick] = pending.back();
+    pending.pop_back();
+
+    const City a = best[chosen].left;
+    next[chosen] = next[a];
+    next[a] = chosen;
+    tour_cities.push_back(chosen);
+
+    // Edge (a, old-next) is gone; edges (a, chosen) and (chosen, old-next)
+    // are new.  Cached candidates referencing the destroyed edge must be
+    // recomputed; everyone else just considers the two new edges.
+    for (const City d : pending) {
+      if (best[d].left == a) {
+        rescan(d);
+        continue;
+      }
+      const double via_a = eval(d, a);
+      if (via_a < best[d].cost) best[d] = {via_a, a};
+      const double via_chosen = eval(d, chosen);
+      if (via_chosen < best[d].cost) best[d] = {via_chosen, chosen};
+    }
+  }
+
+  result.order.reserve(n);
+  City walk = tour_cities.front();
+  for (std::size_t i = 0; i < n; ++i) {
+    result.order.push_back(walk);
+    walk = next[walk];
+  }
+  return result;
+}
+
+}  // namespace mcopt::tsp

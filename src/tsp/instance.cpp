@@ -1,0 +1,38 @@
+#include "tsp/instance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcopt::tsp {
+
+TspInstance::TspInstance(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 3) {
+    throw std::invalid_argument("TspInstance: need at least three cities");
+  }
+  const std::size_t n = points_.size();
+  dist_.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dist_[i * n + i] = 0.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = points_[i].x - points_[j].x;
+      const double dy = points_[i].y - points_[j].y;
+      const double d = std::hypot(dx, dy);
+      dist_[i * n + j] = d;
+      dist_[j * n + i] = d;
+    }
+  }
+}
+
+TspInstance TspInstance::random_euclidean(std::size_t n, util::Rng& rng,
+                                          double box) {
+  if (n < 3) throw std::invalid_argument("random_euclidean: n must be >= 3");
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    p.x = rng.next_double(0.0, box);
+    p.y = rng.next_double(0.0, box);
+  }
+  return TspInstance{std::move(pts)};
+}
+
+}  // namespace mcopt::tsp

@@ -1,0 +1,49 @@
+// Euclidean traveling-salesperson instances.
+//
+// §2 of the paper discusses Golden-Skiscim's TSP experiments ([GOLD84]) and
+// §5 notes the authors ran their own TSP comparison in [NAHA84]; the
+// tsp_compare bench reproduces those qualitative claims on random uniform
+// Euclidean instances, the standard workload of that literature.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcopt::tsp {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+using City = std::uint32_t;
+
+class TspInstance {
+ public:
+  /// Builds from explicit coordinates (>= 3 cities) and precomputes the
+  /// full distance matrix (O(n^2) memory — these are heuristic-comparison
+  /// instances, not TSPLIB monsters).
+  explicit TspInstance(std::vector<Point> points);
+
+  /// n cities uniform in [0, box] x [0, box].
+  [[nodiscard]] static TspInstance random_euclidean(std::size_t n,
+                                                    util::Rng& rng,
+                                                    double box = 1000.0);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+
+  [[nodiscard]] double dist(City a, City b) const noexcept {
+    return dist_[static_cast<std::size_t>(a) * points_.size() + b];
+  }
+
+ private:
+  std::vector<Point> points_;
+  std::vector<double> dist_;
+};
+
+}  // namespace mcopt::tsp

@@ -1,0 +1,87 @@
+#include "tsp/local_search.hpp"
+
+namespace mcopt::tsp {
+
+namespace {
+
+// Improvements smaller than this are noise from double rounding; accepting
+// them can cycle forever between equal-length tours.
+constexpr double kMinGain = 1e-9;
+
+}  // namespace
+
+void two_opt_descent(const TspInstance& instance, Order& order,
+                     util::WorkBudget& budget) {
+  const std::size_t n = order.size();
+  bool improved = true;
+  while (improved && !budget.exhausted()) {
+    improved = false;
+    for (std::size_t i = 0; i + 1 < n && !budget.exhausted(); ++i) {
+      for (std::size_t j = i + 1; j < n && !budget.exhausted(); ++j) {
+        if (i == 0 && j == n - 1) continue;  // shares an edge: no-op
+        budget.charge();
+        if (two_opt_delta(instance, order, i, j) < -kMinGain) {
+          apply_two_opt(order, i, j);
+          improved = true;
+        }
+      }
+    }
+  }
+}
+
+void or_opt_descent(const TspInstance& instance, Order& order,
+                    util::WorkBudget& budget) {
+  const std::size_t n = order.size();
+  bool improved = true;
+  while (improved && !budget.exhausted()) {
+    improved = false;
+    for (std::size_t len = 1; len <= 3 && len < n - 1; ++len) {
+      for (std::size_t i = 0; i + len <= n && !budget.exhausted(); ++i) {
+        for (std::size_t k = 0; k < n && !budget.exhausted(); ++k) {
+          if ((k >= i && k < i + len) || k == (i + n - 1) % n) continue;
+          budget.charge();
+          if (or_opt_delta(instance, order, i, len, k) < -kMinGain) {
+            apply_or_opt(order, i, len, k);
+            improved = true;
+            break;  // positions shifted; restart the i loop cleanly
+          }
+        }
+        if (improved) break;
+      }
+      if (improved) break;
+    }
+  }
+}
+
+RestartResult restarted_two_opt(const TspInstance& instance,
+                                std::uint64_t budget, util::Rng& rng) {
+  util::WorkBudget work{budget};
+  RestartResult result;
+  bool first = true;
+  while (!work.exhausted()) {
+    Order order = random_order(instance.size(), rng);
+    two_opt_descent(instance, order, work);
+    const double length = tour_length(instance, order);
+    ++result.restarts;
+    if (first || length < result.best_length) {
+      result.best_length = length;
+      result.best_order = std::move(order);
+      first = false;
+    }
+  }
+  result.ticks = work.spent();
+  return result;
+}
+
+bool is_two_opt_optimal(const TspInstance& instance, const Order& order) {
+  const std::size_t n = order.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (i == 0 && j == n - 1) continue;
+      if (two_opt_delta(instance, order, i, j) < -kMinGain) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcopt::tsp

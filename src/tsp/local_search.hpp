@@ -1,0 +1,46 @@
+// Local-search improvement for tours.
+//
+// * two_opt_descent: first-improvement 2-opt sweeps to local optimality,
+//   the [LIN73]-style baseline of §2 ("the 2-opt heuristic of [LIN73] is
+//   given enough starting random tours to make its run time comparable to
+//   that of simulated annealing").
+// * or_opt_descent: relocates segments of 1-3 cities; the polish pass of
+//   the Stewart stand-in.
+// * restarted_two_opt: random restarts of 2-opt under a shared tick budget
+//   (one tick per move evaluation), the equal-time competitor to SA.
+#pragma once
+
+#include <cstdint>
+
+#include "tsp/tour.hpp"
+#include "util/budget.hpp"
+
+namespace mcopt::tsp {
+
+/// Improves `order` in place; every delta evaluation charges one tick.
+/// Stops at 2-opt local optimality or budget exhaustion.
+void two_opt_descent(const TspInstance& instance, Order& order,
+                     util::WorkBudget& budget);
+
+/// Or-opt (segment lengths 1..3) first-improvement descent.
+void or_opt_descent(const TspInstance& instance, Order& order,
+                    util::WorkBudget& budget);
+
+struct RestartResult {
+  Order best_order;
+  double best_length = 0.0;
+  std::uint64_t restarts = 0;
+  std::uint64_t ticks = 0;
+};
+
+/// Repeats (random tour -> 2-opt descent) until the budget is spent and
+/// returns the best local optimum found.
+[[nodiscard]] RestartResult restarted_two_opt(const TspInstance& instance,
+                                              std::uint64_t budget,
+                                              util::Rng& rng);
+
+/// True when no single 2-opt move improves the tour (used by tests).
+[[nodiscard]] bool is_two_opt_optimal(const TspInstance& instance,
+                                      const Order& order);
+
+}  // namespace mcopt::tsp

@@ -1,0 +1,120 @@
+#include "tsp/problem.hpp"
+
+#include <stdexcept>
+
+namespace mcopt::tsp {
+
+TspProblem::TspProblem(const TspInstance& instance, Order start,
+                       TspMoveKind move_kind)
+    : instance_(&instance), order_(std::move(start)), move_kind_(move_kind) {
+  if (!is_valid_order(order_, instance.size())) {
+    throw std::invalid_argument("TspProblem: start is not a valid order");
+  }
+  length_ = tour_length(*instance_, order_);
+}
+
+double TspProblem::propose_two_opt(util::Rng& rng) {
+  const std::size_t n = order_.size();
+  // Random 2-opt: i < j, excluding the (0, n-1) pair that shares an edge.
+  std::size_t i;
+  std::size_t j;
+  do {
+    auto [a, b] = rng.next_distinct_pair(n);
+    i = std::min(a, b);
+    j = std::max(a, b);
+  } while (i == 0 && j == n - 1);
+  pending_delta_ = two_opt_delta(*instance_, order_, i, j);
+  apply_two_opt(order_, i, j);
+  pending_ = Pending::kTwoOpt;
+  pending_i_ = i;
+  pending_j_ = j;
+  return length_ + pending_delta_;
+}
+
+double TspProblem::propose_or_opt(util::Rng& rng) {
+  const std::size_t n = order_.size();
+  std::size_t i;
+  std::size_t len;
+  std::size_t k;
+  do {
+    len = 1 + static_cast<std::size_t>(rng.next_below(3));
+    i = static_cast<std::size_t>(rng.next_below(n - len + 1));
+    k = static_cast<std::size_t>(rng.next_below(n));
+  } while ((k >= i && k < i + len) || k == (i + n - 1) % n || len >= n - 1);
+  pending_delta_ = or_opt_delta(*instance_, order_, i, len, k);
+  pending_backup_ = order_;
+  apply_or_opt(order_, i, len, k);
+  pending_ = Pending::kOrOpt;
+  pending_i_ = i;
+  pending_j_ = k;
+  pending_len_ = len;
+  return length_ + pending_delta_;
+}
+
+double TspProblem::propose(util::Rng& rng) {
+  if (pending_ != Pending::kNone) {
+    throw std::logic_error("propose: a perturbation is already pending");
+  }
+  return move_kind_ == TspMoveKind::kTwoOpt ? propose_two_opt(rng)
+                                            : propose_or_opt(rng);
+}
+
+void TspProblem::accept() {
+  if (pending_ == Pending::kNone) {
+    throw std::logic_error("accept: no pending perturbation");
+  }
+  length_ += pending_delta_;
+  pending_ = Pending::kNone;
+  if (++accepts_since_resync_ >= kResyncInterval) resync_length();
+}
+
+void TspProblem::reject() {
+  if (pending_ == Pending::kNone) {
+    throw std::logic_error("reject: no pending perturbation");
+  }
+  if (pending_ == Pending::kTwoOpt) {
+    apply_two_opt(order_, pending_i_, pending_j_);  // reversal self-inverse
+  } else {
+    order_ = pending_backup_;
+  }
+  pending_ = Pending::kNone;
+}
+
+void TspProblem::descend(util::WorkBudget& budget) {
+  if (pending_ != Pending::kNone) {
+    throw std::logic_error("descend: a perturbation is pending");
+  }
+  two_opt_descent(*instance_, order_, budget);
+  resync_length();
+}
+
+void TspProblem::randomize(util::Rng& rng) {
+  if (pending_ != Pending::kNone) {
+    throw std::logic_error("randomize: a perturbation is pending");
+  }
+  order_ = random_order(order_.size(), rng);
+  resync_length();
+}
+
+core::Snapshot TspProblem::snapshot() const {
+  return core::Snapshot(order_.begin(), order_.end());
+}
+
+void TspProblem::restore(const core::Snapshot& snap) {
+  if (pending_ != Pending::kNone) {
+    throw std::logic_error("restore: a perturbation is pending");
+  }
+  Order order(snap.begin(), snap.end());
+  if (!is_valid_order(order, instance_->size())) {
+    throw std::invalid_argument("TspProblem::restore: invalid snapshot");
+  }
+  order_ = std::move(order);
+  resync_length();
+}
+
+void TspProblem::resync_length() {
+  length_ = tour_length(*instance_, order_);
+  accepts_since_resync_ = 0;
+}
+
+}  // namespace mcopt::tsp

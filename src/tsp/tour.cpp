@@ -1,0 +1,90 @@
+#include "tsp/tour.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mcopt::tsp {
+
+Order identity_order(std::size_t n) {
+  Order order(n);
+  std::iota(order.begin(), order.end(), City{0});
+  return order;
+}
+
+Order random_order(std::size_t n, util::Rng& rng) {
+  Order order = identity_order(n);
+  rng.shuffle(order);
+  return order;
+}
+
+bool is_valid_order(const Order& order, std::size_t n) {
+  if (order.size() != n) return false;
+  std::vector<char> seen(n, 0);
+  for (const City c : order) {
+    if (c >= n || seen[c]) return false;
+    seen[c] = 1;
+  }
+  return true;
+}
+
+double tour_length(const TspInstance& instance, const Order& order) {
+  double total = 0.0;
+  const std::size_t n = order.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    total += instance.dist(order[i], order[(i + 1) % n]);
+  }
+  return total;
+}
+
+double two_opt_delta(const TspInstance& instance, const Order& order,
+                     std::size_t i, std::size_t j) {
+  const std::size_t n = order.size();
+  const City a = order[i];
+  const City b = order[i + 1];
+  const City c = order[j];
+  const City d = order[(j + 1) % n];
+  return instance.dist(a, c) + instance.dist(b, d) - instance.dist(a, b) -
+         instance.dist(c, d);
+}
+
+void apply_two_opt(Order& order, std::size_t i, std::size_t j) {
+  std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+               order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+}
+
+double or_opt_delta(const TspInstance& instance, const Order& order,
+                    std::size_t i, std::size_t len, std::size_t k) {
+  const std::size_t n = order.size();
+  if (len == 0 || i + len > n || k >= n || (k >= i && k < i + len) ||
+      k == (i + n - 1) % n) {
+    throw std::invalid_argument("or_opt_delta: invalid move");
+  }
+  const City prev = order[(i + n - 1) % n];
+  const City front = order[i];
+  const City back = order[i + len - 1];
+  const City next = order[(i + len) % n];
+  const City c = order[k];
+  const City d = order[(k + 1) % n];
+  return -instance.dist(prev, front) - instance.dist(back, next) -
+         instance.dist(c, d) + instance.dist(prev, next) +
+         instance.dist(c, front) + instance.dist(back, d);
+}
+
+void apply_or_opt(Order& order, std::size_t i, std::size_t len,
+                  std::size_t k) {
+  const std::size_t n = order.size();
+  if (len == 0 || i + len > n || k >= n || (k >= i && k < i + len) ||
+      k == (i + n - 1) % n) {
+    throw std::invalid_argument("apply_or_opt: invalid move");
+  }
+  const City anchor = order[k];
+  const Order segment(order.begin() + static_cast<std::ptrdiff_t>(i),
+                      order.begin() + static_cast<std::ptrdiff_t>(i + len));
+  order.erase(order.begin() + static_cast<std::ptrdiff_t>(i),
+              order.begin() + static_cast<std::ptrdiff_t>(i + len));
+  const auto it = std::find(order.begin(), order.end(), anchor);
+  order.insert(it + 1, segment.begin(), segment.end());
+}
+
+}  // namespace mcopt::tsp

@@ -1,0 +1,55 @@
+// Tours and the elementary 2-opt / Or-opt move algebra.
+//
+// A tour is a cyclic visiting order (order[0..n-1], implicitly returning to
+// order[0]).  Moves are expressed on positions:
+//   * 2-opt(i, j), i < j: replace edges (order[i], order[i+1]) and
+//     (order[j], order[(j+1)%n]) by (order[i], order[j]) and
+//     (order[i+1], order[(j+1)%n]) — i.e. reverse order[i+1 .. j];
+//   * Or-opt(i, len, k): remove the segment of `len` cities starting at
+//     position i and reinsert it after position k.
+// Deltas are O(1) (2-opt) / O(len) (Or-opt) from the distance matrix.
+#pragma once
+
+#include <vector>
+
+#include "tsp/instance.hpp"
+#include "util/rng.hpp"
+
+namespace mcopt::tsp {
+
+using Order = std::vector<City>;
+
+/// Identity order 0,1,...,n-1.
+[[nodiscard]] Order identity_order(std::size_t n);
+
+/// Uniformly random order.
+[[nodiscard]] Order random_order(std::size_t n, util::Rng& rng);
+
+/// True when `order` is a permutation of 0..n-1.
+[[nodiscard]] bool is_valid_order(const Order& order, std::size_t n);
+
+/// Total cyclic tour length.
+[[nodiscard]] double tour_length(const TspInstance& instance,
+                                 const Order& order);
+
+/// Length change of 2-opt(i, j); requires 0 <= i < j < n and not
+/// (i == 0 && j == n-1) (that pair shares an edge and is a no-op).
+[[nodiscard]] double two_opt_delta(const TspInstance& instance,
+                                   const Order& order, std::size_t i,
+                                   std::size_t j);
+
+/// Applies 2-opt(i, j) in place (reverses order[i+1..j]).
+void apply_two_opt(Order& order, std::size_t i, std::size_t j);
+
+/// Length change of moving the `len`-city segment starting at position i to
+/// follow position k (positions after removal).  Requires the segment and
+/// insertion point to be disjoint.
+[[nodiscard]] double or_opt_delta(const TspInstance& instance,
+                                  const Order& order, std::size_t i,
+                                  std::size_t len, std::size_t k);
+
+/// Applies the Or-opt move in place.
+void apply_or_opt(Order& order, std::size_t i, std::size_t len,
+                  std::size_t k);
+
+}  // namespace mcopt::tsp

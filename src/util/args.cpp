@@ -1,0 +1,86 @@
+#include "util/args.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcopt::util {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string word = argv[i];
+    if (word.rfind("--", 0) != 0 || word.size() == 2) {
+      positional_.push_back(word);
+      continue;
+    }
+    const auto eq = word.find('=');
+    if (eq != std::string::npos) {
+      flags_[word.substr(2, eq - 2)] = word.substr(eq + 1);
+      continue;
+    }
+    const std::string name = word.substr(2);
+    const bool next_is_value =
+        i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0;
+    if (next_is_value) {
+      flags_[name] = argv[++i];
+    } else {
+      flags_[name] = "";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::optional<std::string> Args::value(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  return value(name).value_or(fallback);
+}
+
+long long Args::get_int(const std::string& name, long long fallback) const {
+  const auto v = value(name);
+  if (!v) return fallback;
+  try {
+    std::size_t used = 0;
+    const long long parsed = std::stoll(*v, &used);
+    if (used != v->size()) throw std::invalid_argument("trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + " expects an integer, got '" +
+                                *v + "'");
+  }
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto v = value(name);
+  if (!v) return fallback;
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(*v, &used);
+    if (used != v->size()) throw std::invalid_argument("trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + " expects a number, got '" +
+                                *v + "'");
+  }
+}
+
+std::vector<std::string> Args::unknown_flags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcopt::util

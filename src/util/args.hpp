@@ -1,0 +1,55 @@
+// Minimal command-line flag parsing for the example binaries and the CLI.
+//
+// Grammar: positional words and `--flag`, `--flag value`, `--flag=value`.
+// A flag followed by another flag (or by nothing) is boolean.  Flags may
+// appear once; repeats keep the last value.  No abbreviations, no single
+// dashes — small enough to audit at a glance.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcopt::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// Program name (argv[0], empty when argc == 0).
+  [[nodiscard]] const std::string& program() const noexcept {
+    return program_;
+  }
+
+  /// Words that are not flags and not flag values, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// True when --name appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// The flag's value, or nullopt when absent or boolean.
+  [[nodiscard]] std::optional<std::string> value(const std::string& name) const;
+
+  /// Typed lookups with defaults.  Throw std::invalid_argument when the
+  /// flag is present but unparseable.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& name,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Flags that are not in `known`; callers reject typos with this.
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;  // "" = boolean presence
+};
+
+}  // namespace mcopt::util

@@ -1,0 +1,12 @@
+#include "util/budget.hpp"
+
+namespace mcopt::util {
+
+std::uint64_t WorkBudget::slice_end(unsigned k, unsigned index) const noexcept {
+  if (k == 0) return total_;
+  if (index + 1 >= k) return total_;
+  const std::uint64_t slice = total_ / k;
+  return slice * (index + 1);
+}
+
+}  // namespace mcopt::util

@@ -1,0 +1,28 @@
+#include "util/csv.hpp"
+
+namespace mcopt::util {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quote) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char ch : field) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+}  // namespace mcopt::util

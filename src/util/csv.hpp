@@ -1,0 +1,28 @@
+// Minimal RFC-4180 CSV writer; benches optionally mirror their tables to
+// CSV so plots can be regenerated outside the repo.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcopt::util {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) noexcept : out_(&out) {}
+
+  /// Writes one row; fields containing commas, quotes, or newlines are
+  /// quoted and embedded quotes doubled.
+  void row(const std::vector<std::string>& fields);
+
+  /// Escapes a single field per RFC 4180.
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace mcopt::util

@@ -1,0 +1,103 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace mcopt::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) noexcept {
+  // Mix the stream index into the master seed through two splitmix64 steps;
+  // distinct (master, stream) pairs yield well-separated seeds.
+  std::uint64_t x = master ^ (0x632be59bd9b4e019ULL * (stream + 1));
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& word : state_) word = splitmix64(x);
+  // xoshiro256++ must not start from the all-zero state; splitmix64 of any
+  // seed cannot produce four zero words, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+int Rng::next_int(int lo, int hi) noexcept {
+  const auto span =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo + 1);
+  return lo + static_cast<int>(next_below(span));
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bool(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+Rng Rng::split() noexcept {
+  // Seed the child from two outputs of the parent; the parent advances, so
+  // successive splits give distinct children.
+  std::uint64_t s = next();
+  s ^= rotl(next(), 31);
+  return Rng{s};
+}
+
+std::pair<std::size_t, std::size_t> Rng::next_distinct_pair(
+    std::size_t n) noexcept {
+  const auto a = static_cast<std::size_t>(next_below(n));
+  auto b = static_cast<std::size_t>(next_below(n - 1));
+  if (b >= a) ++b;
+  return {a, b};
+}
+
+}  // namespace mcopt::util

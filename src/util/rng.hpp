@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation for mcopt.
+//
+// All stochastic components of the library draw from Rng, a xoshiro256++
+// generator seeded through splitmix64.  Using our own generator (rather than
+// std::mt19937 + std::uniform_int_distribution) guarantees bit-identical
+// streams across standard libraries and platforms, which the reproduction
+// harness relies on: every table in EXPERIMENTS.md is regenerated from fixed
+// seeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mcopt::util {
+
+/// xoshiro256++ PRNG (Blackman & Vigna).  Satisfies the essentials of
+/// std::uniform_random_bit_generator so it can also feed <random> adaptors.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit output.
+  std::uint64_t operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound).  bound must be > 0.  Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int next_int(int lo, int hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept;
+
+  /// True with probability p (p outside [0,1] saturates).
+  bool next_bool(double p) noexcept;
+
+  /// Fisher-Yates shuffle of an arbitrary random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// A fresh generator whose stream is statistically independent of this
+  /// one's future output.  Used to give every (instance, method) pair its
+  /// own stream so methods never share randomness.
+  Rng split() noexcept;
+
+  /// Distinct pair (a, b), a != b, both uniform in [0, n).  n must be >= 2.
+  std::pair<std::size_t, std::size_t> next_distinct_pair(std::size_t n) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// splitmix64 step; exposed for seed-derivation in tests and generators.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept;
+
+/// Derives a stable sub-seed from a master seed and a stream index, so a
+/// harness can name streams ("instance 7, method 12") reproducibly.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) noexcept;
+
+}  // namespace mcopt::util

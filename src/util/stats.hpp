@@ -1,0 +1,43 @@
+// Streaming summary statistics used by the bench harnesses and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcopt::util {
+
+/// Accumulates count/mean/variance (Welford) plus min/max and sum.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Pools another summary into this one (parallel Welford merge).
+  void merge(const Summary& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median of a copy of `xs` (average of the middle two for even sizes).
+/// Returns 0 for an empty input.
+double median(std::vector<double> xs);
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation between closest
+/// ranks.  Returns 0 for an empty input.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace mcopt::util

@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mcopt::util {
+
+void Table::add_column(std::string header, Align align) {
+  columns_.push_back(Column{std::move(header), align});
+}
+
+std::vector<std::string> Table::headers() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const auto& column : columns_) out.push_back(column.header);
+  return out;
+}
+
+void Table::begin_row() { cells_.emplace_back(); }
+
+void Table::cell(std::string text) {
+  if (cells_.empty()) begin_row();
+  if (cells_.back().size() < columns_.size()) {
+    cells_.back().push_back(std::move(text));
+  }
+}
+
+void Table::cell(long long value) { cell(std::to_string(value)); }
+void Table::cell(unsigned long long value) { cell(std::to_string(value)); }
+void Table::cell(int value) { cell(std::to_string(value)); }
+
+void Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  cell(os.str());
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].header.size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size() && c < columns_.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::string& text, std::size_t c, bool last) {
+    const auto pad = widths[c] - std::min(widths[c], text.size());
+    if (columns_[c].align == Align::kRight) {
+      os << std::string(pad, ' ') << text;
+    } else {
+      os << text;
+      if (!last) os << std::string(pad, ' ');
+    }
+    if (!last) os << "  ";
+  };
+
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    emit(columns_[c].header, c, c + 1 == columns_.size());
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(widths[c], '-');
+    if (c + 1 != columns_.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string{};
+      emit(text, c, c + 1 == columns_.size());
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print() const {
+  const std::string rendered = str();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace mcopt::util

@@ -1,0 +1,62 @@
+// Plain-text table formatting for the bench binaries.
+//
+// The reproduction benches print tables shaped like the paper's Tables 4.1
+// and 4.2; this renderer right-aligns numeric columns, left-aligns text, and
+// draws a header rule, e.g.
+//
+//   g function                  6 sec   9 sec   12 sec
+//   -------------------------  ------  ------  -------
+//   Six Temperature Annealing     601     632      652
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcopt::util {
+
+class Table {
+ public:
+  enum class Align { kLeft, kRight };
+
+  /// Declares a column.  Numeric columns should use kRight.
+  void add_column(std::string header, Align align = Align::kRight);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  void begin_row();
+  void cell(std::string text);
+  void cell(long long value);
+  void cell(unsigned long long value);
+  void cell(int value);
+  /// Fixed-point with `precision` digits after the decimal point.
+  void cell(double value, int precision = 2);
+
+  /// Number of completed + in-progress rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+
+  /// Column headers, for structured export (CSV mirroring of benches).
+  [[nodiscard]] std::vector<std::string> headers() const;
+
+  /// Raw cell text by [row][column]; short rows are not padded here.
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data()
+      const noexcept {
+    return cells_;
+  }
+
+  /// Renders the table (trailing newline included).  Short rows are padded
+  /// with empty cells; overlong rows are a logic error and are truncated.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  struct Column {
+    std::string header;
+    Align align;
+  };
+  std::vector<Column> columns_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace mcopt::util

@@ -1,0 +1,145 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/figure1.hpp"
+#include "core/gfunction.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/generator.hpp"
+#include "support/toy_problem.hpp"
+
+namespace mcopt::core {
+namespace {
+
+using mcopt::testing::ToyProblem;
+
+TEST(SampleStatsTest, RejectsZeroSamples) {
+  ToyProblem problem{{1, 2, 3, 4}, 0};
+  util::Rng rng{1};
+  EXPECT_THROW((void)sample_move_statistics(problem, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(SampleStatsTest, RestoresTheStartingSolution) {
+  ToyProblem problem{{5, 1, 4, 2, 8, 3}, 2};
+  util::Rng rng{2};
+  const auto before = problem.snapshot();
+  (void)sample_move_statistics(problem, 500, rng);
+  EXPECT_EQ(problem.snapshot(), before);
+  EXPECT_DOUBLE_EQ(problem.cost(), 4.0);
+}
+
+TEST(SampleStatsTest, FlatLandscapeHasNoUphill) {
+  ToyProblem problem{{7, 7, 7, 7, 7}, 0};
+  util::Rng rng{3};
+  const auto stats = sample_move_statistics(problem, 300, rng);
+  EXPECT_DOUBLE_EQ(stats.mean_cost, 7.0);
+  EXPECT_DOUBLE_EQ(stats.cost_stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.uphill_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_uphill_delta, 0.0);
+  EXPECT_EQ(stats.samples, 300u);
+}
+
+TEST(SampleStatsTest, SawtoothDeltasAreUnit) {
+  // Alternating 0/1 ring: every move has |delta| == 1, half uphill.
+  ToyProblem problem{{0, 1, 0, 1, 0, 1}, 0};
+  util::Rng rng{4};
+  const auto stats = sample_move_statistics(problem, 2000, rng);
+  EXPECT_DOUBLE_EQ(stats.mean_uphill_delta, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_uphill_delta, 1.0);
+  EXPECT_NEAR(stats.uphill_fraction, 0.5, 0.05);
+  EXPECT_NEAR(stats.delta_stddev, 1.0, 0.05);
+}
+
+TEST(SampleStatsTest, RealProblemStatisticsAreSane) {
+  util::Rng rng{5};
+  const auto nl =
+      netlist::random_gola(netlist::GolaParams{15, 150}, rng);
+  linarr::LinArrProblem problem{nl, linarr::Arrangement::random(15, rng)};
+  const auto stats = sample_move_statistics(problem, 2000, rng);
+  EXPECT_GT(stats.mean_cost, 50.0);   // random-walk densities sit high
+  EXPECT_LT(stats.mean_cost, 100.0);
+  EXPECT_GT(stats.mean_uphill_delta, 0.5);
+  EXPECT_LT(stats.mean_uphill_delta, 10.0);
+  EXPECT_GT(stats.uphill_fraction, 0.05);
+  EXPECT_LT(stats.uphill_fraction, 0.6);  // most density moves are sideways
+}
+
+TEST(WhiteScheduleTest, RejectsBadArguments) {
+  MoveStatistics stats;
+  stats.mean_uphill_delta = 1.0;
+  EXPECT_THROW((void)white_schedule(stats, 0), std::invalid_argument);
+  EXPECT_THROW((void)white_schedule(stats, 6, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)white_schedule(stats, 6, 1.0), std::invalid_argument);
+}
+
+TEST(WhiteScheduleTest, FlatStatisticsGiveFlatSchedule) {
+  MoveStatistics stats;  // no uphill moves observed
+  const auto ys = white_schedule(stats, 4);
+  EXPECT_EQ(ys, (std::vector<double>{1.0, 1.0, 1.0, 1.0}));
+}
+
+TEST(WhiteScheduleTest, EndpointsFollowWhite) {
+  MoveStatistics stats;
+  stats.mean_uphill_delta = 2.0;
+  stats.delta_stddev = 3.0;
+  const auto ys = white_schedule(stats, 6, 0.01);
+  ASSERT_EQ(ys.size(), 6u);
+  // Hot end: max(sigma, typical) = 3 -> typical move accepted with
+  // exp(-2/3) ~ 0.51.
+  EXPECT_DOUBLE_EQ(ys.front(), 3.0);
+  // Cold end: exp(-2/Yk) == 0.01.
+  EXPECT_NEAR(std::exp(-2.0 / ys.back()), 0.01, 1e-9);
+  // Monotone decreasing in between.
+  for (std::size_t i = 1; i < ys.size(); ++i) EXPECT_LT(ys[i], ys[i - 1]);
+}
+
+TEST(WhiteScheduleTest, SingleLevelIsHotEndpoint) {
+  MoveStatistics stats;
+  stats.mean_uphill_delta = 2.0;
+  stats.delta_stddev = 5.0;
+  const auto ys = white_schedule(stats, 1);
+  ASSERT_EQ(ys.size(), 1u);
+  EXPECT_DOUBLE_EQ(ys[0], 5.0);
+}
+
+TEST(TickRateTest, RejectsZeroSamples) {
+  ToyProblem problem{{1, 2, 3, 4}, 0};
+  util::Rng rng{7};
+  EXPECT_THROW((void)measure_tick_rate(problem, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(TickRateTest, PositiveFiniteAndStatePreserving) {
+  util::Rng rng{8};
+  const auto nl = netlist::random_gola(netlist::GolaParams{15, 150}, rng);
+  linarr::LinArrProblem problem{nl, linarr::Arrangement{15}};
+  const auto before = problem.snapshot();
+  const double rate = measure_tick_rate(problem, 5'000, rng);
+  EXPECT_GT(rate, 1'000.0);  // anything slower means something is broken
+  EXPECT_TRUE(std::isfinite(rate));
+  EXPECT_EQ(problem.snapshot(), before);
+}
+
+TEST(WhiteScheduleTest, FeedsAnnealerEndToEnd) {
+  // The whole [WHIT84] pipeline: sample -> schedule -> anneal, on a real
+  // instance, must beat pure descent trapped in a local optimum... or at
+  // minimum never produce an invalid schedule.
+  util::Rng rng{6};
+  const auto nl =
+      netlist::random_gola(netlist::GolaParams{15, 150}, rng);
+  linarr::LinArrProblem problem{nl, linarr::Arrangement::random(15, rng)};
+  const auto stats = sample_move_statistics(problem, 1000, rng);
+  const auto ys = white_schedule(stats, 6);
+  const auto g = make_annealing_g(ys);
+  Figure1Options options;
+  options.budget = 5'000;
+  const auto result = run_figure1(problem, *g, options, rng);
+  EXPECT_GT(result.reduction(), 0.0);
+}
+
+}  // namespace
+}  // namespace mcopt::core

@@ -1,0 +1,276 @@
+#include "core/figure1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/spy_g.hpp"
+#include "support/toy_problem.hpp"
+
+namespace mcopt::core {
+namespace {
+
+using mcopt::testing::SpyG;
+using mcopt::testing::ToyProblem;
+
+std::vector<double> flat_landscape(std::size_t n, double value = 5.0) {
+  return std::vector<double>(n, value);
+}
+
+TEST(Figure1Test, ChargesExactlyTheBudget) {
+  ToyProblem problem{flat_landscape(10), 0};
+  SpyG g{1, 0.0};
+  util::Rng rng{1};
+  const RunResult result = run_figure1(problem, g, {.budget = 123}, rng);
+  EXPECT_EQ(result.proposals, 123u);
+  EXPECT_EQ(result.ticks, 123u);
+}
+
+TEST(Figure1Test, RejectsZeroGateThreshold) {
+  ToyProblem problem{flat_landscape(10), 0};
+  SpyG g{1, 0.0};
+  util::Rng rng{1};
+  Figure1Options options;
+  options.gate_threshold = 0;
+  EXPECT_THROW((void)run_figure1(problem, g, options, rng),
+               std::invalid_argument);
+}
+
+TEST(Figure1Test, AcceptsEveryStrictImprovement) {
+  // Tent landscape on the ring with the peak at position 5 and the global
+  // minimum at position 0; with p = 0 every uphill move is rejected, so the
+  // walk can only slide downhill, needing exactly five accepted moves.
+  std::vector<double> landscape{0, 1, 2, 3, 4, 5, 4, 3, 2, 1};
+  ToyProblem problem{landscape, 5};
+  SpyG g{1, 0.0};
+  util::Rng rng{7};
+  const RunResult result = run_figure1(problem, g, {.budget = 500}, rng);
+  EXPECT_DOUBLE_EQ(result.best_cost, 0.0);
+  EXPECT_DOUBLE_EQ(result.final_cost, 0.0);
+  EXPECT_EQ(result.uphill_accepts, 0u);
+  EXPECT_EQ(result.accepts, 5u);
+}
+
+TEST(Figure1Test, InitialCostAndBestStateAreRecorded) {
+  std::vector<double> landscape{3, 2, 1, 2, 3, 4, 5, 4};
+  ToyProblem problem{landscape, 0};
+  SpyG g{1, 0.0};
+  util::Rng rng{3};
+  const RunResult result = run_figure1(problem, g, {.budget = 200}, rng);
+  EXPECT_DOUBLE_EQ(result.initial_cost, 3.0);
+  EXPECT_DOUBLE_EQ(result.best_cost, 1.0);
+  ASSERT_EQ(result.best_state.size(), 1u);
+  EXPECT_EQ(result.best_state[0], 2u);
+  EXPECT_DOUBLE_EQ(result.reduction(), 2.0);
+}
+
+TEST(Figure1Test, ZeroProbabilityNeverAcceptsUphill) {
+  ToyProblem problem{flat_landscape(8), 0};  // all moves are sideways
+  SpyG g{1, 0.0};
+  util::Rng rng{11};
+  const RunResult result = run_figure1(problem, g, {.budget = 300}, rng);
+  EXPECT_EQ(result.accepts, 0u);
+  EXPECT_EQ(result.proposals, 300u);
+}
+
+TEST(Figure1Test, UnitProbabilityAcceptsEverySideways) {
+  ToyProblem problem{flat_landscape(8), 0};
+  SpyG g{1, 1.0};
+  util::Rng rng{13};
+  const RunResult result = run_figure1(problem, g, {.budget = 300}, rng);
+  EXPECT_EQ(result.accepts, 300u);
+  EXPECT_EQ(result.uphill_accepts, 0u);  // sideways, not uphill
+}
+
+TEST(Figure1Test, BudgetSlicesDriveTemperatureProgression) {
+  ToyProblem problem{flat_landscape(10), 0};
+  SpyG g{6, 0.0};
+  util::Rng rng{17};
+  const RunResult result = run_figure1(problem, g, {.budget = 60}, rng);
+  EXPECT_EQ(result.temperatures_visited, 6u);
+  // Probability is consulted for every (sideways) proposal; level t owns
+  // proposals 10t+1 .. 10t+10.
+  ASSERT_EQ(g.calls().size(), 60u);
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(g.calls()[i], i / 10) << "proposal " << i;
+  }
+}
+
+TEST(Figure1Test, SingleTemperatureNeverAdvances) {
+  ToyProblem problem{flat_landscape(10), 0};
+  SpyG g{1, 0.5};
+  util::Rng rng{19};
+  const RunResult result = run_figure1(problem, g, {.budget = 1000}, rng);
+  EXPECT_EQ(result.temperatures_visited, 1u);
+}
+
+TEST(Figure1Test, EquilibriumCounterAdvancesAndTerminates) {
+  ToyProblem problem{flat_landscape(10), 0};
+  SpyG g{2, 0.0};  // nothing ever accepted -> pure rejection counting
+  util::Rng rng{23};
+  Figure1Options options;
+  options.budget = 1'000'000;  // budget must NOT be the stopping reason
+  options.equilibrium_rejects = 4;
+  const RunResult result = run_figure1(problem, g, options, rng);
+  // Per level: 4 counted rejections + 1 proposal that trips the advance.
+  // Second trip ends the schedule.
+  EXPECT_EQ(result.temperatures_visited, 2u);
+  EXPECT_EQ(result.proposals, 10u);
+  EXPECT_LT(result.ticks, options.budget);
+}
+
+TEST(Figure1Test, EquilibriumAcceptsAdvancesTemperature) {
+  // [KIRK83]'s criterion: advance after enough acceptances.  On a flat
+  // landscape with p = 1 every proposal is accepted, so with a threshold of
+  // 50 and k = 3 the run should stop after exactly 150 proposals.
+  ToyProblem problem{flat_landscape(10), 0};
+  SpyG g{3, 1.0};
+  util::Rng rng{61};
+  Figure1Options options;
+  options.budget = 1'000'000;
+  options.equilibrium_accepts = 50;
+  const RunResult result = run_figure1(problem, g, options, rng);
+  EXPECT_EQ(result.proposals, 150u);
+  EXPECT_EQ(result.accepts, 150u);
+  EXPECT_EQ(result.temperatures_visited, 3u);
+}
+
+TEST(Figure1Test, EquilibriumAcceptsCountsDownhillToo) {
+  // Strict improvements also count toward the acceptance equilibrium.
+  std::vector<double> landscape{0, 1, 2, 3, 4, 5, 4, 3, 2, 1};
+  ToyProblem problem{landscape, 5};
+  SpyG g{2, 0.0};  // only downhill moves are ever taken
+  util::Rng rng{67};
+  Figure1Options options;
+  options.budget = 10'000;
+  options.equilibrium_accepts = 2;
+  const RunResult result = run_figure1(problem, g, options, rng);
+  // Five downhill accepts trip the threshold twice: temp 0 -> 1 -> end.
+  EXPECT_EQ(result.temperatures_visited, 2u);
+}
+
+TEST(Figure1Test, GateDelaysUphillAcceptanceExactly) {
+  // g = 1 on a flat landscape: every proposal is sideways (delta == 0), so
+  // the gate counter increments every proposal and fires at 18, 35, 52, ...
+  // (threshold, then threshold-1 apart because the counter resets to 1).
+  ToyProblem problem{flat_landscape(10), 0};
+  const auto g = make_g(GClass::kGOne);
+  util::Rng rng{29};
+  const RunResult result = run_figure1(problem, *g, {.budget = 52}, rng);
+  EXPECT_EQ(result.accepts, 3u);  // proposals 18, 35, 52
+}
+
+TEST(Figure1Test, GateThresholdOfOneAcceptsImmediately) {
+  ToyProblem problem{flat_landscape(10), 0};
+  const auto g = make_g(GClass::kGOne);
+  util::Rng rng{31};
+  Figure1Options options;
+  options.budget = 100;
+  options.gate_threshold = 1;
+  const RunResult result = run_figure1(problem, *g, options, rng);
+  EXPECT_EQ(result.accepts, 100u);
+}
+
+TEST(Figure1Test, GateResetByImprovement) {
+  // Strict improvements reset the gate counter, so with an unreachable
+  // threshold the run behaves as pure descent: five downhill accepts from
+  // the tent peak, then no uphill ever taken.
+  std::vector<double> tent{0, 1, 2, 3, 4, 5, 4, 3, 2, 1};
+  ToyProblem problem{tent, 5};
+  const auto g = make_g(GClass::kGOne);
+  util::Rng rng{37};
+  Figure1Options options;
+  options.budget = 200;
+  options.gate_threshold = 1000;  // unreachable within the budget
+  const RunResult result = run_figure1(problem, *g, options, rng);
+  EXPECT_EQ(result.uphill_accepts, 0u);
+  EXPECT_EQ(result.accepts, 5u);  // downhill moves still taken
+  EXPECT_DOUBLE_EQ(result.best_cost, 0.0);
+}
+
+TEST(Figure1Test, TwoLevelGateAppliesOnlyToLevelOne) {
+  // Level 0 of two-level g is identically 1 -> gated; level 1 is 0.5 ->
+  // plain probabilistic acceptance.  On a flat landscape the first half of
+  // the budget accepts ~1/18 of proposals, the second ~1/2.
+  ToyProblem problem{flat_landscape(10), 0};
+  const auto g = make_g(GClass::kTwoLevel);
+  util::Rng rng{41};
+  const RunResult result = run_figure1(problem, *g, {.budget = 2000}, rng);
+  EXPECT_EQ(result.temperatures_visited, 2u);
+  // Level 0 contributes ~1000/17 ~ 59; level 1 ~500.  Generous bounds.
+  EXPECT_GT(result.accepts, 300u);
+  EXPECT_LT(result.accepts, 800u);
+}
+
+TEST(Figure1Test, FinalCostMatchesProblemState) {
+  std::vector<double> landscape{5, 4, 3, 2, 1, 2, 3, 4};
+  ToyProblem problem{landscape, 0};
+  SpyG g{1, 0.25};
+  util::Rng rng{43};
+  const RunResult result = run_figure1(problem, g, {.budget = 77}, rng);
+  EXPECT_DOUBLE_EQ(result.final_cost, problem.cost());
+  EXPECT_LE(result.best_cost, result.final_cost);
+  EXPECT_LE(result.best_cost, result.initial_cost);
+}
+
+TEST(Figure1Test, DeterministicGivenSeed) {
+  std::vector<double> landscape{9, 7, 5, 3, 1, 3, 5, 7};
+  for (int trial = 0; trial < 3; ++trial) {
+    ToyProblem p1{landscape, 0};
+    ToyProblem p2{landscape, 0};
+    SpyG g1{3, 0.3};
+    SpyG g2{3, 0.3};
+    util::Rng r1{99};
+    util::Rng r2{99};
+    const RunResult a = run_figure1(p1, g1, {.budget = 500}, r1);
+    const RunResult b = run_figure1(p2, g2, {.budget = 500}, r2);
+    EXPECT_EQ(a.best_cost, b.best_cost);
+    EXPECT_EQ(a.accepts, b.accepts);
+    EXPECT_EQ(a.best_state, b.best_state);
+  }
+}
+
+TEST(Figure1Test, ZeroBudgetDoesNothing) {
+  ToyProblem problem{flat_landscape(5), 2};
+  SpyG g{1, 1.0};
+  util::Rng rng{47};
+  const RunResult result = run_figure1(problem, g, {.budget = 0}, rng);
+  EXPECT_EQ(result.proposals, 0u);
+  EXPECT_DOUBLE_EQ(result.best_cost, result.initial_cost);
+  EXPECT_EQ(problem.position(), 2u);
+}
+
+// Property sweep: with every real g class, a Figure 1 run must never report
+// a best cost above its initial cost, and must consume the whole budget.
+class Figure1AllClassesTest : public ::testing::TestWithParam<GClass> {};
+
+TEST_P(Figure1AllClassesTest, BestNeverWorseThanStart) {
+  GParams params;
+  params.scale = 1.0;
+  params.num_nets = 150;
+  const auto g = make_g(GetParam(), params);
+  std::vector<double> landscape;
+  for (int i = 0; i < 16; ++i) {
+    landscape.push_back(static_cast<double>((i * 7) % 11));
+  }
+  ToyProblem problem{landscape, 3};
+  util::Rng rng{static_cast<std::uint64_t>(1000 + static_cast<int>(GetParam()))};
+  const RunResult result = run_figure1(problem, *g, {.budget = 400}, rng);
+  EXPECT_LE(result.best_cost, result.initial_cost);
+  EXPECT_EQ(result.proposals, 400u);
+  EXPECT_LE(result.best_cost, result.final_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, Figure1AllClassesTest,
+    ::testing::ValuesIn([] {
+      auto classes = table41_classes();
+      classes.push_back(GClass::kCohoonSahni);
+      return classes;
+    }()),
+    [](const ::testing::TestParamInfo<GClass>& info) {
+      return "class" + std::to_string(static_cast<int>(info.param));
+    });
+
+}  // namespace
+}  // namespace mcopt::core

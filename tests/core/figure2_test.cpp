@@ -1,0 +1,191 @@
+#include "core/figure2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/spy_g.hpp"
+#include "support/toy_problem.hpp"
+
+namespace mcopt::core {
+namespace {
+
+using mcopt::testing::SpyG;
+using mcopt::testing::ToyProblem;
+
+TEST(Figure2Test, DescendsToLocalOptimumFirst) {
+  // Strictly descending toward position 0, then rising: position 0 is the
+  // only local (and global) minimum reachable by descent from position 5.
+  std::vector<double> landscape{0, 1, 2, 3, 4, 5, 6, 7};
+  ToyProblem problem{landscape, 5};
+  SpyG g{1, 0.0};  // never kick
+  util::Rng rng{1};
+  const RunResult result = run_figure2(problem, g, {.budget = 1000}, rng);
+  EXPECT_DOUBLE_EQ(result.best_cost, 0.0);
+  EXPECT_GT(result.descent_steps, 0u);
+}
+
+TEST(Figure2Test, BudgetLimitsDescent) {
+  std::vector<double> landscape{0, 1, 2, 3, 4, 5, 6, 7};
+  ToyProblem problem{landscape, 5};
+  SpyG g{1, 0.0};
+  util::Rng rng{2};
+  // Two ticks per descent step (the toy evaluates both neighbours); four
+  // ticks only walk 5 -> 4 -> 3.
+  const RunResult result = run_figure2(problem, g, {.budget = 4}, rng);
+  EXPECT_DOUBLE_EQ(result.best_cost, 3.0);
+  EXPECT_EQ(result.ticks, 4u);
+}
+
+TEST(Figure2Test, KicksEscapeLocalMinimum) {
+  // Position 1 is a local minimum (cost 1); the global minimum (cost 0) is
+  // at position 3, one barrier step away.  g = 1 kicks always; a kick onto
+  // the barrier at position 2 descends into the global optimum.
+  std::vector<double> landscape{5, 1, 6, 0, 7, 6, 5, 4};
+  ToyProblem problem{landscape, 1};
+  const auto g = make_g(GClass::kGOne);
+  util::Rng rng{3};
+  const RunResult result = run_figure2(problem, *g, {.budget = 5000}, rng);
+  EXPECT_DOUBLE_EQ(result.best_cost, 0.0);
+  EXPECT_GT(result.uphill_accepts, 0u);
+}
+
+TEST(Figure2Test, GOneNeedsNoGateHere) {
+  // §3: "When the strategy of Figure 2 is used, no special considerations
+  // are needed to implement this g" — every kick is accepted directly.
+  std::vector<double> landscape{0, 1, 2, 3, 2, 1, 0, 1};
+  ToyProblem problem{landscape, 3};
+  const auto g = make_g(GClass::kGOne);
+  util::Rng rng{5};
+  const RunResult result = run_figure2(problem, *g, {.budget = 400}, rng);
+  EXPECT_EQ(result.accepts, result.proposals);
+}
+
+TEST(Figure2Test, ZeroKickProbabilityStopsAfterSchedule) {
+  ToyProblem problem{{2, 1, 2, 3, 4, 5}, 3};
+  SpyG g{2, 0.0};
+  util::Rng rng{7};
+  const RunResult result = run_figure2(problem, g, {.budget = 600}, rng);
+  // Kicks are never taken; the run burns through both budget slices.
+  EXPECT_EQ(result.temperatures_visited, 2u);
+  EXPECT_EQ(result.uphill_accepts, 0u);
+  EXPECT_DOUBLE_EQ(result.best_cost, 1.0);
+}
+
+TEST(Figure2Test, EquilibriumKicksTerminateEarly) {
+  ToyProblem problem{{2, 1, 2, 3, 4, 5}, 0};
+  SpyG g{2, 0.0};
+  util::Rng rng{11};
+  Figure2Options options;
+  options.budget = 1'000'000;
+  options.equilibrium_kicks = 5;
+  const RunResult result = run_figure2(problem, g, options, rng);
+  EXPECT_LT(result.ticks, options.budget);
+  EXPECT_EQ(result.temperatures_visited, 2u);
+  // Five counted kicks per level, none accepted.
+  EXPECT_EQ(result.proposals, 10u);
+}
+
+TEST(Figure2Test, BestTracksKickDestinationsToo) {
+  // A kick may itself land on the global minimum; best must see it even if
+  // a later descent wanders elsewhere.
+  std::vector<double> landscape{1, 2, 0, 2, 1, 2, 3, 2};
+  ToyProblem problem{landscape, 0};
+  const auto g = make_g(GClass::kGOne);
+  util::Rng rng{13};
+  const RunResult result = run_figure2(problem, *g, {.budget = 2000}, rng);
+  EXPECT_DOUBLE_EQ(result.best_cost, 0.0);
+}
+
+TEST(Figure2Test, RecordsInitialAndFinal) {
+  std::vector<double> landscape{4, 3, 2, 1, 2, 3};
+  ToyProblem problem{landscape, 0};
+  SpyG g{1, 0.5};
+  util::Rng rng{17};
+  const RunResult result = run_figure2(problem, g, {.budget = 300}, rng);
+  EXPECT_DOUBLE_EQ(result.initial_cost, 4.0);
+  EXPECT_DOUBLE_EQ(result.final_cost, problem.cost());
+  EXPECT_LE(result.best_cost, result.initial_cost);
+  EXPECT_EQ(result.ticks, 300u);
+}
+
+TEST(Figure2Test, DeterministicGivenSeed) {
+  std::vector<double> landscape{3, 1, 4, 1, 5, 9, 2, 6};
+  ToyProblem p1{landscape, 0};
+  ToyProblem p2{landscape, 0};
+  SpyG g1{3, 0.4};
+  SpyG g2{3, 0.4};
+  util::Rng r1{55};
+  util::Rng r2{55};
+  const RunResult a = run_figure2(p1, g1, {.budget = 700}, r1);
+  const RunResult b = run_figure2(p2, g2, {.budget = 700}, r2);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.proposals, b.proposals);
+  EXPECT_EQ(a.best_state, b.best_state);
+}
+
+TEST(Figure2Test, ZeroBudgetDoesNothing) {
+  ToyProblem problem{{2, 1, 2}, 0};
+  SpyG g{1, 1.0};
+  util::Rng rng{19};
+  const RunResult result = run_figure2(problem, g, {.budget = 0}, rng);
+  EXPECT_EQ(result.proposals, 0u);
+  EXPECT_EQ(result.descent_steps, 0u);
+  EXPECT_DOUBLE_EQ(result.best_cost, 2.0);
+}
+
+TEST(Figure2Test, TemperatureSlicesAdvanceOverKicks) {
+  ToyProblem problem{{0, 1, 2, 3, 4, 5, 6, 7}, 0};  // start at global min
+  SpyG g{4, 0.0};  // all budget goes to rejected kicks after trivial descent
+  util::Rng rng{23};
+  const RunResult result = run_figure2(problem, g, {.budget = 400}, rng);
+  EXPECT_EQ(result.temperatures_visited, 4u);
+  // Every call after slice boundary i*100 must be at level >= i.
+  const auto& calls = g.calls();
+  ASSERT_FALSE(calls.empty());
+  for (std::size_t i = 1; i < calls.size(); ++i) {
+    EXPECT_GE(calls[i], calls[i - 1]) << "temperature went backwards";
+  }
+}
+
+// Property sweep: Figure 2 must respect budget accounting and never report
+// a best above the start for every real g class (incl. extensions).
+class Figure2AllClassesTest : public ::testing::TestWithParam<GClass> {};
+
+TEST_P(Figure2AllClassesTest, BudgetAndBestInvariants) {
+  GParams params;
+  params.scale = 0.5;
+  params.num_nets = 150;
+  const auto g = make_g(GetParam(), params);
+  std::vector<double> landscape;
+  for (int i = 0; i < 16; ++i) {
+    landscape.push_back(static_cast<double>((i * 5) % 9));
+  }
+  ToyProblem problem{landscape, 2};
+  util::Rng rng{static_cast<std::uint64_t>(2000 + static_cast<int>(GetParam()))};
+  const RunResult result = run_figure2(problem, *g, {.budget = 400}, rng);
+  EXPECT_LE(result.best_cost, result.initial_cost);
+  // The budget may overshoot by at most one descent evaluation (the toy
+  // charges two ticks per descent step before re-checking).
+  EXPECT_GE(result.ticks, 400u);
+  EXPECT_LE(result.ticks, 402u);
+  EXPECT_EQ(result.descent_steps + result.proposals, result.ticks);
+  // The reported best must reproduce when restored.
+  problem.restore(result.best_state);
+  EXPECT_DOUBLE_EQ(problem.cost(), result.best_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, Figure2AllClassesTest,
+    ::testing::ValuesIn([] {
+      auto classes = table41_classes();
+      classes.push_back(GClass::kCohoonSahni);
+      classes.push_back(GClass::kThresholdAccepting);
+      return classes;
+    }()),
+    [](const ::testing::TestParamInfo<GClass>& info) {
+      return "class" + std::to_string(static_cast<int>(info.param));
+    });
+
+}  // namespace
+}  // namespace mcopt::core

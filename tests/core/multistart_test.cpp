@@ -1,0 +1,129 @@
+#include "core/multistart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/annealer.hpp"
+#include "core/figure1.hpp"
+#include "core/gfunction.hpp"
+#include "support/toy_problem.hpp"
+
+namespace mcopt::core {
+namespace {
+
+using mcopt::testing::ToyProblem;
+
+Runner descent_runner() {
+  return [](Problem& problem, std::uint64_t budget, util::Rng& rng) {
+    return random_descent(problem, budget, rng);
+  };
+}
+
+TEST(MultistartTest, RejectsBadInputs) {
+  ToyProblem problem{{1, 2, 3}, 0};
+  util::Rng rng{1};
+  MultistartOptions options;
+  EXPECT_THROW((void)multistart(problem, nullptr, options, rng),
+               std::invalid_argument);
+  options.budget_per_start = 0;
+  EXPECT_THROW((void)multistart(problem, descent_runner(), options, rng),
+               std::invalid_argument);
+}
+
+TEST(MultistartTest, RunsExpectedNumberOfRestarts) {
+  ToyProblem problem{{5, 4, 3, 2, 1, 2, 3, 4}, 0};
+  util::Rng rng{2};
+  MultistartOptions options;
+  options.total_budget = 1000;
+  options.budget_per_start = 100;
+  const MultistartResult result =
+      multistart(problem, descent_runner(), options, rng);
+  EXPECT_EQ(result.restarts, 10u);
+  EXPECT_EQ(result.aggregate.ticks, 1000u);
+  EXPECT_EQ(result.aggregate.proposals, 1000u);
+}
+
+TEST(MultistartTest, LastRestartGetsTheRemainder) {
+  ToyProblem problem{{5, 4, 3, 2, 1, 2, 3, 4}, 0};
+  util::Rng rng{3};
+  MultistartOptions options;
+  options.total_budget = 250;
+  options.budget_per_start = 100;
+  const MultistartResult result =
+      multistart(problem, descent_runner(), options, rng);
+  EXPECT_EQ(result.restarts, 3u);  // 100 + 100 + 50
+  EXPECT_EQ(result.aggregate.ticks, 250u);
+}
+
+TEST(MultistartTest, EscapesBasinsPureDescentCannot) {
+  // Descent from a fixed trapped start never finds the global 0; restarts
+  // from random positions will (some random start lands in the 0 basin).
+  std::vector<double> landscape{9, 2, 9, 9, 0, 9, 9, 9};
+  ToyProblem trapped{landscape, 1};
+  util::Rng r1{4};
+  const RunResult single = random_descent(trapped, 4000, r1);
+  EXPECT_DOUBLE_EQ(single.best_cost, 2.0);
+
+  ToyProblem restarted{landscape, 1};
+  util::Rng r2{4};
+  MultistartOptions options;
+  options.total_budget = 4000;
+  options.budget_per_start = 100;
+  const MultistartResult result =
+      multistart(restarted, descent_runner(), options, r2);
+  EXPECT_DOUBLE_EQ(result.aggregate.best_cost, 0.0);
+  EXPECT_GT(result.restarts, 10u);
+}
+
+TEST(MultistartTest, KeepFirstStartWhenRequested) {
+  // With randomize_first = false the first slice continues from the
+  // current (trapped) solution; with a single slice the result must match
+  // plain descent.
+  std::vector<double> landscape{9, 2, 9, 9, 0, 9, 9, 9};
+  ToyProblem problem{landscape, 1};
+  util::Rng rng{5};
+  MultistartOptions options;
+  options.total_budget = 100;
+  options.budget_per_start = 100;
+  options.randomize_first = false;
+  const MultistartResult result =
+      multistart(problem, descent_runner(), options, rng);
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_DOUBLE_EQ(result.aggregate.best_cost, 2.0);
+}
+
+TEST(MultistartTest, BestStateRestores) {
+  std::vector<double> landscape{3, 1, 4, 1, 5, 9, 2, 6};
+  ToyProblem problem{landscape, 0};
+  util::Rng rng{6};
+  MultistartOptions options;
+  options.total_budget = 2000;
+  options.budget_per_start = 200;
+  const MultistartResult result =
+      multistart(problem, descent_runner(), options, rng);
+  problem.restore(result.aggregate.best_state);
+  EXPECT_DOUBLE_EQ(problem.cost(), result.aggregate.best_cost);
+  EXPECT_DOUBLE_EQ(result.aggregate.best_cost, 1.0);
+}
+
+TEST(MultistartTest, WorksWithFigure1Runner) {
+  std::vector<double> landscape{6, 3, 5, 2, 6, 4, 7, 1, 5, 0, 6, 3};
+  ToyProblem problem{landscape, 0};
+  util::Rng rng{7};
+  const auto g = make_g(GClass::kGOne);
+  Runner runner = [&g](Problem& p, std::uint64_t budget, util::Rng& r) {
+    Figure1Options options;
+    options.budget = budget;
+    return run_figure1(p, *g, options, r);
+  };
+  MultistartOptions options;
+  options.total_budget = 3000;
+  options.budget_per_start = 500;
+  const MultistartResult result = multistart(problem, runner, options, rng);
+  EXPECT_EQ(result.restarts, 6u);
+  EXPECT_DOUBLE_EQ(result.aggregate.best_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace mcopt::core

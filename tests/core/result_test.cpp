@@ -1,0 +1,41 @@
+#include "core/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::core {
+namespace {
+
+TEST(RunResultTest, ReductionIsInitialMinusBest) {
+  RunResult result;
+  result.initial_cost = 83.0;
+  result.best_cost = 61.0;
+  EXPECT_DOUBLE_EQ(result.reduction(), 22.0);
+}
+
+TEST(RunResultTest, DefaultReductionIsZero) {
+  EXPECT_DOUBLE_EQ(RunResult{}.reduction(), 0.0);
+}
+
+TEST(RunResultTest, ToStringMentionsEveryCounter) {
+  RunResult result;
+  result.initial_cost = 80.0;
+  result.best_cost = 60.0;
+  result.final_cost = 65.0;
+  result.proposals = 1000;
+  result.accepts = 400;
+  result.uphill_accepts = 50;
+  result.ticks = 1000;
+  result.temperatures_visited = 6;
+  const std::string text = to_string(result);
+  EXPECT_NE(text.find("h0=80"), std::string::npos);
+  EXPECT_NE(text.find("best=60"), std::string::npos);
+  EXPECT_NE(text.find("final=65"), std::string::npos);
+  EXPECT_NE(text.find("(-20)"), std::string::npos);
+  EXPECT_NE(text.find("proposals=1000"), std::string::npos);
+  EXPECT_NE(text.find("accepts=400"), std::string::npos);
+  EXPECT_NE(text.find("uphill=50"), std::string::npos);
+  EXPECT_NE(text.find("temps=6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcopt::core

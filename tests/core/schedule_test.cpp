@@ -1,0 +1,85 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcopt::core {
+namespace {
+
+TEST(GeometricScheduleTest, ProducesRequestedLength) {
+  const auto ys = geometric_schedule(8.0, 0.5, 4);
+  ASSERT_EQ(ys.size(), 4u);
+  EXPECT_DOUBLE_EQ(ys[0], 8.0);
+  EXPECT_DOUBLE_EQ(ys[1], 4.0);
+  EXPECT_DOUBLE_EQ(ys[2], 2.0);
+  EXPECT_DOUBLE_EQ(ys[3], 1.0);
+}
+
+TEST(GeometricScheduleTest, SingleTemperature) {
+  const auto ys = geometric_schedule(3.0, 0.9, 1);
+  ASSERT_EQ(ys.size(), 1u);
+  EXPECT_DOUBLE_EQ(ys[0], 3.0);
+}
+
+TEST(GeometricScheduleTest, RejectsBadArguments) {
+  EXPECT_THROW(geometric_schedule(0.0, 0.9, 6), std::invalid_argument);
+  EXPECT_THROW(geometric_schedule(10.0, 0.0, 6), std::invalid_argument);
+  EXPECT_THROW(geometric_schedule(10.0, 0.9, 0), std::invalid_argument);
+}
+
+TEST(KirkpatrickScheduleTest, MatchesPaperCitation) {
+  // §1: "Y1 = 10, Yi = 0.9 * Yi-1, 2 <= i <= 6".
+  const auto ys = kirkpatrick_schedule();
+  ASSERT_EQ(ys.size(), 6u);
+  EXPECT_DOUBLE_EQ(ys[0], 10.0);
+  for (std::size_t i = 1; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(ys[i], 0.9 * ys[i - 1]);
+  }
+}
+
+TEST(UniformScheduleTest, EvenlySpacedDescending) {
+  // [GOLD84]: k uniformly distributed points in (0, tau].
+  const auto ys = uniform_schedule(10.0, 4);
+  ASSERT_EQ(ys.size(), 4u);
+  EXPECT_DOUBLE_EQ(ys[0], 10.0);
+  EXPECT_DOUBLE_EQ(ys[1], 7.5);
+  EXPECT_DOUBLE_EQ(ys[2], 5.0);
+  EXPECT_DOUBLE_EQ(ys[3], 2.5);
+}
+
+TEST(UniformScheduleTest, TwentyFiveTemperatures) {
+  // The Golden-Skiscim configuration used by the tsp_compare bench.
+  const auto ys = uniform_schedule(25.0, 25);
+  ASSERT_EQ(ys.size(), 25u);
+  EXPECT_DOUBLE_EQ(ys.front(), 25.0);
+  EXPECT_DOUBLE_EQ(ys.back(), 1.0);
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ys[i - 1] - ys[i], 1.0);
+  }
+}
+
+TEST(UniformScheduleTest, AllPositive) {
+  for (const double y : uniform_schedule(1.0, 100)) EXPECT_GT(y, 0.0);
+}
+
+TEST(UniformScheduleTest, RejectsBadArguments) {
+  EXPECT_THROW(uniform_schedule(0.0, 5), std::invalid_argument);
+  EXPECT_THROW(uniform_schedule(-1.0, 5), std::invalid_argument);
+  EXPECT_THROW(uniform_schedule(5.0, 0), std::invalid_argument);
+}
+
+TEST(ValidatedScheduleTest, AcceptsNonIncreasingPositive) {
+  const auto ys = validated_schedule({5.0, 5.0, 2.0});
+  EXPECT_EQ(ys.size(), 3u);
+}
+
+TEST(ValidatedScheduleTest, RejectsEmptyIncreasingOrNonPositive) {
+  EXPECT_THROW(validated_schedule({}), std::invalid_argument);
+  EXPECT_THROW(validated_schedule({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(validated_schedule({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(validated_schedule({-1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcopt::core

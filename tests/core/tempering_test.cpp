@@ -1,0 +1,127 @@
+#include "core/tempering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/schedule.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/generator.hpp"
+#include "support/toy_problem.hpp"
+
+namespace mcopt::core {
+namespace {
+
+using mcopt::testing::ToyProblem;
+
+std::function<std::unique_ptr<Problem>(std::size_t)> toy_factory(
+    std::vector<double> landscape) {
+  return [landscape](std::size_t replica) -> std::unique_ptr<Problem> {
+    return std::make_unique<ToyProblem>(landscape,
+                                        replica % landscape.size());
+  };
+}
+
+TEST(TemperingTest, RejectsBadInputs) {
+  util::Rng rng{1};
+  TemperingOptions options;
+  options.temperatures = {4.0, 2.0, 1.0};
+  EXPECT_THROW((void)parallel_tempering(nullptr, options, rng),
+               std::invalid_argument);
+  const auto factory = toy_factory({1, 2, 3, 4});
+  options.sweep = 0;
+  EXPECT_THROW((void)parallel_tempering(factory, options, rng),
+               std::invalid_argument);
+  options.sweep = 10;
+  options.temperatures = {};
+  EXPECT_THROW((void)parallel_tempering(factory, options, rng),
+               std::invalid_argument);
+  options.temperatures = {1.0, 2.0};  // increasing
+  EXPECT_THROW((void)parallel_tempering(factory, options, rng),
+               std::invalid_argument);
+}
+
+TEST(TemperingTest, ChargesExactlyTheBudget) {
+  util::Rng rng{2};
+  TemperingOptions options;
+  options.temperatures = {4.0, 2.0, 1.0};
+  options.budget = 1234;
+  const auto result =
+      parallel_tempering(toy_factory({3, 1, 4, 1, 5, 9, 2, 6}), options, rng);
+  EXPECT_EQ(result.aggregate.proposals, 1234u);
+  EXPECT_EQ(result.aggregate.ticks, 1234u);
+  EXPECT_EQ(result.aggregate.temperatures_visited, 3u);
+}
+
+TEST(TemperingTest, FindsGlobalOptimumOnRuggedLandscape) {
+  std::vector<double> landscape{6, 3, 5, 2, 6, 4, 7, 1, 5, 0, 6, 3, 8, 2};
+  util::Rng rng{3};
+  TemperingOptions options;
+  options.temperatures = geometric_schedule(8.0, 0.5, 4);
+  options.budget = 20'000;
+  const auto result = parallel_tempering(toy_factory(landscape), options, rng);
+  EXPECT_DOUBLE_EQ(result.aggregate.best_cost, 0.0);
+  ASSERT_EQ(result.aggregate.best_state.size(), 1u);
+  EXPECT_EQ(result.aggregate.best_state[0], 9u);
+}
+
+TEST(TemperingTest, SwapsHappenAndAreCounted) {
+  util::Rng rng{4};
+  TemperingOptions options;
+  options.temperatures = {8.0, 1.0};
+  options.budget = 10'000;
+  options.sweep = 10;
+  const auto result =
+      parallel_tempering(toy_factory({6, 3, 5, 2, 6, 4, 7, 1}), options, rng);
+  EXPECT_GT(result.swap_attempts, 0u);
+  EXPECT_GT(result.swap_accepts, 0u);
+  EXPECT_LE(result.swap_accepts, result.swap_attempts);
+}
+
+TEST(TemperingTest, DeterministicGivenSeed) {
+  TemperingOptions options;
+  options.temperatures = geometric_schedule(6.0, 0.6, 3);
+  options.budget = 5'000;
+  auto run = [&] {
+    util::Rng rng{77};
+    return parallel_tempering(toy_factory({5, 1, 6, 0, 7, 6, 5, 4}), options,
+                              rng);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.aggregate.best_cost, b.aggregate.best_cost);
+  EXPECT_EQ(a.aggregate.accepts, b.aggregate.accepts);
+  EXPECT_EQ(a.swap_accepts, b.swap_accepts);
+  EXPECT_EQ(a.aggregate.best_state, b.aggregate.best_state);
+}
+
+TEST(TemperingTest, SingleReplicaDegeneratesToMetropolis) {
+  util::Rng rng{5};
+  TemperingOptions options;
+  options.temperatures = {2.0};
+  options.budget = 4'000;
+  const auto result =
+      parallel_tempering(toy_factory({6, 3, 5, 2, 6, 4, 7, 1}), options, rng);
+  EXPECT_EQ(result.swap_attempts, 0u);
+  EXPECT_LE(result.aggregate.best_cost, result.aggregate.initial_cost);
+}
+
+TEST(TemperingTest, WorksOnLinearArrangement) {
+  util::Rng gen{6};
+  const auto nl = netlist::random_gola(netlist::GolaParams{15, 150}, gen);
+  auto factory = [&nl](std::size_t replica) -> std::unique_ptr<Problem> {
+    util::Rng start_rng{util::derive_seed(900, replica)};
+    return std::make_unique<linarr::LinArrProblem>(
+        nl, linarr::Arrangement::random(15, start_rng));
+  };
+  util::Rng rng{7};
+  TemperingOptions options;
+  options.temperatures = geometric_schedule(2.0, 0.6, 4);
+  options.budget = 8'000;
+  const auto result = parallel_tempering(factory, options, rng);
+  EXPECT_GT(result.aggregate.initial_cost - result.aggregate.best_cost, 5.0);
+  EXPECT_GE(result.aggregate.final_cost, result.aggregate.best_cost);
+}
+
+}  // namespace
+}  // namespace mcopt::core

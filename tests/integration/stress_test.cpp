@@ -1,0 +1,153 @@
+// Stress and cross-component equivalence tests: larger instances than the
+// paper's, fuzz-style round-trips, and identities between API layers.
+#include <gtest/gtest.h>
+
+#include "core/annealer.hpp"
+#include "core/figure1.hpp"
+#include "core/gfunction.hpp"
+#include "core/schedule.hpp"
+#include "linarr/problem.hpp"
+#include "linarr/tracks.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/io.hpp"
+#include "partition/partition.hpp"
+#include "partition/problem.hpp"
+
+namespace mcopt {
+namespace {
+
+TEST(StressTest, LargeDensityChurnStaysConsistent) {
+  util::Rng rng{1};
+  const auto nl =
+      netlist::random_nola(netlist::NolaParams{200, 800, 2, 8}, rng);
+  linarr::DensityState state{nl, linarr::Arrangement::random(200, rng)};
+  for (int step = 0; step < 2000; ++step) {
+    const auto [a, b] = rng.next_distinct_pair(200);
+    if (rng.next_bool(0.7)) {
+      state.apply_swap(a, b);
+    } else {
+      state.apply_move(a, b);
+    }
+  }
+  EXPECT_TRUE(state.verify());
+  EXPECT_GT(state.density(), 0);
+}
+
+TEST(StressTest, LargePartitionChurnStaysConsistent) {
+  util::Rng rng{2};
+  const auto nl = netlist::random_graph(300, 1200, rng);
+  partition::PartitionState state = partition::PartitionState::random(nl, rng);
+  for (int step = 0; step < 5000; ++step) {
+    state.flip(static_cast<partition::CellId>(rng.next_below(300)));
+  }
+  EXPECT_TRUE(state.verify());
+}
+
+class IoFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoFuzzTest, RandomInstancesRoundTripExactly) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  const std::size_t cells = 2 + rng.next_below(60);
+  const std::size_t nets = 1 + rng.next_below(120);
+  const std::size_t max_pins = 2 + rng.next_below(std::min<std::size_t>(
+                                       cells - 1, 7));
+  const auto nl = netlist::random_nola(
+      netlist::NolaParams{cells, nets, 2, max_pins}, rng);
+  const std::string once = netlist::to_string(nl);
+  const std::string twice = netlist::to_string(netlist::from_string(once));
+  ASSERT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest,
+                         ::testing::Range(1, 21));  // 20 fuzz draws
+
+TEST(EquivalenceTest, AnnealerIsFigure1WithAnnealingG) {
+  // simulated_annealing(schedule) must be bit-identical to run_figure1 with
+  // make_annealing_g(schedule): same accepts, same best, same everything.
+  util::Rng gen{3};
+  const auto nl = netlist::random_gola(netlist::GolaParams{15, 150}, gen);
+  const auto schedule = core::geometric_schedule(3.0, 0.8, 5);
+
+  linarr::LinArrProblem p1{nl, linarr::Arrangement{15}};
+  util::Rng r1{42};
+  core::AnnealOptions anneal;
+  anneal.schedule = schedule;
+  anneal.budget = 4'000;
+  const auto a = core::simulated_annealing(p1, anneal, r1);
+
+  linarr::LinArrProblem p2{nl, linarr::Arrangement{15}};
+  util::Rng r2{42};
+  const auto g = core::make_annealing_g(schedule);
+  core::Figure1Options fig1;
+  fig1.budget = 4'000;
+  const auto b = core::run_figure1(p2, *g, fig1, r2);
+
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.final_cost, b.final_cost);
+  EXPECT_EQ(a.accepts, b.accepts);
+  EXPECT_EQ(a.uphill_accepts, b.uphill_accepts);
+  EXPECT_EQ(a.best_state, b.best_state);
+}
+
+TEST(EquivalenceTest, MakeGAnnealingMatchesExplicitSchedule) {
+  // make_g(kSixTempAnnealing, {scale, ratio}) == make_annealing_g(geometric).
+  const auto packed =
+      core::make_g(core::GClass::kSixTempAnnealing, {.scale = 7.0, .ratio = 0.8});
+  const auto explicit_g =
+      core::make_annealing_g(core::geometric_schedule(7.0, 0.8, 6));
+  for (unsigned t = 0; t < 6; ++t) {
+    for (const double delta : {0.5, 1.0, 3.0, 10.0}) {
+      EXPECT_DOUBLE_EQ(packed->probability(t, 50.0, 50.0 + delta),
+                       explicit_g->probability(t, 50.0, 50.0 + delta));
+    }
+  }
+}
+
+TEST(StressTest, TrackAssignmentScalesAndStaysOptimal) {
+  util::Rng rng{4};
+  const auto nl =
+      netlist::random_nola(netlist::NolaParams{100, 400, 2, 6}, rng);
+  const auto arr = linarr::Arrangement::random(100, rng);
+  const auto assignment = linarr::assign_tracks(nl, arr);
+  EXPECT_TRUE(linarr::is_valid_assignment(assignment));
+  EXPECT_EQ(assignment.num_tracks,
+            static_cast<std::size_t>(linarr::density_of(nl, arr)));
+}
+
+TEST(FailureInjectionTest, ForeignSnapshotsAreRejectedEverywhere) {
+  util::Rng rng{5};
+  const auto nl = netlist::random_gola(netlist::GolaParams{10, 40}, rng);
+  linarr::LinArrProblem linarr_problem{nl, linarr::Arrangement{10}};
+  EXPECT_THROW(linarr_problem.restore(core::Snapshot{}),
+               std::invalid_argument);
+  EXPECT_THROW(linarr_problem.restore(core::Snapshot{0, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(linarr_problem.restore(core::Snapshot(10, 99)),
+               std::invalid_argument);
+
+  partition::PartitionProblem partition_problem{
+      partition::PartitionState::random(nl, rng)};
+  EXPECT_THROW(partition_problem.restore(core::Snapshot{0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(partition_problem.restore(core::Snapshot(10, 7)),
+               std::invalid_argument);
+}
+
+TEST(StressTest, HugeBudgetRunTerminatesAtCeiling) {
+  // A long Figure 1 run on a tiny instance must stay stable (no drift, no
+  // invariant decay) and end with a best no worse than the brute regime.
+  util::Rng rng{6};
+  const auto nl = netlist::random_gola(netlist::GolaParams{8, 30}, rng);
+  linarr::LinArrProblem problem{nl, linarr::Arrangement{8}};
+  const auto g = core::make_g(core::GClass::kCubicDiff, {.scale = 0.5});
+  core::Figure1Options options;
+  options.budget = 200'000;
+  const auto result = core::run_figure1(problem, *g, options, rng);
+  EXPECT_TRUE(problem.state().verify());
+  EXPECT_LE(result.best_cost, result.initial_cost);
+  problem.restore(result.best_state);
+  EXPECT_DOUBLE_EQ(problem.cost(), result.best_cost);
+}
+
+}  // namespace
+}  // namespace mcopt

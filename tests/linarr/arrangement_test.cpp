@@ -1,0 +1,117 @@
+#include "linarr/arrangement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcopt::linarr {
+namespace {
+
+TEST(ArrangementTest, IdentityLaysOutInOrder) {
+  Arrangement arr{5};
+  for (std::size_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(arr.cell_at(p), p);
+    EXPECT_EQ(arr.position_of(static_cast<CellId>(p)), p);
+  }
+  EXPECT_TRUE(arr.is_consistent());
+}
+
+TEST(ArrangementTest, RejectsEmpty) {
+  EXPECT_THROW(Arrangement{0}, std::invalid_argument);
+  EXPECT_THROW(Arrangement::from_order({}), std::invalid_argument);
+}
+
+TEST(ArrangementTest, FromOrderValidates) {
+  EXPECT_THROW(Arrangement::from_order({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Arrangement::from_order({0, 3}), std::invalid_argument);
+  const Arrangement arr = Arrangement::from_order({2, 0, 1});
+  EXPECT_EQ(arr.cell_at(0), 2u);
+  EXPECT_EQ(arr.position_of(1), 2u);
+  EXPECT_TRUE(arr.is_consistent());
+}
+
+TEST(ArrangementTest, SwapPositionsUpdatesBothMaps) {
+  Arrangement arr{4};
+  arr.swap_positions(0, 3);
+  EXPECT_EQ(arr.cell_at(0), 3u);
+  EXPECT_EQ(arr.cell_at(3), 0u);
+  EXPECT_EQ(arr.position_of(0), 3u);
+  EXPECT_EQ(arr.position_of(3), 0u);
+  EXPECT_TRUE(arr.is_consistent());
+}
+
+TEST(ArrangementTest, SwapIsSelfInverse) {
+  util::Rng rng{1};
+  Arrangement arr = Arrangement::random(8, rng);
+  const auto before = arr.order();
+  arr.swap_positions(2, 6);
+  arr.swap_positions(2, 6);
+  EXPECT_EQ(arr.order(), before);
+}
+
+TEST(ArrangementTest, MoveForwardShiftsIntermediates) {
+  Arrangement arr{5};  // 0 1 2 3 4
+  arr.move_position(1, 3);
+  const std::vector<CellId> want{0, 2, 3, 1, 4};
+  EXPECT_EQ(arr.order(), want);
+  EXPECT_TRUE(arr.is_consistent());
+}
+
+TEST(ArrangementTest, MoveBackwardShiftsIntermediates) {
+  Arrangement arr{5};
+  arr.move_position(3, 0);
+  const std::vector<CellId> want{3, 0, 1, 2, 4};
+  EXPECT_EQ(arr.order(), want);
+  EXPECT_TRUE(arr.is_consistent());
+}
+
+TEST(ArrangementTest, MoveIsUndoneByReverseMove) {
+  util::Rng rng{2};
+  Arrangement arr = Arrangement::random(9, rng);
+  const auto before = arr.order();
+  arr.move_position(2, 7);
+  arr.move_position(7, 2);
+  EXPECT_EQ(arr.order(), before);
+}
+
+TEST(ArrangementTest, MoveToSamePositionIsNoop) {
+  Arrangement arr{4};
+  arr.move_position(2, 2);
+  EXPECT_EQ(arr.cell_at(2), 2u);
+  EXPECT_TRUE(arr.is_consistent());
+}
+
+TEST(ArrangementTest, RandomIsUniformishOverPositions) {
+  // Cell 0's position should hit every slot over many draws.
+  std::vector<int> counts(6, 0);
+  for (int trial = 0; trial < 600; ++trial) {
+    util::Rng rng{static_cast<std::uint64_t>(trial)};
+    const Arrangement arr = Arrangement::random(6, rng);
+    ++counts[arr.position_of(0)];
+  }
+  for (const int c : counts) EXPECT_GT(c, 50);
+}
+
+class ArrangementPropertyTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(ArrangementPropertyTest, RandomMoveChurnPreservesConsistency) {
+  const std::size_t n = GetParam();
+  util::Rng rng{n * 31 + 7};
+  Arrangement arr = Arrangement::random(n, rng);
+  for (int step = 0; step < 500; ++step) {
+    const auto [a, b] = rng.next_distinct_pair(n);
+    if (rng.next_bool(0.5)) {
+      arr.swap_positions(a, b);
+    } else {
+      arr.move_position(a, b);
+    }
+    ASSERT_TRUE(arr.is_consistent()) << "step " << step << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArrangementPropertyTest,
+                         ::testing::Values(2, 3, 5, 15, 64));
+
+}  // namespace
+}  // namespace mcopt::linarr

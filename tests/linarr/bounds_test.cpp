@@ -1,0 +1,118 @@
+#include "linarr/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/figure1.hpp"
+#include "core/gfunction.hpp"
+#include "linarr/density.hpp"
+#include "linarr/goto_heuristic.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/generator.hpp"
+
+namespace mcopt::linarr {
+namespace {
+
+using netlist::Netlist;
+
+Netlist path_graph(std::size_t n) {
+  Netlist::Builder b{n};
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_net({static_cast<CellId>(i), static_cast<CellId>(i + 1)});
+  }
+  return b.build();
+}
+
+Netlist complete_graph(std::size_t n) {
+  Netlist::Builder b{n};
+  for (CellId i = 0; i < n; ++i) {
+    for (CellId j = i + 1; j < n; ++j) b.add_net({i, j});
+  }
+  return b.build();
+}
+
+TEST(BoundsTest, NetFreeNetlistIsZero) {
+  Netlist::Builder b{4};
+  EXPECT_EQ(density_lower_bound(b.build()), 0);
+  EXPECT_EQ(total_span_lower_bound(b.build()), 0);
+}
+
+TEST(BoundsTest, PathBoundIsTightAtOne) {
+  const Netlist nl = path_graph(6);
+  EXPECT_EQ(density_lower_bound(nl), 1);
+  EXPECT_EQ(brute_force_optimum(nl).density, 1);  // identity achieves it
+}
+
+TEST(BoundsTest, SpanMassCountsPinsMinusOne) {
+  Netlist::Builder b{5};
+  b.add_net({0, 1});          // mass 1
+  b.add_net({0, 1, 2, 3, 4}); // mass 4
+  EXPECT_EQ(total_span_lower_bound(b.build()), 5);
+}
+
+TEST(BoundsTest, DegreeBoundDominatesOnCompleteGraphs) {
+  // K5: every cell has degree 4; span bound = ceil(10/4) = 3.
+  const Netlist nl = complete_graph(5);
+  EXPECT_EQ(density_lower_bound(nl), 4);
+}
+
+TEST(BoundsTest, BruteForceRejectsLargeInstances) {
+  util::Rng rng{1};
+  const auto nl = netlist::random_gola(netlist::GolaParams{15, 20}, rng);
+  EXPECT_THROW((void)brute_force_optimum(nl), std::invalid_argument);
+}
+
+TEST(BoundsTest, BruteForceCompleteGraphMatchesClosedForm) {
+  // For K_n every arrangement has boundary cuts k(n-k); density is the
+  // middle cut.
+  for (const std::size_t n : {std::size_t{4}, std::size_t{5}, std::size_t{6}}) {
+    const auto result = brute_force_optimum(complete_graph(n));
+    const std::size_t mid = n / 2;
+    EXPECT_EQ(result.density, static_cast<int>(mid * (n - mid))) << "K" << n;
+  }
+}
+
+TEST(BoundsTest, BruteForceResultIsConsistent) {
+  util::Rng rng{2};
+  const auto nl = netlist::random_gola(netlist::GolaParams{7, 12}, rng);
+  const auto result = brute_force_optimum(nl);
+  EXPECT_EQ(density_of(nl, result.arrangement), result.density);
+}
+
+class BoundsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsPropertyTest, OptimumRespectsLowerBoundAndHeuristics) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  const bool multi_pin = GetParam() % 2 == 0;
+  const Netlist nl =
+      multi_pin
+          ? netlist::random_nola(netlist::NolaParams{8, 20, 2, 4}, rng)
+          : netlist::random_gola(netlist::GolaParams{8, 20}, rng);
+  const auto exact = brute_force_optimum(nl);
+  // Lower bound <= optimum <= Goto <= random.
+  EXPECT_LE(density_lower_bound(nl), exact.density);
+  EXPECT_LE(exact.density, density_of(nl, goto_arrangement(nl)));
+  EXPECT_LE(exact.density,
+            density_of(nl, Arrangement::random(8, rng)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(BoundsTest, MonteCarloReachesTheOptimumOnSmallInstances) {
+  // End-to-end: g = 1 with a generous budget should find the exact optimum
+  // of 8-cell instances.
+  util::Rng rng{3};
+  const auto nl = netlist::random_gola(netlist::GolaParams{8, 24}, rng);
+  const auto exact = brute_force_optimum(nl);
+  LinArrProblem problem{nl, Arrangement::random(8, rng)};
+  const auto g = core::make_g(core::GClass::kGOne);
+  core::Figure1Options options;
+  options.budget = 50'000;
+  const auto result = core::run_figure1(problem, *g, options, rng);
+  EXPECT_EQ(static_cast<int>(result.best_cost), exact.density);
+}
+
+}  // namespace
+}  // namespace mcopt::linarr

@@ -1,0 +1,65 @@
+#include "linarr/cohoon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linarr/goto_heuristic.hpp"
+#include "netlist/generator.hpp"
+
+namespace mcopt::linarr {
+namespace {
+
+using netlist::GolaParams;
+using netlist::Netlist;
+
+Netlist instance(std::uint64_t seed) {
+  util::Rng rng{seed};
+  return netlist::random_gola(GolaParams{15, 150}, rng);
+}
+
+TEST(CohoonTest, Figure1RunImproves) {
+  const Netlist nl = instance(1);
+  util::Rng rng{11};
+  LinArrProblem problem{nl, Arrangement::random(15, rng)};
+  const core::RunResult result =
+      cohoon_sahni(problem, {.strategy = Strategy::kFigure1, .budget = 20000},
+                   rng);
+  EXPECT_LT(result.best_cost, result.initial_cost);
+  EXPECT_EQ(result.proposals, 20000u);
+}
+
+TEST(CohoonTest, Figure2RunImproves) {
+  const Netlist nl = instance(2);
+  util::Rng rng{13};
+  LinArrProblem problem{nl, Arrangement::random(15, rng)};
+  const core::RunResult result =
+      cohoon_sahni(problem, {.strategy = Strategy::kFigure2, .budget = 20000},
+                   rng);
+  EXPECT_LT(result.best_cost, result.initial_cost);
+  EXPECT_GT(result.descent_steps, 0u);
+}
+
+TEST(CohoonTest, PublishedBestVariantRunsFromGotoStart) {
+  // [COHO83a]'s best heuristic: Goto start + single exchange + Figure 2.
+  const Netlist nl = instance(3);
+  util::Rng rng{17};
+  LinArrProblem problem{nl, goto_arrangement(nl), MoveKind::kSingleExchange};
+  const core::RunResult result =
+      cohoon_sahni(problem, {.strategy = Strategy::kFigure2, .budget = 20000},
+                   rng);
+  EXPECT_LE(result.best_cost, result.initial_cost);
+}
+
+TEST(CohoonTest, DeterministicGivenSeed) {
+  const Netlist nl = instance(4);
+  util::Rng r1{19};
+  util::Rng r2{19};
+  LinArrProblem p1{nl, Arrangement{15}};
+  LinArrProblem p2{nl, Arrangement{15}};
+  const auto a = cohoon_sahni(p1, {.budget = 5000}, r1);
+  const auto b = cohoon_sahni(p2, {.budget = 5000}, r2);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.best_state, b.best_state);
+}
+
+}  // namespace
+}  // namespace mcopt::linarr

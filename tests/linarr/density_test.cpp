@@ -1,0 +1,197 @@
+#include "linarr/density.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "netlist/generator.hpp"
+
+namespace mcopt::linarr {
+namespace {
+
+using netlist::GolaParams;
+using netlist::Netlist;
+using netlist::NolaParams;
+
+Netlist path_graph(std::size_t n) {
+  Netlist::Builder b{n};
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_net({static_cast<CellId>(i), static_cast<CellId>(i + 1)});
+  }
+  return b.build();
+}
+
+TEST(DensityTest, PathGraphIdentityHasDensityOne) {
+  const Netlist nl = path_graph(5);
+  DensityState state{nl, Arrangement{5}};
+  EXPECT_EQ(state.density(), 1);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(state.cut_at(b), 1);
+  EXPECT_EQ(state.total_span(), 4);
+}
+
+TEST(DensityTest, ReversedPathStillDensityOne) {
+  const Netlist nl = path_graph(5);
+  DensityState state{nl, Arrangement::from_order({4, 3, 2, 1, 0})};
+  EXPECT_EQ(state.density(), 1);
+}
+
+TEST(DensityTest, ScrambledPathRaisesDensity) {
+  // 0-1-2-3-4 path arranged 0 2 4 1 3: every edge spans >= 2 boundaries.
+  const Netlist nl = path_graph(5);
+  DensityState state{nl, Arrangement::from_order({0, 2, 4, 1, 3})};
+  EXPECT_GT(state.density(), 1);
+  EXPECT_TRUE(state.verify());
+}
+
+TEST(DensityTest, StarNetCrossesItsWholeSpan) {
+  // One 4-pin net over cells {0,1,2,3} placed at positions 0..3 of 5.
+  Netlist::Builder b{5};
+  b.add_net({0, 1, 2, 3});
+  const Netlist nl = b.build();
+  DensityState state{nl, Arrangement{5}};
+  EXPECT_EQ(state.cut_at(0), 1);
+  EXPECT_EQ(state.cut_at(1), 1);
+  EXPECT_EQ(state.cut_at(2), 1);
+  EXPECT_EQ(state.cut_at(3), 0);  // net does not reach position 4
+  EXPECT_EQ(state.density(), 1);
+  EXPECT_EQ(state.total_span(), 3);
+}
+
+TEST(DensityTest, MultiPinNetSpanIsExtremaNotPairs) {
+  // Net {0, 2} plus net {0, 1, 2}: both span positions 0..2 under identity.
+  Netlist::Builder b{3};
+  b.add_net({0, 2});
+  b.add_net({0, 1, 2});
+  DensityState state{b.build(), Arrangement{3}};
+  EXPECT_EQ(state.cut_at(0), 2);
+  EXPECT_EQ(state.cut_at(1), 2);
+  EXPECT_EQ(state.density(), 2);
+}
+
+TEST(DensityTest, ParallelNetsStack) {
+  Netlist::Builder b{2};
+  b.add_net({0, 1});
+  b.add_net({0, 1});
+  b.add_net({0, 1});
+  DensityState state{b.build(), Arrangement{2}};
+  EXPECT_EQ(state.density(), 3);
+}
+
+TEST(DensityTest, RejectsSizeMismatch) {
+  const Netlist nl = path_graph(4);
+  EXPECT_THROW((DensityState{nl, Arrangement{5}}), std::invalid_argument);
+}
+
+TEST(DensityTest, SwapUpdatesDensity) {
+  const Netlist nl = path_graph(4);  // identity density 1
+  DensityState state{nl, Arrangement{4}};
+  state.apply_swap(0, 3);  // 3 1 2 0: edges 0-1 and 2-3 now span widely
+  EXPECT_TRUE(state.verify());
+  EXPECT_GT(state.density(), 1);
+  state.apply_swap(0, 3);  // undo
+  EXPECT_EQ(state.density(), 1);
+  EXPECT_TRUE(state.verify());
+}
+
+TEST(DensityTest, SwapSamePositionIsNoop) {
+  const Netlist nl = path_graph(4);
+  DensityState state{nl, Arrangement{4}};
+  state.apply_swap(2, 2);
+  EXPECT_EQ(state.density(), 1);
+  EXPECT_TRUE(state.verify());
+}
+
+TEST(DensityTest, MoveUpdatesDensity) {
+  const Netlist nl = path_graph(6);
+  DensityState state{nl, Arrangement{6}};
+  state.apply_move(0, 5);
+  EXPECT_TRUE(state.verify());
+  state.apply_move(5, 0);
+  EXPECT_EQ(state.density(), 1);
+  EXPECT_TRUE(state.verify());
+}
+
+TEST(DensityTest, ResetRecounts) {
+  const Netlist nl = path_graph(5);
+  DensityState state{nl, Arrangement::from_order({0, 2, 4, 1, 3})};
+  const int scrambled = state.density();
+  state.reset(Arrangement{5});
+  EXPECT_EQ(state.density(), 1);
+  EXPECT_LT(state.density(), scrambled);
+  EXPECT_TRUE(state.verify());
+}
+
+TEST(DensityTest, MaxCutTightensAfterDecrease) {
+  // Force the lazily-tracked max to shrink: create a high cut then remove it.
+  Netlist::Builder b{4};
+  b.add_net({0, 3});
+  b.add_net({0, 3});
+  b.add_net({1, 2});
+  const Netlist nl = b.build();
+  DensityState state{nl, Arrangement{4}};  // cuts: 2 3 2 -> density 3
+  EXPECT_EQ(state.density(), 3);
+  // Swap 1 and 3: order 0 3 2 1.  The two {0,3} nets now span one boundary.
+  state.apply_swap(1, 3);
+  EXPECT_TRUE(state.verify());
+  EXPECT_EQ(state.density(), 2);
+}
+
+TEST(DensityOfTest, OneShotMatchesState) {
+  const Netlist nl = path_graph(7);
+  const Arrangement arr = Arrangement::from_order({3, 0, 6, 2, 5, 1, 4});
+  DensityState state{nl, arr};
+  EXPECT_EQ(density_of(nl, arr), state.density());
+}
+
+// Property sweep: after arbitrary interleavings of swaps and moves the
+// incremental state must equal a from-scratch recount.  Parameterized over
+// (instance seed, use NOLA multi-pin nets).
+class DensityChurnTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(DensityChurnTest, IncrementalAlwaysMatchesRecount) {
+  const auto [seed, multi_pin] = GetParam();
+  util::Rng rng{static_cast<std::uint64_t>(seed)};
+  const Netlist nl =
+      multi_pin ? random_nola(NolaParams{12, 60, 2, 6}, rng)
+                : random_gola(GolaParams{12, 60}, rng);
+  DensityState state{nl, Arrangement::random(12, rng)};
+  ASSERT_TRUE(state.verify());
+  for (int step = 0; step < 300; ++step) {
+    const auto [a, b] = rng.next_distinct_pair(12);
+    if (rng.next_bool(0.5)) {
+      state.apply_swap(a, b);
+    } else {
+      state.apply_move(a, b);
+    }
+    if (step % 10 == 0) {
+      ASSERT_TRUE(state.verify()) << "step " << step;
+    }
+    ASSERT_GE(state.density(), 0);
+    ASSERT_LE(state.density(), static_cast<int>(nl.num_nets()));
+  }
+  EXPECT_TRUE(state.verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensityChurnTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                                            ::testing::Bool()));
+
+// Density lower bound: the first boundary's cut equals the degree of the
+// leftmost cell for two-pin nets, so density >= min degree.
+TEST(DensityBoundTest, DensityAtLeastMinDegreeOnGraphs) {
+  util::Rng rng{77};
+  const Netlist nl = random_gola(GolaParams{10, 45}, rng);
+  std::size_t min_degree = nl.degree(0);
+  for (CellId c = 1; c < nl.num_cells(); ++c) {
+    min_degree = std::min(min_degree, nl.degree(c));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const Arrangement arr = Arrangement::random(10, rng);
+    EXPECT_GE(density_of(nl, arr), static_cast<int>(min_degree));
+  }
+}
+
+}  // namespace
+}  // namespace mcopt::linarr

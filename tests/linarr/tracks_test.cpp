@@ -1,0 +1,118 @@
+#include "linarr/tracks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "linarr/density.hpp"
+#include "linarr/goto_heuristic.hpp"
+#include "netlist/generator.hpp"
+
+namespace mcopt::linarr {
+namespace {
+
+using netlist::Netlist;
+
+TEST(TracksTest, SingleNetSingleTrack) {
+  Netlist::Builder b{4};
+  b.add_net({0, 3});
+  const Netlist nl = b.build();
+  const auto assignment = assign_tracks(nl, Arrangement{4});
+  EXPECT_EQ(assignment.num_tracks, 1u);
+  EXPECT_EQ(assignment.nets[0].lo, 0u);
+  EXPECT_EQ(assignment.nets[0].hi, 3u);
+  EXPECT_TRUE(is_valid_assignment(assignment));
+}
+
+TEST(TracksTest, AbuttingNetsShareATrack) {
+  // [0,2] and [2,4]: one ends where the other begins; no boundary overlap,
+  // so one track suffices (and density is 1).
+  Netlist::Builder b{5};
+  b.add_net({0, 2});
+  b.add_net({2, 4});
+  const Netlist nl = b.build();
+  const auto assignment = assign_tracks(nl, Arrangement{5});
+  EXPECT_EQ(assignment.num_tracks, 1u);
+  EXPECT_EQ(assignment.nets[0].track, assignment.nets[1].track);
+}
+
+TEST(TracksTest, OverlappingNetsAreSeparated) {
+  Netlist::Builder b{4};
+  b.add_net({0, 2});
+  b.add_net({1, 3});
+  const Netlist nl = b.build();
+  const auto assignment = assign_tracks(nl, Arrangement{4});
+  EXPECT_EQ(assignment.num_tracks, 2u);
+  EXPECT_NE(assignment.nets[0].track, assignment.nets[1].track);
+  EXPECT_TRUE(is_valid_assignment(assignment));
+}
+
+TEST(TracksTest, ParallelNetsStack) {
+  Netlist::Builder b{2};
+  b.add_net({0, 1});
+  b.add_net({0, 1});
+  b.add_net({0, 1});
+  const auto assignment = assign_tracks(b.build(), Arrangement{2});
+  EXPECT_EQ(assignment.num_tracks, 3u);
+}
+
+TEST(TracksTest, ValidityDetectsBrokenAssignments) {
+  Netlist::Builder b{4};
+  b.add_net({0, 2});
+  b.add_net({1, 3});
+  auto assignment = assign_tracks(b.build(), Arrangement{4});
+  ASSERT_TRUE(is_valid_assignment(assignment));
+  assignment.nets[1].track = assignment.nets[0].track;  // force a conflict
+  EXPECT_FALSE(is_valid_assignment(assignment));
+  assignment = assign_tracks(b.build(), Arrangement{4});
+  assignment.nets[0].track = 99;  // out of range
+  EXPECT_FALSE(is_valid_assignment(assignment));
+}
+
+// The module's headline property: left-edge track count equals density,
+// i.e. minimizing density minimizes the routed channel height.  Sweep over
+// random instances, both net models, several arrangements each.
+class TracksDensityTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(TracksDensityTest, TrackCountEqualsDensity) {
+  const auto [seed, multi_pin] = GetParam();
+  util::Rng rng{static_cast<std::uint64_t>(seed)};
+  const Netlist nl =
+      multi_pin
+          ? netlist::random_nola(netlist::NolaParams{12, 40, 2, 5}, rng)
+          : netlist::random_gola(netlist::GolaParams{12, 40}, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Arrangement arr = trial == 0 ? goto_arrangement(nl)
+                                       : Arrangement::random(12, rng);
+    const auto assignment = assign_tracks(nl, arr);
+    ASSERT_TRUE(is_valid_assignment(assignment));
+    EXPECT_EQ(assignment.num_tracks,
+              static_cast<std::size_t>(density_of(nl, arr)))
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TracksDensityTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Bool()));
+
+TEST(TracksTest, RenderShowsTracksAndPins) {
+  Netlist::Builder b{4};
+  b.add_net({0, 2});
+  b.add_net({1, 3});
+  const Netlist nl = b.build();
+  const Arrangement arr{4};
+  std::ostringstream os;
+  render_channel(os, nl, arr, assign_tracks(nl, arr));
+  const std::string text = os.str();
+  EXPECT_NE(text.find("track 0 |"), std::string::npos);
+  EXPECT_NE(text.find("track 1 |"), std::string::npos);
+  EXPECT_NE(text.find("0-0"), std::string::npos);  // net 0 spans cols 0..2
+  EXPECT_NE(text.find("1-1"), std::string::npos);  // net 1 spans cols 1..3
+  EXPECT_NE(text.find("cells    0123"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcopt::linarr

@@ -1,0 +1,95 @@
+#include "netlist/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "netlist/generator.hpp"
+
+namespace mcopt::netlist {
+namespace {
+
+TEST(StatsTest, EmptyNetlist) {
+  Netlist::Builder b{3};
+  const NetlistStats stats = compute_stats(b.build());
+  EXPECT_EQ(stats.num_cells, 3u);
+  EXPECT_EQ(stats.num_nets, 0u);
+  EXPECT_EQ(stats.min_degree, 0u);
+  EXPECT_EQ(stats.max_degree, 0u);
+  EXPECT_FALSE(stats.is_graph);
+  EXPECT_TRUE(stats.net_size_histogram.empty());
+}
+
+TEST(StatsTest, HandComputedExample) {
+  Netlist::Builder b{4};
+  b.add_net({0, 1});
+  b.add_net({1, 2, 3});
+  b.add_net({0, 3});
+  const NetlistStats stats = compute_stats(b.build());
+  EXPECT_EQ(stats.num_pins, 7u);
+  EXPECT_EQ(stats.min_degree, 1u);  // cell 2
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 7.0 / 4.0);
+  EXPECT_EQ(stats.min_net_size, 2u);
+  EXPECT_EQ(stats.max_net_size, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_net_size, 7.0 / 3.0);
+  ASSERT_EQ(stats.net_size_histogram.size(), 4u);
+  EXPECT_EQ(stats.net_size_histogram[2], 2u);
+  EXPECT_EQ(stats.net_size_histogram[3], 1u);
+  ASSERT_EQ(stats.degree_histogram.size(), 3u);
+  EXPECT_EQ(stats.degree_histogram[1], 1u);
+  EXPECT_EQ(stats.degree_histogram[2], 3u);
+}
+
+TEST(StatsTest, HistogramsSumToTotals) {
+  util::Rng rng{1};
+  const Netlist nl = random_nola(NolaParams{15, 150, 2, 6}, rng);
+  const NetlistStats stats = compute_stats(nl);
+  EXPECT_EQ(std::accumulate(stats.degree_histogram.begin(),
+                            stats.degree_histogram.end(), std::size_t{0}),
+            stats.num_cells);
+  EXPECT_EQ(std::accumulate(stats.net_size_histogram.begin(),
+                            stats.net_size_histogram.end(), std::size_t{0}),
+            stats.num_nets);
+  // Pin totals line up with both views.
+  std::size_t pins_by_size = 0;
+  for (std::size_t p = 0; p < stats.net_size_histogram.size(); ++p) {
+    pins_by_size += p * stats.net_size_histogram[p];
+  }
+  EXPECT_EQ(pins_by_size, stats.num_pins);
+}
+
+TEST(StatsTest, GolaInstancesProfileAsGraphs) {
+  util::Rng rng{2};
+  const NetlistStats stats =
+      compute_stats(random_gola(GolaParams{15, 150}, rng));
+  EXPECT_TRUE(stats.is_graph);
+  EXPECT_EQ(stats.min_net_size, 2u);
+  EXPECT_EQ(stats.max_net_size, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 20.0);  // 300 pins / 15 cells
+}
+
+TEST(StatsTest, NolaNetSizesCoverTheRequestedRange) {
+  util::Rng rng{3};
+  const NetlistStats stats =
+      compute_stats(random_nola(NolaParams{15, 150, 2, 6}, rng));
+  EXPECT_EQ(stats.min_net_size, 2u);
+  EXPECT_EQ(stats.max_net_size, 6u);
+  EXPECT_GT(stats.mean_net_size, 3.0);
+  EXPECT_LT(stats.mean_net_size, 5.0);
+}
+
+TEST(StatsTest, PrintProducesAllSections) {
+  Netlist::Builder b{3};
+  b.add_net({0, 1, 2});
+  std::ostringstream os;
+  print_stats(os, compute_stats(b.build()));
+  const std::string text = os.str();
+  EXPECT_NE(text.find("cells: 3"), std::string::npos);
+  EXPECT_NE(text.find("degree:"), std::string::npos);
+  EXPECT_NE(text.find("3-pin x1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcopt::netlist

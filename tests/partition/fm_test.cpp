@@ -1,0 +1,148 @@
+#include "partition/fm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "netlist/generator.hpp"
+#include "partition/kl.hpp"
+
+namespace mcopt::partition {
+namespace {
+
+TEST(FmTest, RejectsBadInputs) {
+  Netlist::Builder b{4};
+  b.add_net({0, 1});
+  const Netlist nl = b.build();
+  EXPECT_THROW((void)fiduccia_mattheyses(nl, {0, 1}), std::invalid_argument);
+  // Start violating the default tolerance of 1.
+  EXPECT_THROW((void)fiduccia_mattheyses(nl, {0, 0, 0, 1}),
+               std::invalid_argument);
+}
+
+TEST(FmTest, AcceptsHypergraphs) {
+  // The capability KL lacks: multi-pin nets.
+  Netlist::Builder b{6};
+  b.add_net({0, 1, 2});
+  b.add_net({3, 4, 5});
+  b.add_net({2, 3});
+  const Netlist nl = b.build();
+  // Interleaved start with cut 3.
+  const FmResult result = fiduccia_mattheyses(nl, {0, 1, 0, 1, 0, 1});
+  EXPECT_EQ(result.cut, 1);  // {0,1,2} | {3,4,5} leaves only net {2,3} cut
+}
+
+TEST(FmTest, SolvesTwoCliquesExactly) {
+  Netlist::Builder b{8};
+  for (CellId i = 0; i < 4; ++i) {
+    for (CellId j = i + 1; j < 4; ++j) {
+      b.add_net({i, j});
+      b.add_net({static_cast<CellId>(i + 4), static_cast<CellId>(j + 4)});
+    }
+  }
+  b.add_net({0, 4});
+  const Netlist nl = b.build();
+  const FmResult result = fiduccia_mattheyses(nl, {0, 1, 0, 1, 0, 1, 0, 1});
+  EXPECT_EQ(result.cut, 1);
+}
+
+TEST(FmTest, NeverWorseThanStartAndBalanced) {
+  for (int seed = 0; seed < 6; ++seed) {
+    util::Rng rng{static_cast<std::uint64_t>(seed)};
+    const Netlist nl = netlist::random_graph(31, 90, rng);  // odd cells
+    const PartitionState start = PartitionState::random(nl, rng);
+    const FmResult result = fiduccia_mattheyses(nl, start.sides());
+    EXPECT_LE(result.cut, start.cut()) << "seed " << seed;
+    const PartitionState end{nl, result.sides};
+    EXPECT_TRUE(end.is_balanced());
+    EXPECT_EQ(result.cut, end.cut());
+  }
+}
+
+TEST(FmTest, HypergraphRunNeverWorseThanStart) {
+  for (int seed = 0; seed < 4; ++seed) {
+    util::Rng rng{static_cast<std::uint64_t>(100 + seed)};
+    const Netlist nl =
+        netlist::random_nola(netlist::NolaParams{24, 80, 2, 6}, rng);
+    const PartitionState start = PartitionState::random(nl, rng);
+    const FmResult result = fiduccia_mattheyses(nl, start.sides());
+    EXPECT_LE(result.cut, start.cut());
+    EXPECT_EQ(result.cut, (PartitionState{nl, result.sides}.cut()));
+  }
+}
+
+TEST(FmTest, BalanceToleranceIsRespected) {
+  util::Rng rng{7};
+  const Netlist nl = netlist::random_graph(20, 60, rng);
+  const PartitionState start = PartitionState::random(nl, rng);
+  for (const std::size_t tolerance : {std::size_t{1}, std::size_t{4}}) {
+    FmOptions options;
+    options.balance_tolerance = tolerance;
+    const FmResult result =
+        fiduccia_mattheyses(nl, start.sides(), options);
+    const PartitionState end{nl, result.sides};
+    const auto s0 = end.side_count(0);
+    const auto s1 = end.side_count(1);
+    EXPECT_LE(s0 > s1 ? s0 - s1 : s1 - s0, tolerance);
+  }
+}
+
+TEST(FmTest, LooserBalanceNeverHurts) {
+  util::Rng rng{8};
+  const Netlist nl = netlist::random_graph(24, 70, rng);
+  const PartitionState start = PartitionState::random(nl, rng);
+  FmOptions tight;
+  tight.balance_tolerance = 1;  // even n: perfectly balanced
+  FmOptions loose;
+  loose.balance_tolerance = 6;
+  const int tight_cut = fiduccia_mattheyses(nl, start.sides(), tight).cut;
+  const int loose_cut = fiduccia_mattheyses(nl, start.sides(), loose).cut;
+  EXPECT_LE(loose_cut, tight_cut);
+}
+
+TEST(FmTest, ComparableToKlOnGraphs) {
+  for (int seed = 0; seed < 5; ++seed) {
+    util::Rng rng{static_cast<std::uint64_t>(200 + seed)};
+    const Netlist nl = netlist::random_graph(30, 90, rng);
+    const PartitionState start = PartitionState::random(nl, rng);
+    const int kl_cut = kernighan_lin(nl, start.sides()).cut;
+    const int fm_cut = fiduccia_mattheyses(nl, start.sides()).cut;
+    // Both are pass-based local heuristics; FM should land in KL's league.
+    EXPECT_LE(fm_cut, kl_cut + 6) << "seed " << seed;
+  }
+}
+
+TEST(FmTest, DeterministicFromFixedStart) {
+  util::Rng rng{9};
+  const Netlist nl =
+      netlist::random_nola(netlist::NolaParams{18, 50, 2, 5}, rng);
+  const PartitionState start = PartitionState::random(nl, rng);
+  const FmResult a = fiduccia_mattheyses(nl, start.sides());
+  const FmResult b = fiduccia_mattheyses(nl, start.sides());
+  EXPECT_EQ(a.sides, b.sides);
+  EXPECT_EQ(a.cut, b.cut);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(FmTest, CountsEvaluationsAndPasses) {
+  util::Rng rng{10};
+  const Netlist nl = netlist::random_graph(16, 40, rng);
+  const FmResult result = fiduccia_mattheyses_random(nl, rng);
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_GE(result.passes, 1u);
+  EXPECT_LE(result.passes, 64u);
+}
+
+TEST(FmTest, ConvergedOutputIsAFixpoint) {
+  // Once FM stops improving, re-running it from its own output must leave
+  // the cut unchanged (the pass found no positive-gain prefix).
+  util::Rng rng{11};
+  const Netlist nl = netlist::random_graph(18, 50, rng);
+  const FmResult first = fiduccia_mattheyses_random(nl, rng);
+  const FmResult again = fiduccia_mattheyses(nl, first.sides);
+  EXPECT_EQ(again.cut, first.cut);
+  EXPECT_EQ(again.passes, 1u);  // the single probing pass, no improvement
+}
+
+}  // namespace
+}  // namespace mcopt::partition

@@ -1,0 +1,130 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "netlist/generator.hpp"
+
+namespace mcopt::partition {
+namespace {
+
+Netlist k4() {
+  // Complete graph on 4 cells: any balanced bipartition cuts 4 edges.
+  Netlist::Builder b{4};
+  b.add_net({0, 1});
+  b.add_net({0, 2});
+  b.add_net({0, 3});
+  b.add_net({1, 2});
+  b.add_net({1, 3});
+  b.add_net({2, 3});
+  return b.build();
+}
+
+TEST(PartitionStateTest, RejectsBadSides) {
+  const Netlist nl = k4();
+  EXPECT_THROW((PartitionState{nl, {0, 1, 0}}), std::invalid_argument);
+  EXPECT_THROW((PartitionState{nl, {0, 1, 0, 2}}), std::invalid_argument);
+}
+
+TEST(PartitionStateTest, CutOfK4Balanced) {
+  const Netlist nl = k4();
+  PartitionState state{nl, {0, 0, 1, 1}};
+  EXPECT_EQ(state.cut(), 4);
+  EXPECT_TRUE(state.is_balanced());
+  EXPECT_EQ(state.side_count(0), 2u);
+  EXPECT_EQ(state.side_count(1), 2u);
+}
+
+TEST(PartitionStateTest, DegenerateAllOneSideCutsNothing) {
+  const Netlist nl = k4();
+  PartitionState state{nl, {0, 0, 0, 0}};
+  EXPECT_EQ(state.cut(), 0);
+  EXPECT_FALSE(state.is_balanced());
+}
+
+TEST(PartitionStateTest, FlipUpdatesCutIncrementally) {
+  const Netlist nl = k4();
+  PartitionState state{nl, {0, 0, 1, 1}};
+  state.flip(0);  // 1 0 1 1: cut = edges from cell 1 = 3
+  EXPECT_EQ(state.cut(), 3);
+  EXPECT_TRUE(state.verify());
+  state.flip(0);
+  EXPECT_EQ(state.cut(), 4);
+  EXPECT_TRUE(state.verify());
+}
+
+TEST(PartitionStateTest, SwapPreservesBalance) {
+  const Netlist nl = k4();
+  PartitionState state{nl, {0, 0, 1, 1}};
+  state.swap(0, 2);
+  EXPECT_TRUE(state.is_balanced());
+  EXPECT_EQ(state.cut(), 4);  // K4 is symmetric
+  EXPECT_TRUE(state.verify());
+}
+
+TEST(PartitionStateTest, SwapSameSideThrows) {
+  const Netlist nl = k4();
+  PartitionState state{nl, {0, 0, 1, 1}};
+  EXPECT_THROW(state.swap(0, 1), std::invalid_argument);
+}
+
+TEST(PartitionStateTest, MultiPinNetCutOnce) {
+  // A 3-pin net split 2/1 counts as a single cut net.
+  Netlist::Builder b{4};
+  b.add_net({0, 1, 2});
+  b.add_net({2, 3});
+  const Netlist nl = b.build();
+  PartitionState state{nl, {0, 0, 1, 1}};
+  EXPECT_EQ(state.cut(), 1);  // only the 3-pin net straddles
+  state.flip(2);              // 3-pin net healed, but {2,3} now straddles
+  EXPECT_EQ(state.cut(), 1);
+  EXPECT_TRUE(state.verify());
+  state.flip(3);  // everything on side 0: no net cut
+  EXPECT_EQ(state.cut(), 0);
+  EXPECT_TRUE(state.verify());
+}
+
+TEST(PartitionStateTest, RandomIsBalancedAndCeilOnSideZero) {
+  util::Rng rng{1};
+  const Netlist nl = k4();
+  for (int trial = 0; trial < 10; ++trial) {
+    const PartitionState state = PartitionState::random(nl, rng);
+    EXPECT_TRUE(state.is_balanced());
+    EXPECT_EQ(state.side_count(0), 2u);
+  }
+}
+
+TEST(PartitionStateTest, RandomOddCellCount) {
+  Netlist::Builder b{5};
+  b.add_net({0, 4});
+  const Netlist nl = b.build();
+  util::Rng rng{2};
+  const PartitionState state = PartitionState::random(nl, rng);
+  EXPECT_TRUE(state.is_balanced());
+  EXPECT_EQ(state.side_count(0), 3u);  // ceil(5/2)
+}
+
+class PartitionChurnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionChurnTest, IncrementalMatchesRecountUnderChurn) {
+  util::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  const Netlist nl = netlist::random_graph(20, 60, rng);
+  PartitionState state = PartitionState::random(nl, rng);
+  for (int step = 0; step < 400; ++step) {
+    const auto c = static_cast<CellId>(rng.next_below(20));
+    state.flip(c);
+    ASSERT_GE(state.cut(), 0);
+    ASSERT_LE(state.cut(), 60);
+    if (step % 20 == 0) {
+      ASSERT_TRUE(state.verify()) << "step " << step;
+    }
+  }
+  EXPECT_TRUE(state.verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionChurnTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mcopt::partition

@@ -1,0 +1,39 @@
+// Instrumented g functions for runner tests: fixed acceptance probability,
+// configurable k, and a record of the temperature index of every
+// probability() call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/gfunction.hpp"
+
+namespace mcopt::testing {
+
+class SpyG final : public core::GFunction {
+ public:
+  SpyG(unsigned k, double p) : k_(k), p_(p) {}
+
+  [[nodiscard]] unsigned num_temperatures() const noexcept override {
+    return k_;
+  }
+
+  [[nodiscard]] double probability(unsigned t, double /*h_i*/,
+                                   double /*h_j*/) const override {
+    calls_.push_back(t);
+    return p_;
+  }
+
+  [[nodiscard]] std::string name() const override { return "SpyG"; }
+
+  [[nodiscard]] const std::vector<unsigned>& calls() const noexcept {
+    return calls_;
+  }
+
+ private:
+  unsigned k_;
+  double p_;
+  mutable std::vector<unsigned> calls_;
+};
+
+}  // namespace mcopt::testing

@@ -1,0 +1,86 @@
+// A fully predictable core::Problem for exercising the runners: a walk on a
+// ring of positions 0..n-1 with an arbitrary cost landscape.  Random
+// perturbations step one position left or right; descend() greedily walks
+// to a local minimum, charging one tick per neighbour evaluation.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace mcopt::testing {
+
+class ToyProblem final : public core::Problem {
+ public:
+  ToyProblem(std::vector<double> landscape, std::size_t start)
+      : landscape_(std::move(landscape)), x_(start) {
+    if (landscape_.size() < 3 || start >= landscape_.size()) {
+      throw std::invalid_argument("ToyProblem: bad landscape/start");
+    }
+  }
+
+  [[nodiscard]] double cost() const override { return landscape_[x_]; }
+
+  double propose(util::Rng& rng) override {
+    if (pending_) throw std::logic_error("ToyProblem: pending");
+    prev_ = x_;
+    const std::size_t n = landscape_.size();
+    x_ = rng.next_bool(0.5) ? (x_ + 1) % n : (x_ + n - 1) % n;
+    pending_ = true;
+    return landscape_[x_];
+  }
+
+  void accept() override {
+    if (!pending_) throw std::logic_error("ToyProblem: nothing pending");
+    pending_ = false;
+  }
+
+  void reject() override {
+    if (!pending_) throw std::logic_error("ToyProblem: nothing pending");
+    x_ = prev_;
+    pending_ = false;
+  }
+
+  void descend(util::WorkBudget& budget) override {
+    if (pending_) throw std::logic_error("ToyProblem: pending");
+    const std::size_t n = landscape_.size();
+    while (!budget.exhausted()) {
+      const std::size_t left = (x_ + n - 1) % n;
+      const std::size_t right = (x_ + 1) % n;
+      budget.charge(2);
+      std::size_t next = x_;
+      if (landscape_[left] < landscape_[next]) next = left;
+      if (landscape_[right] < landscape_[next]) next = right;
+      if (next == x_) break;
+      x_ = next;
+    }
+  }
+
+  void randomize(util::Rng& rng) override {
+    if (pending_) throw std::logic_error("ToyProblem: pending");
+    x_ = static_cast<std::size_t>(rng.next_below(landscape_.size()));
+  }
+
+  [[nodiscard]] core::Snapshot snapshot() const override {
+    return {static_cast<std::uint32_t>(x_)};
+  }
+
+  void restore(const core::Snapshot& snap) override {
+    if (snap.size() != 1 || snap[0] >= landscape_.size()) {
+      throw std::invalid_argument("ToyProblem: bad snapshot");
+    }
+    x_ = snap[0];
+  }
+
+  [[nodiscard]] std::size_t position() const noexcept { return x_; }
+
+ private:
+  std::vector<double> landscape_;
+  std::size_t x_;
+  std::size_t prev_ = 0;
+  bool pending_ = false;
+};
+
+}  // namespace mcopt::testing

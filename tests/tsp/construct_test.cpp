@@ -1,0 +1,125 @@
+#include "tsp/construct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcopt::tsp {
+namespace {
+
+TEST(NearestNeighbourTest, ProducesValidTour) {
+  util::Rng rng{1};
+  const TspInstance inst = TspInstance::random_euclidean(30, rng);
+  for (City start : {City{0}, City{7}, City{29}}) {
+    const Order order = nearest_neighbour(inst, start);
+    EXPECT_TRUE(is_valid_order(order, 30));
+    EXPECT_EQ(order.front(), start);
+  }
+}
+
+TEST(NearestNeighbourTest, RejectsBadStart) {
+  util::Rng rng{2};
+  const TspInstance inst = TspInstance::random_euclidean(5, rng);
+  EXPECT_THROW((void)nearest_neighbour(inst, 5), std::invalid_argument);
+}
+
+TEST(NearestNeighbourTest, GreedyStepsAreLocallyNearest) {
+  const TspInstance inst{{{0, 0}, {1, 0}, {10, 0}, {2, 0}}};
+  // From 0: nearest 1 (d=1), then 3 (d=1), then 2.
+  const Order order = nearest_neighbour(inst, 0);
+  const Order want{0, 1, 3, 2};
+  EXPECT_EQ(order, want);
+}
+
+TEST(ConvexHullTest, SquareHullIsAllFourCorners) {
+  const TspInstance inst{{{0, 0}, {1, 0}, {1, 1}, {0, 1}}};
+  auto hull = convex_hull(inst);
+  ASSERT_EQ(hull.size(), 4u);
+  std::sort(hull.begin(), hull.end());
+  EXPECT_EQ(hull, (std::vector<City>{0, 1, 2, 3}));
+}
+
+TEST(ConvexHullTest, InteriorPointsExcluded) {
+  const TspInstance inst{
+      {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 1}, {3, 2}}};
+  auto hull = convex_hull(inst);
+  std::sort(hull.begin(), hull.end());
+  EXPECT_EQ(hull, (std::vector<City>{0, 1, 2, 3}));
+}
+
+TEST(ConvexHullTest, HullVerticesAreInConvexPosition) {
+  util::Rng rng{3};
+  const TspInstance inst = TspInstance::random_euclidean(60, rng);
+  const auto hull = convex_hull(inst);
+  ASSERT_GE(hull.size(), 3u);
+  // Every consecutive triple must turn the same way (ccw).
+  const auto& pts = inst.points();
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Point& o = pts[hull[i]];
+    const Point& a = pts[hull[(i + 1) % hull.size()]];
+    const Point& b = pts[hull[(i + 2) % hull.size()]];
+    const double cross =
+        (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+    EXPECT_GT(cross, 0.0) << "hull not strictly convex at " << i;
+  }
+}
+
+TEST(HullInsertionTest, ProducesValidTour) {
+  util::Rng rng{4};
+  const TspInstance inst = TspInstance::random_euclidean(40, rng);
+  const Order order = hull_cheapest_insertion(inst);
+  EXPECT_TRUE(is_valid_order(order, 40));
+}
+
+TEST(HullInsertionTest, OptimalOnConvexPositions) {
+  // For points in convex position the optimal tour is the hull order, and
+  // insertion starting from the hull inserts nothing else.
+  const TspInstance inst{{{0, 0}, {10, 0}, {10, 10}, {0, 10}, {5, -3}}};
+  const Order order = hull_cheapest_insertion(inst);
+  EXPECT_TRUE(is_valid_order(order, 5));
+  // All five points are on the hull here.
+  EXPECT_DOUBLE_EQ(tour_length(inst, order),
+                   tour_length(inst, convex_hull(inst)));
+}
+
+TEST(HullInsertionTest, BeatsNearestNeighbourOnAverage) {
+  double nn_total = 0.0;
+  double hull_total = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    util::Rng rng{static_cast<std::uint64_t>(50 + i)};
+    const TspInstance inst = TspInstance::random_euclidean(60, rng);
+    nn_total += tour_length(inst, nearest_neighbour(inst, 0));
+    hull_total += tour_length(inst, hull_cheapest_insertion(inst));
+  }
+  EXPECT_LT(hull_total, nn_total);
+}
+
+TEST(HullInsertionTest, CountedVariantMatchesAndIsSubcubic) {
+  util::Rng rng{6};
+  const TspInstance inst = TspInstance::random_euclidean(80, rng);
+  const auto counted = hull_cheapest_insertion_counted(inst);
+  EXPECT_EQ(counted.order, hull_cheapest_insertion(inst));
+  EXPECT_TRUE(is_valid_order(counted.order, 80));
+  EXPECT_GT(counted.evaluations, 0u);
+  // The cached implementation must beat the naive sum over steps of
+  // (remaining cities) x (tour size) ~ n^3/6 by a wide margin.
+  EXPECT_LT(counted.evaluations, 80ull * 80ull * 80ull / 12ull);
+}
+
+TEST(HullInsertionTest, CountedHandlesAllHullInstances) {
+  // Every point on the hull: nothing to insert, evaluations stay zero.
+  const TspInstance inst{{{0, 0}, {10, 0}, {10, 10}, {0, 10}}};
+  const auto counted = hull_cheapest_insertion_counted(inst);
+  EXPECT_EQ(counted.evaluations, 0u);
+  EXPECT_TRUE(is_valid_order(counted.order, 4));
+}
+
+TEST(HullInsertionTest, DeterministicOutput) {
+  util::Rng rng{5};
+  const TspInstance inst = TspInstance::random_euclidean(25, rng);
+  EXPECT_EQ(hull_cheapest_insertion(inst), hull_cheapest_insertion(inst));
+}
+
+}  // namespace
+}  // namespace mcopt::tsp

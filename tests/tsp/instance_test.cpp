@@ -1,0 +1,70 @@
+#include "tsp/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcopt::tsp {
+namespace {
+
+TEST(TspInstanceTest, RejectsFewerThanThreeCities) {
+  EXPECT_THROW(TspInstance({{0, 0}, {1, 1}}), std::invalid_argument);
+  util::Rng rng{1};
+  EXPECT_THROW(TspInstance::random_euclidean(2, rng), std::invalid_argument);
+}
+
+TEST(TspInstanceTest, DistancesAreEuclidean) {
+  const TspInstance inst{{{0, 0}, {3, 4}, {0, 4}}};
+  EXPECT_DOUBLE_EQ(inst.dist(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(inst.dist(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(inst.dist(1, 2), 3.0);
+}
+
+TEST(TspInstanceTest, MatrixIsSymmetricWithZeroDiagonal) {
+  util::Rng rng{2};
+  const TspInstance inst = TspInstance::random_euclidean(20, rng);
+  for (City i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(inst.dist(i, i), 0.0);
+    for (City j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(inst.dist(i, j), inst.dist(j, i));
+    }
+  }
+}
+
+TEST(TspInstanceTest, TriangleInequalityHolds) {
+  util::Rng rng{3};
+  const TspInstance inst = TspInstance::random_euclidean(15, rng);
+  for (City a = 0; a < 15; ++a) {
+    for (City b = 0; b < 15; ++b) {
+      for (City c = 0; c < 15; ++c) {
+        EXPECT_LE(inst.dist(a, c), inst.dist(a, b) + inst.dist(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TspInstanceTest, RandomPointsStayInBox) {
+  util::Rng rng{4};
+  const TspInstance inst = TspInstance::random_euclidean(50, rng, 100.0);
+  for (const Point& p : inst.points()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 100.0);
+  }
+}
+
+TEST(TspInstanceTest, SameSeedSameInstance) {
+  util::Rng r1{5};
+  util::Rng r2{5};
+  const TspInstance a = TspInstance::random_euclidean(10, r1);
+  const TspInstance b = TspInstance::random_euclidean(10, r2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.points()[i].x, b.points()[i].x);
+    EXPECT_DOUBLE_EQ(a.points()[i].y, b.points()[i].y);
+  }
+}
+
+}  // namespace
+}  // namespace mcopt::tsp

@@ -1,0 +1,116 @@
+#include "tsp/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsp/construct.hpp"
+
+namespace mcopt::tsp {
+namespace {
+
+TEST(TwoOptDescentTest, ReachesLocalOptimality) {
+  util::Rng rng{1};
+  const TspInstance inst = TspInstance::random_euclidean(25, rng);
+  Order order = random_order(25, rng);
+  util::WorkBudget budget{1'000'000};
+  two_opt_descent(inst, order, budget);
+  EXPECT_TRUE(is_two_opt_optimal(inst, order));
+  EXPECT_TRUE(is_valid_order(order, 25));
+}
+
+TEST(TwoOptDescentTest, NeverLengthens) {
+  util::Rng rng{2};
+  const TspInstance inst = TspInstance::random_euclidean(30, rng);
+  Order order = random_order(30, rng);
+  const double before = tour_length(inst, order);
+  util::WorkBudget budget{1'000'000};
+  two_opt_descent(inst, order, budget);
+  EXPECT_LE(tour_length(inst, order), before);
+}
+
+TEST(TwoOptDescentTest, RespectsBudget) {
+  util::Rng rng{3};
+  const TspInstance inst = TspInstance::random_euclidean(30, rng);
+  Order order = random_order(30, rng);
+  util::WorkBudget budget{50};
+  two_opt_descent(inst, order, budget);
+  EXPECT_EQ(budget.spent(), 50u);
+  EXPECT_TRUE(is_valid_order(order, 30));
+}
+
+TEST(TwoOptDescentTest, SolvesSmallInstanceOptimally) {
+  // Points on a circle: the optimal tour visits them in angular order.
+  std::vector<Point> pts;
+  constexpr int kN = 10;
+  for (int i = 0; i < kN; ++i) {
+    const double a = 2.0 * 3.14159265358979 * i / kN;
+    pts.push_back({std::cos(a), std::sin(a)});
+  }
+  const TspInstance inst{pts};
+  const double optimal = tour_length(inst, identity_order(kN));
+  util::Rng rng{4};
+  // 2-opt from random starts often finds the circle; take the best of 5.
+  double best = 1e18;
+  for (int trial = 0; trial < 5; ++trial) {
+    Order order = random_order(kN, rng);
+    util::WorkBudget budget{1'000'000};
+    two_opt_descent(inst, order, budget);
+    best = std::min(best, tour_length(inst, order));
+  }
+  EXPECT_NEAR(best, optimal, 1e-6);
+}
+
+TEST(OrOptDescentTest, NeverLengthensAndStaysValid) {
+  util::Rng rng{5};
+  const TspInstance inst = TspInstance::random_euclidean(25, rng);
+  Order order = nearest_neighbour(inst, 0);
+  const double before = tour_length(inst, order);
+  util::WorkBudget budget{1'000'000};
+  or_opt_descent(inst, order, budget);
+  EXPECT_LE(tour_length(inst, order), before);
+  EXPECT_TRUE(is_valid_order(order, 25));
+}
+
+TEST(OrOptDescentTest, ImprovesAMisplacedCity) {
+  // Cities on a line; city 4 (x = 1) is visited mid-tour out of position,
+  // costing 14 instead of the collinear optimum 12.  Or-opt must relocate
+  // it between cities 0 and 1.
+  const TspInstance inst{{{0, 0}, {2, 0}, {4, 0}, {6, 0}, {1, 0}}};
+  Order order{0, 1, 4, 2, 3};
+  ASSERT_NEAR(tour_length(inst, order), 14.0, 1e-9);
+  util::WorkBudget budget{100'000};
+  or_opt_descent(inst, order, budget);
+  EXPECT_NEAR(tour_length(inst, order), 12.0, 1e-9);  // out and back
+}
+
+TEST(RestartedTwoOptTest, BestOfRestartsImprovesWithBudget) {
+  util::Rng rng{6};
+  const TspInstance inst = TspInstance::random_euclidean(40, rng);
+  util::Rng r1{7};
+  util::Rng r2{7};
+  const RestartResult small = restarted_two_opt(inst, 20'000, r1);
+  const RestartResult large = restarted_two_opt(inst, 400'000, r2);
+  EXPECT_GE(small.restarts, 1u);
+  EXPECT_GT(large.restarts, small.restarts);
+  EXPECT_LE(large.best_length, small.best_length);
+  EXPECT_TRUE(is_valid_order(large.best_order, 40));
+}
+
+TEST(RestartedTwoOptTest, TicksApproximateBudget) {
+  util::Rng rng{8};
+  const TspInstance inst = TspInstance::random_euclidean(20, rng);
+  const RestartResult result = restarted_two_opt(inst, 10'000, rng);
+  EXPECT_GE(result.ticks, 10'000u);
+  // Overshoot is bounded by one descent sweep.
+  EXPECT_LT(result.ticks, 12'000u);
+}
+
+TEST(IsTwoOptOptimalTest, DetectsImprovableTour) {
+  const TspInstance inst{{{0, 0}, {1, 0}, {1, 1}, {0, 1}}};
+  EXPECT_FALSE(is_two_opt_optimal(inst, {0, 2, 1, 3}));
+  EXPECT_TRUE(is_two_opt_optimal(inst, {0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace mcopt::tsp

@@ -1,0 +1,132 @@
+#include "tsp/tour.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcopt::tsp {
+namespace {
+
+TspInstance square() {
+  // Unit square: optimal tour length 4.
+  return TspInstance{{{0, 0}, {1, 0}, {1, 1}, {0, 1}}};
+}
+
+TEST(OrderTest, IdentityAndValidity) {
+  const Order order = identity_order(5);
+  EXPECT_TRUE(is_valid_order(order, 5));
+  EXPECT_FALSE(is_valid_order(order, 6));
+  EXPECT_FALSE(is_valid_order({0, 1, 1}, 3));
+  EXPECT_FALSE(is_valid_order({0, 1, 3}, 3));
+}
+
+TEST(OrderTest, RandomOrderIsValid) {
+  util::Rng rng{1};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(is_valid_order(random_order(12, rng), 12));
+  }
+}
+
+TEST(TourLengthTest, SquarePerimeter) {
+  EXPECT_DOUBLE_EQ(tour_length(square(), {0, 1, 2, 3}), 4.0);
+  // Crossing diagonals is longer.
+  EXPECT_GT(tour_length(square(), {0, 2, 1, 3}), 4.0);
+}
+
+TEST(TwoOptTest, DeltaMatchesRecomputedLength) {
+  util::Rng rng{2};
+  const TspInstance inst = TspInstance::random_euclidean(12, rng);
+  Order order = random_order(12, rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::size_t i;
+    std::size_t j;
+    do {
+      auto [a, b] = rng.next_distinct_pair(12);
+      i = std::min(a, b);
+      j = std::max(a, b);
+    } while (i == 0 && j == 11);
+    const double before = tour_length(inst, order);
+    const double delta = two_opt_delta(inst, order, i, j);
+    apply_two_opt(order, i, j);
+    EXPECT_NEAR(tour_length(inst, order), before + delta, 1e-9);
+  }
+}
+
+TEST(TwoOptTest, UncrossingImprovesSquare) {
+  const TspInstance inst = square();
+  Order order{0, 2, 1, 3};  // both diagonals crossed
+  // 2-opt(0, 2) reverses positions 1..2, yielding the perimeter tour.
+  const double delta = two_opt_delta(inst, order, 0, 2);
+  EXPECT_LT(delta, 0.0);
+  apply_two_opt(order, 0, 2);
+  EXPECT_DOUBLE_EQ(tour_length(inst, order), 4.0);
+  // Degenerate 2-opt over a single interior position is a no-op.
+  EXPECT_DOUBLE_EQ(two_opt_delta(inst, order, 0, 1), 0.0);
+}
+
+TEST(TwoOptTest, ApplyIsSelfInverse) {
+  util::Rng rng{3};
+  Order order = random_order(10, rng);
+  const Order before = order;
+  apply_two_opt(order, 2, 7);
+  apply_two_opt(order, 2, 7);
+  EXPECT_EQ(order, before);
+}
+
+TEST(TwoOptTest, PreservesPermutation) {
+  util::Rng rng{4};
+  const TspInstance inst = TspInstance::random_euclidean(15, rng);
+  Order order = random_order(15, rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto [a, b] = rng.next_distinct_pair(15);
+    const std::size_t i = std::min(a, b);
+    const std::size_t j = std::max(a, b);
+    if (i == 0 && j == 14) continue;
+    apply_two_opt(order, i, j);
+    ASSERT_TRUE(is_valid_order(order, 15));
+  }
+}
+
+TEST(OrOptTest, DeltaMatchesRecomputedLength) {
+  util::Rng rng{5};
+  const TspInstance inst = TspInstance::random_euclidean(12, rng);
+  Order order = random_order(12, rng);
+  int applied = 0;
+  for (int trial = 0; trial < 500 && applied < 100; ++trial) {
+    const std::size_t len = 1 + rng.next_below(3);
+    const std::size_t i = rng.next_below(12 - len + 1);
+    const std::size_t k = rng.next_below(12);
+    if ((k >= i && k < i + len) || k == (i + 12 - 1) % 12) continue;
+    const double before = tour_length(inst, order);
+    const double delta = or_opt_delta(inst, order, i, len, k);
+    apply_or_opt(order, i, len, k);
+    ASSERT_TRUE(is_valid_order(order, 12));
+    ASSERT_NEAR(tour_length(inst, order), before + delta, 1e-9);
+    ++applied;
+  }
+  EXPECT_GE(applied, 100);
+}
+
+TEST(OrOptTest, RejectsInvalidMoves) {
+  util::Rng rng{6};
+  const TspInstance inst = TspInstance::random_euclidean(8, rng);
+  const Order order = identity_order(8);
+  // Insertion point inside the segment.
+  EXPECT_THROW((void)or_opt_delta(inst, order, 2, 3, 3), std::invalid_argument);
+  // Insertion just before the segment (no-op position).
+  EXPECT_THROW((void)or_opt_delta(inst, order, 2, 2, 1), std::invalid_argument);
+  // Segment off the end.
+  EXPECT_THROW((void)or_opt_delta(inst, order, 6, 3, 0), std::invalid_argument);
+  Order mutable_order = order;
+  EXPECT_THROW(apply_or_opt(mutable_order, 2, 3, 3), std::invalid_argument);
+}
+
+TEST(OrOptTest, SegmentOfOneRelocatesCity) {
+  Order order{0, 1, 2, 3, 4};
+  apply_or_opt(order, 0, 1, 2);  // move city 0 after city 2
+  const Order want{1, 2, 0, 3, 4};
+  EXPECT_EQ(order, want);
+}
+
+}  // namespace
+}  // namespace mcopt::tsp

@@ -1,0 +1,95 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mcopt::util {
+namespace {
+
+Args parse(std::initializer_list<const char*> words) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), words.begin(), words.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsTest, EmptyCommandLine) {
+  const Args args(0, nullptr);
+  EXPECT_TRUE(args.program().empty());
+  EXPECT_TRUE(args.positional().empty());
+  EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(ArgsTest, PositionalWordsKeepOrder) {
+  const Args args = parse({"solve", "input.mcnl"});
+  EXPECT_EQ(args.program(), "prog");
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "solve");
+  EXPECT_EQ(args.positional()[1], "input.mcnl");
+}
+
+TEST(ArgsTest, FlagWithSeparateValue) {
+  const Args args = parse({"--budget", "5000"});
+  EXPECT_TRUE(args.has("budget"));
+  EXPECT_EQ(args.get("budget", ""), "5000");
+  EXPECT_EQ(args.get_int("budget", 0), 5000);
+}
+
+TEST(ArgsTest, FlagWithEqualsValue) {
+  const Args args = parse({"--method=g1", "--scale=0.5"});
+  EXPECT_EQ(args.get("method", "?"), "g1");
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.0), 0.5);
+}
+
+TEST(ArgsTest, BooleanFlagBeforeAnotherFlag) {
+  const Args args = parse({"--verbose", "--budget", "10"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.value("verbose").has_value());
+  EXPECT_EQ(args.get_int("budget", 0), 10);
+}
+
+TEST(ArgsTest, TrailingBooleanFlag) {
+  const Args args = parse({"--dry-run"});
+  EXPECT_TRUE(args.has("dry-run"));
+  EXPECT_FALSE(args.value("dry-run").has_value());
+}
+
+TEST(ArgsTest, RepeatedFlagKeepsLast) {
+  const Args args = parse({"--seed", "1", "--seed", "2"});
+  EXPECT_EQ(args.get_int("seed", 0), 2);
+}
+
+TEST(ArgsTest, DefaultsWhenAbsent) {
+  const Args args = parse({});
+  EXPECT_EQ(args.get("method", "g1"), "g1");
+  EXPECT_EQ(args.get_int("budget", 600), 600);
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.5), 1.5);
+}
+
+TEST(ArgsTest, BadNumbersThrow) {
+  const Args args = parse({"--budget", "12x", "--scale", "abc"});
+  EXPECT_THROW((void)args.get_int("budget", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("scale", 0.0), std::invalid_argument);
+}
+
+TEST(ArgsTest, NegativeNumbersParseAsValues) {
+  // "-5" does not start with "--", so it is consumed as the flag's value.
+  const Args args = parse({"--delta", "-5"});
+  EXPECT_EQ(args.get_int("delta", 0), -5);
+}
+
+TEST(ArgsTest, DoubleDashAloneIsPositional) {
+  const Args args = parse({"--", "file"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "--");
+}
+
+TEST(ArgsTest, UnknownFlagDetection) {
+  const Args args = parse({"--budget", "5", "--typo", "x"});
+  const auto unknown = args.unknown_flags({"budget", "seed"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace mcopt::util

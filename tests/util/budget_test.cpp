@@ -1,0 +1,100 @@
+#include "util/budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::util {
+namespace {
+
+TEST(WorkBudgetTest, DefaultIsEmpty) {
+  WorkBudget budget;
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.total(), 0u);
+  EXPECT_EQ(budget.remaining(), 0u);
+}
+
+TEST(WorkBudgetTest, ChargesUntilExhausted) {
+  WorkBudget budget{3};
+  EXPECT_FALSE(budget.exhausted());
+  budget.charge();
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.remaining(), 2u);
+  budget.charge(2);
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.remaining(), 0u);
+  EXPECT_EQ(budget.spent(), 3u);
+}
+
+TEST(WorkBudgetTest, OverchargeKeepsCounting) {
+  WorkBudget budget{2};
+  budget.charge(10);
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.spent(), 10u);
+  EXPECT_EQ(budget.remaining(), 0u);
+}
+
+TEST(WorkBudgetTest, ProgressClampsToOne) {
+  WorkBudget budget{4};
+  EXPECT_DOUBLE_EQ(budget.progress(), 0.0);
+  budget.charge(2);
+  EXPECT_DOUBLE_EQ(budget.progress(), 0.5);
+  budget.charge(10);
+  EXPECT_DOUBLE_EQ(budget.progress(), 1.0);
+}
+
+TEST(WorkBudgetTest, EmptyBudgetProgressIsOne) {
+  WorkBudget budget{0};
+  EXPECT_DOUBLE_EQ(budget.progress(), 1.0);
+}
+
+TEST(WorkBudgetTest, SliceEndsPartitionTheBudget) {
+  WorkBudget budget{60};
+  // 6 slices of 10: ends at 10, 20, 30, 40, 50, 60.
+  for (unsigned i = 0; i < 6; ++i) {
+    EXPECT_EQ(budget.slice_end(6, i), 10u * (i + 1));
+  }
+}
+
+TEST(WorkBudgetTest, FinalSliceAbsorbsRemainder) {
+  WorkBudget budget{100};
+  // floor(100/6) = 16 per slice; the last ends at 100, not 96.
+  EXPECT_EQ(budget.slice_end(6, 0), 16u);
+  EXPECT_EQ(budget.slice_end(6, 4), 80u);
+  EXPECT_EQ(budget.slice_end(6, 5), 100u);
+}
+
+TEST(WorkBudgetTest, SingleSliceIsWholeBudget) {
+  WorkBudget budget{37};
+  EXPECT_EQ(budget.slice_end(1, 0), 37u);
+}
+
+TEST(WorkBudgetTest, SliceIndexBeyondScheduleClampsToTotal) {
+  WorkBudget budget{30};
+  EXPECT_EQ(budget.slice_end(3, 7), 30u);
+  EXPECT_EQ(budget.slice_end(0, 0), 30u);
+}
+
+TEST(WorkBudgetTest, BudgetSmallerThanKGivesEmptyEarlySlices) {
+  WorkBudget budget{4};
+  // floor(4/6) = 0: the first five slices are empty, the last takes all 4.
+  EXPECT_EQ(budget.slice_end(6, 0), 0u);
+  EXPECT_EQ(budget.slice_end(6, 5), 4u);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  const double t1 = sw.seconds();
+  const double t2 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(StopwatchTest, ResetRestartsFromZero) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100'000; ++i) sink = sink + 1.0;
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace mcopt::util

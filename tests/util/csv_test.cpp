@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mcopt::util {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldUntouched) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+  EXPECT_EQ(CsvWriter::escape("3.14"), "3.14");
+}
+
+TEST(CsvEscapeTest, CommaTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlinesTriggerQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(CsvWriterTest, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w{os};
+  w.row({"g function", "6 sec", "9 sec"});
+  w.row({"g = 1", "598", "605"});
+  EXPECT_EQ(os.str(), "g function,6 sec,9 sec\ng = 1,598,605\n");
+}
+
+TEST(CsvWriterTest, EmptyRowIsBlankLine) {
+  std::ostringstream os;
+  CsvWriter w{os};
+  w.row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+TEST(CsvWriterTest, SingleFieldNoComma) {
+  std::ostringstream os;
+  CsvWriter w{os};
+  w.row({"only"});
+  EXPECT_EQ(os.str(), "only\n");
+}
+
+TEST(CsvWriterTest, MixedEscapedAndPlain) {
+  std::ostringstream os;
+  CsvWriter w{os};
+  w.row({"a", "b,c", "d\"e"});
+  EXPECT_EQ(os.str(), "a,\"b,c\",\"d\"\"e\"\n");
+}
+
+}  // namespace
+}  // namespace mcopt::util

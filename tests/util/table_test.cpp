@@ -1,0 +1,131 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace mcopt::util {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is{text};
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TableTest, HeaderAndRuleOnly) {
+  Table t;
+  t.add_column("name", Table::Align::kLeft);
+  t.add_column("value");
+  const auto lines = lines_of(t.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "name  value");
+  EXPECT_EQ(lines[1], "----  -----");
+}
+
+TEST(TableTest, RightAlignsNumbers) {
+  Table t;
+  t.add_column("g function", Table::Align::kLeft);
+  t.add_column("6 sec");
+  t.begin_row();
+  t.cell("Goto");
+  t.cell(601);
+  t.begin_row();
+  t.cell("g = 1");
+  t.cell(5);
+  const auto lines = lines_of(t.str());
+  ASSERT_EQ(lines.size(), 4u);
+  // Column 0 is 10 wide ("g function"), column 1 is 5 wide ("6 sec"),
+  // separated by two spaces.
+  EXPECT_EQ(lines[2], "Goto          601");
+  EXPECT_EQ(lines[3], "g = 1           5");
+}
+
+TEST(TableTest, ColumnWidensToWidestCell) {
+  Table t;
+  t.add_column("x");
+  t.begin_row();
+  t.cell("wiiiiiide");
+  const auto lines = lines_of(t.str());
+  EXPECT_EQ(lines[0], "        x");
+  EXPECT_EQ(lines[1], "---------");
+  EXPECT_EQ(lines[2], "wiiiiiide");
+}
+
+TEST(TableTest, ShortRowsPadWithEmptyCells) {
+  Table t;
+  t.add_column("a", Table::Align::kLeft);
+  t.add_column("b");
+  t.begin_row();
+  t.cell("only");
+  const auto lines = lines_of(t.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "only   ");
+}
+
+TEST(TableTest, OverlongRowsAreTruncatedToColumns) {
+  Table t;
+  t.add_column("a");
+  t.begin_row();
+  t.cell("1");
+  t.cell("ignored");
+  const auto lines = lines_of(t.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "1");
+}
+
+TEST(TableTest, DoubleCellUsesFixedPrecision) {
+  Table t;
+  t.add_column("v");
+  t.begin_row();
+  t.cell(3.14159, 2);
+  t.begin_row();
+  t.cell(2.0, 0);
+  const auto lines = lines_of(t.str());
+  EXPECT_EQ(lines[2], "3.14");
+  EXPECT_EQ(lines[3], "   2");
+}
+
+TEST(TableTest, CellWithoutBeginRowStartsARow) {
+  Table t;
+  t.add_column("v");
+  t.cell(7);
+  EXPECT_EQ(t.rows(), 1u);
+  const auto lines = lines_of(t.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "7");
+}
+
+TEST(TableTest, HeadersAndDataExposeRawCells) {
+  Table t;
+  t.add_column("g function", Table::Align::kLeft);
+  t.add_column("6 sec");
+  t.begin_row();
+  t.cell("g = 1");
+  t.cell(598);
+  const auto headers = t.headers();
+  ASSERT_EQ(headers.size(), 2u);
+  EXPECT_EQ(headers[0], "g function");
+  EXPECT_EQ(headers[1], "6 sec");
+  ASSERT_EQ(t.data().size(), 1u);
+  EXPECT_EQ(t.data()[0],
+            (std::vector<std::string>{"g = 1", "598"}));
+}
+
+TEST(TableTest, NegativeAndUnsignedCells) {
+  Table t;
+  t.add_column("v");
+  t.begin_row();
+  t.cell(-42);
+  t.begin_row();
+  t.cell(18446744073709551615ULL);
+  const auto lines = lines_of(t.str());
+  EXPECT_EQ(lines[2], "                 -42");
+  EXPECT_EQ(lines[3], "18446744073709551615");
+}
+
+}  // namespace
+}  // namespace mcopt::util
