@@ -11,6 +11,7 @@
 #include "core/figure2.hpp"
 #include "linarr/goto_heuristic.hpp"
 #include "netlist/generator.hpp"
+#include "util/invariant.hpp"
 #include "util/rng.hpp"
 
 namespace mcopt::bench {
@@ -87,6 +88,19 @@ std::vector<Method> tune_methods(
   return methods;
 }
 
+namespace {
+std::uint64_t g_invariant_checks = 0;
+}  // namespace
+
+std::uint64_t invariant_checks_executed() { return g_invariant_checks; }
+
+void print_invariant_summary() {
+  if constexpr (util::kInvariantsEnabled) {
+    std::printf("\ninvariant checks executed: %llu\n",
+                static_cast<unsigned long long>(g_invariant_checks));
+  }
+}
+
 std::vector<double> run_method_row(
     const Method& method, const std::vector<netlist::Netlist>& instances,
     const TableRunConfig& config) {
@@ -111,6 +125,7 @@ std::vector<double> run_method_row(
         result = core::run_figure1(problem, *g, fig1, rng);
       }
       totals[b] += result.reduction();
+      g_invariant_checks += result.invariants.executed;
     }
   }
   return totals;

@@ -106,6 +106,15 @@ long long goto_total_reduction(const std::vector<netlist::Netlist>& instances);
 /// Prints the standard bench preamble (experiment id, seed, scale).
 void print_header(const std::string& title, const std::string& protocol);
 
+/// Running total of invariant checks executed inside run_method_row
+/// (nonzero only in MCOPT_CHECK_INVARIANTS builds).
+std::uint64_t invariant_checks_executed();
+
+/// Prints the invariant-check total in invariant-checking builds; no-op
+/// otherwise.  Sanitized CI runs use this line to prove the deep checks
+/// were live during the bench, not compiled out.
+void print_invariant_summary();
+
 /// When MCOPT_BENCH_CSV_DIR is set, mirrors the table to
 /// <dir>/<experiment>.csv (header row + data rows) so plots can be
 /// regenerated outside the repo.  No-op otherwise.

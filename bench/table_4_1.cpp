@@ -111,6 +111,7 @@ int main() {
   }
   table.print();
   bench::maybe_write_csv("table_4_1", table);
+  bench::print_invariant_summary();
 
   std::printf(
       "\nShape checks (paper §4.2.2): six-temperature annealing, g = 1 and\n"

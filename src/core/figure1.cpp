@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/invariant.hpp"
+
 namespace mcopt::core {
 
 RunResult run_figure1(Problem& problem, const GFunction& g,
@@ -44,6 +46,15 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
       }
     }
     if (schedule_exhausted) break;
+
+    // Periodic deep verification (no pending perturbation at this point).
+    if constexpr (util::kInvariantsEnabled) {
+      if (options.invariant_check_interval != 0 &&
+          result.proposals % options.invariant_check_interval == 0) {
+        problem.check_invariants();
+        ++result.invariants.executed;
+      }
+    }
 
     const double h_j = problem.propose(rng);
     budget.charge();

@@ -46,6 +46,11 @@ struct Figure1Options {
   /// If > 0, the [KIRK83] equilibrium rule also advances the temperature
   /// after this many accepted perturbations at the current level.
   std::uint64_t equilibrium_accepts = 0;
+  /// Every this many proposals, call Problem::check_invariants() (deep
+  /// state verification; util/invariant.hpp).  Only active in builds with
+  /// MCOPT_CHECK_INVARIANTS; 0 disables.  Consumes no randomness, so
+  /// checked and unchecked builds produce identical streams.
+  std::uint64_t invariant_check_interval = 4096;
 };
 
 /// Runs Figure 1 from the problem's current solution.  On return the

@@ -1,5 +1,7 @@
 #include "core/figure2.hpp"
 
+#include "util/invariant.hpp"
+
 namespace mcopt::core {
 
 RunResult run_figure2(Problem& problem, const GFunction& g,
@@ -15,6 +17,7 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
 
   unsigned temp = 0;
   std::uint64_t kick_counter = 0;
+  std::uint64_t next_invariant_check = 0;
 
   auto advance_temperature = [&]() -> bool {
     if (temp + 1 >= k) return false;
@@ -38,6 +41,17 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
     problem.descend(budget);
     result.descent_steps += budget.spent() - before;
     const double h_i = problem.cost();
+
+    // Periodic deep verification (descend() leaves nothing pending).
+    if constexpr (util::kInvariantsEnabled) {
+      if (options.invariant_check_interval != 0 &&
+          budget.spent() >= next_invariant_check) {
+        problem.check_invariants();
+        ++result.invariants.executed;
+        next_invariant_check =
+            budget.spent() + options.invariant_check_interval;
+      }
+    }
 
     // Step 3.
     update_best(h_i);

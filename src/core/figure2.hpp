@@ -36,6 +36,10 @@ struct Figure2Options {
   /// If > 0, Step 4's counter advances the temperature after this many kick
   /// proposals at the current level.
   std::uint64_t equilibrium_kicks = 0;
+  /// Every this many ticks, call Problem::check_invariants() (deep state
+  /// verification; util/invariant.hpp).  Only active in builds with
+  /// MCOPT_CHECK_INVARIANTS; 0 disables.
+  std::uint64_t invariant_check_interval = 4096;
 };
 
 /// Runs Figure 2 from the problem's current solution.  On return the

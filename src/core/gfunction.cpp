@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/invariant.hpp"
+
 namespace mcopt::core {
 
 namespace {
@@ -28,6 +30,16 @@ class FormG final : public GFunction {
 
   [[nodiscard]] double probability(unsigned t, double h_i,
                                    double h_j) const override {
+    MCOPT_CHECK(t < ys_.size(), "temperature index out of schedule range");
+    const double p = raw_probability(t, h_i, h_j);
+    MCOPT_DCHECK(p >= 0.0 && p <= 1.0,
+                 "acceptance probability outside [0, 1]");
+    return p;
+  }
+
+ private:
+  [[nodiscard]] double raw_probability(unsigned t, double h_i,
+                                       double h_j) const {
     const double y = ys_[t];
     const double delta = h_j - h_i;
     switch (cls_) {
@@ -72,6 +84,7 @@ class FormG final : public GFunction {
     throw std::logic_error("FormG: unhandled class");
   }
 
+ public:
   [[nodiscard]] bool always_accepts(unsigned t) const noexcept override {
     if (cls_ == GClass::kGOne) return true;
     return cls_ == GClass::kTwoLevel && t == 0;
@@ -96,9 +109,14 @@ class CohoonG final : public GFunction {
     return 1;
   }
 
-  [[nodiscard]] double probability(unsigned /*t*/, double h_i,
+  [[nodiscard]] double probability(unsigned t, double h_i,
                                    double /*h_j*/) const override {
-    return clamp01(std::min(h_i / (static_cast<double>(num_nets_) + 5.0), 0.9));
+    MCOPT_CHECK(t < 1, "temperature index out of schedule range");
+    const double p =
+        clamp01(std::min(h_i / (static_cast<double>(num_nets_) + 5.0), 0.9));
+    MCOPT_DCHECK(p >= 0.0 && p <= 1.0,
+                 "acceptance probability outside [0, 1]");
+    return p;
   }
 
   [[nodiscard]] std::string name() const override {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/invariant.hpp"
+
 namespace mcopt::core {
 
 MultistartResult multistart(Problem& problem, const Runner& runner,
@@ -11,6 +13,10 @@ MultistartResult multistart(Problem& problem, const Runner& runner,
   if (!runner) throw std::invalid_argument("multistart: null runner");
   if (options.budget_per_start == 0) {
     throw std::invalid_argument("multistart: budget_per_start must be >= 1");
+  }
+  if (options.budget_per_start > options.total_budget) {
+    throw std::invalid_argument(
+        "multistart: budget_per_start exceeds total_budget");
   }
 
   MultistartResult out;
@@ -24,8 +30,17 @@ MultistartResult multistart(Problem& problem, const Runner& runner,
     spent += std::max<std::uint64_t>(run.ticks, slice);
     ++out.restarts;
 
+    // Deep-verify the problem state between restarts; the per-run interval
+    // checks inside the runner are summed into the aggregate below.
+    if constexpr (util::kInvariantsEnabled) {
+      problem.check_invariants();
+      ++out.aggregate.invariants.executed;
+    }
+
     if (first) {
+      const util::InvariantStats checks = out.aggregate.invariants;
       out.aggregate = run;
+      out.aggregate.invariants += checks;
       first = false;
     } else {
       out.aggregate.final_cost = run.final_cost;
@@ -35,6 +50,7 @@ MultistartResult multistart(Problem& problem, const Runner& runner,
       out.aggregate.descent_steps += run.descent_steps;
       out.aggregate.ticks += run.ticks;
       out.aggregate.temperatures_visited += run.temperatures_visited;
+      out.aggregate.invariants += run.invariants;
       if (run.best_cost < out.aggregate.best_cost) {
         out.aggregate.best_cost = run.best_cost;
         out.aggregate.best_state = run.best_state;

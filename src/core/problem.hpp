@@ -53,6 +53,14 @@ class Problem {
   /// Restores a solution previously produced by snapshot().
   virtual void restore(const Snapshot& snap) = 0;
 
+  /// Deep self-verification: recompute every incrementally-maintained
+  /// quantity from scratch and compare (util/invariant.hpp).  Throws
+  /// util::InvariantViolation on divergence.  Must be side-effect free,
+  /// must not consume randomness, and is only meaningful when no
+  /// perturbation is pending.  The runners call this every
+  /// `invariant_check_interval` ticks in MCOPT_CHECK_INVARIANTS builds.
+  virtual void check_invariants() const {}
+
  protected:
   Problem() = default;
   Problem(const Problem&) = default;

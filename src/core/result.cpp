@@ -11,6 +11,9 @@ std::string to_string(const RunResult& result) {
      << " proposals=" << result.proposals << " accepts=" << result.accepts
      << " uphill=" << result.uphill_accepts << " ticks=" << result.ticks
      << " temps=" << result.temperatures_visited;
+  if (result.invariants.executed > 0) {
+    os << " invariant_checks=" << result.invariants.executed;
+  }
   return os.str();
 }
 

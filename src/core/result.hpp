@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/problem.hpp"
+#include "util/invariant.hpp"
 
 namespace mcopt::core {
 
@@ -21,6 +22,10 @@ struct RunResult {
   std::uint64_t descent_steps = 0;    ///< Figure 2 systematic evaluations
   std::uint64_t ticks = 0;            ///< total budget consumed
   unsigned temperatures_visited = 0;  ///< how many Y_i levels were entered
+
+  /// Deep invariant verifications performed during the run; always 0 when
+  /// the library is built without MCOPT_CHECK_INVARIANTS.
+  util::InvariantStats invariants;
 
   /// initial_cost - best_cost; the paper's tables total this over 30
   /// instances ("total reduction in density").

@@ -6,6 +6,7 @@
 
 #include "core/schedule.hpp"
 #include "util/budget.hpp"
+#include "util/invariant.hpp"
 
 namespace mcopt::core {
 
@@ -50,6 +51,7 @@ TemperingResult parallel_tempering(
 
   util::WorkBudget budget{options.budget};
   std::uint64_t cycles = 0;
+  std::uint64_t next_invariant_check = 0;
   while (!budget.exhausted()) {
     // One proposal per replica, hottest to coldest.
     for (std::size_t r = 0; r < num_replicas && !budget.exhausted(); ++r) {
@@ -71,6 +73,21 @@ TemperingResult parallel_tempering(
     }
 
     if (++cycles % options.sweep != 0) continue;
+
+    // Periodic deep verification of every replica (between proposals, so
+    // nothing is pending and no randomness is consumed).
+    if constexpr (util::kInvariantsEnabled) {
+      if (options.invariant_check_interval != 0 &&
+          budget.spent() >= next_invariant_check) {
+        for (const auto& replica : replicas) {
+          replica->check_invariants();
+          ++out.aggregate.invariants.executed;
+        }
+        next_invariant_check =
+            budget.spent() + options.invariant_check_interval;
+      }
+    }
+
     // Swap phase: adjacent pairs, alternating parity per phase so every
     // boundary is exercised.
     const std::size_t start = (cycles / options.sweep) % 2;

@@ -39,6 +39,10 @@ struct TemperingOptions {
   /// After every `sweep` proposals per replica, adjacent pairs are offered
   /// a solution swap.  Must be >= 1.
   std::uint64_t sweep = 50;
+  /// Every this many ticks (at swap-phase boundaries), deep-verify every
+  /// replica via Problem::check_invariants() (util/invariant.hpp).  Only
+  /// active in builds with MCOPT_CHECK_INVARIANTS; 0 disables.
+  std::uint64_t invariant_check_interval = 4096;
 };
 
 struct TemperingResult {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/invariant.hpp"
+
 namespace mcopt::linarr {
 
 DensityState::DensityState(const Netlist& netlist, Arrangement arrangement)
@@ -32,7 +34,10 @@ void DensityState::rebuild() {
 }
 
 int DensityState::density() const noexcept {
-  while (max_cut_ > 0 && cut_histogram_[max_cut_] == 0) --max_cut_;
+  while (max_cut_ > 0 &&
+         cut_histogram_[static_cast<std::size_t>(max_cut_)] == 0) {
+    --max_cut_;
+  }
   return max_cut_;
 }
 
@@ -40,8 +45,8 @@ void DensityState::bump_boundary(std::size_t b, int delta) {
   const int old_cut = cuts_[b];
   const int new_cut = old_cut + delta;
   cuts_[b] = new_cut;
-  --cut_histogram_[old_cut];
-  ++cut_histogram_[new_cut];
+  --cut_histogram_[static_cast<std::size_t>(old_cut)];
+  ++cut_histogram_[static_cast<std::size_t>(new_cut)];
   if (new_cut > max_cut_) max_cut_ = new_cut;
   total_span_ += delta;
 }
@@ -68,6 +73,8 @@ void DensityState::activate_net(NetId n) {
 }
 
 void DensityState::apply_swap(std::size_t p, std::size_t q) {
+  MCOPT_DCHECK(p < arrangement_.size() && q < arrangement_.size(),
+               "swap position out of range");
   if (p == q) return;
   touched_.clear();
   for (const std::size_t pos : {p, q}) {
@@ -87,6 +94,8 @@ void DensityState::apply_swap(std::size_t p, std::size_t q) {
 }
 
 void DensityState::apply_move(std::size_t from, std::size_t to) {
+  MCOPT_DCHECK(from < arrangement_.size() && to < arrangement_.size(),
+               "move position out of range");
   if (from == to) return;
   touched_.clear();
   const auto lo = std::min(from, to);

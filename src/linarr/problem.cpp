@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/invariant.hpp"
+
 namespace mcopt::linarr {
 
 LinArrProblem::LinArrProblem(const Netlist& netlist, Arrangement start,
@@ -124,6 +126,15 @@ void LinArrProblem::restore(const core::Snapshot& snap) {
   }
   state_.reset(Arrangement::from_order(
       std::vector<CellId>(snap.begin(), snap.end())));
+}
+
+void LinArrProblem::check_invariants() const {
+  MCOPT_CHECK(pending_ == Pending::kNone,
+              "deep check with a perturbation pending");
+  MCOPT_CHECK(state_.arrangement().is_consistent(),
+              "arrangement order/position maps diverged");
+  MCOPT_CHECK(state_.verify(),
+              "incremental density state disagrees with full recompute");
 }
 
 bool LinArrProblem::is_local_optimum() {

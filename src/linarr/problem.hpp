@@ -42,6 +42,7 @@ class LinArrProblem final : public core::Problem {
   void randomize(util::Rng& rng) override;
   [[nodiscard]] core::Snapshot snapshot() const override;
   void restore(const core::Snapshot& snap) override;
+  void check_invariants() const override;
 
   /// Read access for reporting and tests.
   [[nodiscard]] const DensityState& state() const noexcept { return state_; }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/invariant.hpp"
+
 namespace mcopt::partition {
 
 PartitionState::PartitionState(const Netlist& netlist,
@@ -50,6 +52,7 @@ bool PartitionState::is_balanced() const noexcept {
 }
 
 void PartitionState::flip(CellId c) {
+  MCOPT_DCHECK(c < sides_.size(), "flip cell out of range");
   const int to_side0 = sides_[c] == 1 ? 1 : -1;  // +1 when moving onto side 0
   sides_[c] ^= 1;
   if (to_side0 > 0) {

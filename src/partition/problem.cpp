@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/invariant.hpp"
+
 namespace mcopt::partition {
 
 PartitionProblem::PartitionProblem(PartitionState start)
@@ -71,6 +73,13 @@ void PartitionProblem::descend(util::WorkBudget& budget) {
 void PartitionProblem::randomize(util::Rng& rng) {
   if (pending_) throw std::logic_error("randomize: a perturbation is pending");
   state_ = PartitionState::random(state_.netlist(), rng);
+}
+
+void PartitionProblem::check_invariants() const {
+  MCOPT_CHECK(!pending_, "deep check with a perturbation pending");
+  MCOPT_CHECK(state_.is_balanced(), "partition lost the balance constraint");
+  MCOPT_CHECK(state_.verify(),
+              "incremental cut disagrees with full recompute");
 }
 
 core::Snapshot PartitionProblem::snapshot() const {

@@ -30,6 +30,7 @@ class PartitionProblem final : public core::Problem {
   void randomize(util::Rng& rng) override;
   [[nodiscard]] core::Snapshot snapshot() const override;
   void restore(const core::Snapshot& snap) override;
+  void check_invariants() const override;
 
   [[nodiscard]] const PartitionState& state() const noexcept { return state_; }
 

@@ -1,6 +1,10 @@
 #include "tsp/problem.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "util/invariant.hpp"
 
 namespace mcopt::tsp {
 
@@ -110,6 +114,19 @@ void TspProblem::restore(const core::Snapshot& snap) {
   }
   order_ = std::move(order);
   resync_length();
+}
+
+void TspProblem::check_invariants() const {
+  MCOPT_CHECK(pending_ == Pending::kNone,
+              "deep check with a perturbation pending");
+  MCOPT_CHECK(is_valid_order(order_, instance_->size()),
+              "tour is no longer a permutation of the cities");
+  // The incrementally-maintained length drifts by at most rounding between
+  // resyncs; anything beyond 1e-6 relative means a bad move delta.
+  const double exact = tour_length(*instance_, order_);
+  MCOPT_CHECK(std::abs(length_ - exact) <=
+                  1e-6 * std::max(1.0, std::abs(exact)),
+              "incremental tour length drifted from exact recompute");
 }
 
 void TspProblem::resync_length() {

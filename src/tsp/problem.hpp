@@ -34,6 +34,7 @@ class TspProblem final : public core::Problem {
   void randomize(util::Rng& rng) override;
   [[nodiscard]] core::Snapshot snapshot() const override;
   void restore(const core::Snapshot& snap) override;
+  void check_invariants() const override;
 
   [[nodiscard]] const Order& order() const noexcept { return order_; }
   [[nodiscard]] const TspInstance& instance() const noexcept {

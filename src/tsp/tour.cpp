@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/invariant.hpp"
+
 namespace mcopt::tsp {
 
 Order identity_order(std::size_t n) {
@@ -40,6 +42,8 @@ double tour_length(const TspInstance& instance, const Order& order) {
 double two_opt_delta(const TspInstance& instance, const Order& order,
                      std::size_t i, std::size_t j) {
   const std::size_t n = order.size();
+  MCOPT_DCHECK(i < j && j < n && !(i == 0 && j == n - 1),
+               "2-opt positions violate i < j < n / shared-edge contract");
   const City a = order[i];
   const City b = order[i + 1];
   const City c = order[j];
@@ -49,6 +53,8 @@ double two_opt_delta(const TspInstance& instance, const Order& order,
 }
 
 void apply_two_opt(Order& order, std::size_t i, std::size_t j) {
+  MCOPT_DCHECK(i < j && j < order.size(),
+               "2-opt positions violate i < j < n contract");
   std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
 }

@@ -1,0 +1,20 @@
+#include "util/invariant.hpp"
+
+namespace mcopt::util {
+
+void invariant_failure(const char* file, int line, const char* condition,
+                       const char* message) {
+  std::string what{file};
+  what += ':';
+  what += std::to_string(line);
+  what += ": invariant violated: ";
+  what += condition;
+  if (message != nullptr && *message != '\0') {
+    what += " (";
+    what += message;
+    what += ')';
+  }
+  throw InvariantViolation{what};
+}
+
+}  // namespace mcopt::util

@@ -1,0 +1,83 @@
+// Runtime invariant verification.
+//
+// The incremental data structures this library is built on (DensityState,
+// PartitionState, incremental tour lengths) buy their speed by maintaining
+// derived quantities under moves instead of recomputing them.  A silently
+// corrupted structure does not crash — it biases every equal-budget
+// comparison the reproduction reports.  This header provides the checking
+// layer that makes such corruption loud:
+//
+//   MCOPT_CHECK(cond, msg)   — verifies `cond` and throws InvariantViolation
+//                              on failure.  Compiled in when the CMake option
+//                              MCOPT_CHECK_INVARIANTS is ON (the default for
+//                              Debug builds), compiled out otherwise.
+//   MCOPT_DCHECK(cond, msg)  — as MCOPT_CHECK, but additionally compiled out
+//                              under NDEBUG; reserved for checks too hot even
+//                              for a checked release build (per-call range
+//                              and domain contracts on inner loops).
+//
+// When compiled out, the condition is never evaluated (it is only inspected
+// in an unevaluated sizeof context, so variables it names do not warn as
+// unused).  Failures throw rather than abort so test harnesses can assert on
+// them; an invariant failure inside a noexcept function still terminates,
+// which is the intended behaviour for genuinely impossible states.
+//
+// Runners (figure1, figure2, multistart, tempering) additionally perform
+// periodic deep verification — Problem::check_invariants() every K ticks —
+// and count those verifications in InvariantStats, surfaced through
+// core::RunResult so a CI run can prove the checks actually executed.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mcopt::util {
+
+/// Thrown by MCOPT_CHECK / MCOPT_DCHECK on a violated invariant.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+/// Formats "<file>:<line>: invariant violated: <cond> (<msg>)" and throws
+/// InvariantViolation.  Out-of-line so the macro expansion stays small.
+[[noreturn]] void invariant_failure(const char* file, int line,
+                                    const char* condition, const char* message);
+
+/// Count of deep (full-recompute) verifications a run performed; embedded in
+/// core::RunResult.  Zero in builds with MCOPT_CHECK_INVARIANTS off.
+struct InvariantStats {
+  std::uint64_t executed = 0;
+
+  InvariantStats& operator+=(const InvariantStats& other) noexcept {
+    executed += other.executed;
+    return *this;
+  }
+};
+
+#if defined(MCOPT_CHECK_INVARIANTS)
+inline constexpr bool kInvariantsEnabled = true;
+#else
+inline constexpr bool kInvariantsEnabled = false;
+#endif
+
+}  // namespace mcopt::util
+
+#if defined(MCOPT_CHECK_INVARIANTS)
+#define MCOPT_CHECK(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::mcopt::util::invariant_failure(__FILE__, __LINE__, #cond, msg); \
+    }                                                                   \
+  } while (false)
+#else
+#define MCOPT_CHECK(cond, msg) static_cast<void>(sizeof(!(cond)))
+#endif
+
+#if defined(MCOPT_CHECK_INVARIANTS) && !defined(NDEBUG)
+#define MCOPT_DCHECK(cond, msg) MCOPT_CHECK(cond, msg)
+#else
+#define MCOPT_DCHECK(cond, msg) static_cast<void>(sizeof(!(cond)))
+#endif

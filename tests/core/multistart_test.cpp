@@ -31,6 +31,21 @@ TEST(MultistartTest, RejectsBadInputs) {
                std::invalid_argument);
 }
 
+TEST(MultistartTest, RejectsPerStartBudgetAboveTotal) {
+  ToyProblem problem{{1, 2, 3}, 0};
+  util::Rng rng{1};
+  MultistartOptions options;
+  options.total_budget = 100;
+  options.budget_per_start = 101;
+  EXPECT_THROW((void)multistart(problem, descent_runner(), options, rng),
+               std::invalid_argument);
+  // The boundary case is legal: exactly one full-budget start.
+  options.budget_per_start = 100;
+  const MultistartResult result =
+      multistart(problem, descent_runner(), options, rng);
+  EXPECT_EQ(result.restarts, 1u);
+}
+
 TEST(MultistartTest, RunsExpectedNumberOfRestarts) {
   ToyProblem problem{{5, 4, 3, 2, 1, 2, 3, 4}, 0};
   util::Rng rng{2};

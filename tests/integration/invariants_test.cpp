@@ -1,0 +1,183 @@
+// The runtime invariant-verification layer end to end: every Problem
+// implementation's deep check passes after real Monte Carlo work, the
+// runners perform (and count) periodic verification, and the counts
+// propagate through aggregation — so a checked CI run can prove the checks
+// executed rather than silently compiling to nothing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/figure1.hpp"
+#include "core/figure2.hpp"
+#include "core/gfunction.hpp"
+#include "core/multistart.hpp"
+#include "core/tempering.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/generator.hpp"
+#include "partition/problem.hpp"
+#include "tsp/problem.hpp"
+#include "util/invariant.hpp"
+
+namespace mcopt {
+namespace {
+
+using core::GClass;
+using util::kInvariantsEnabled;
+
+constexpr std::uint64_t kSeed = 1985;
+
+netlist::Netlist test_netlist() {
+  return netlist::gola_test_set(1, netlist::GolaParams{15, 150}, kSeed)[0];
+}
+
+TEST(InvariantLayerTest, Figure1CountsPeriodicChecksOnLinArr) {
+  const auto nl = test_netlist();
+  util::Rng rng{kSeed};
+  linarr::LinArrProblem problem{nl, linarr::Arrangement::random(15, rng)};
+  const auto g = core::make_g(GClass::kSixTempAnnealing, {.scale = 4.0});
+  core::Figure1Options options;
+  options.budget = 2'000;
+  options.invariant_check_interval = 100;
+  const auto result = core::run_figure1(problem, *g, options, rng);
+  if constexpr (kInvariantsEnabled) {
+    EXPECT_GE(result.invariants.executed, 20u);
+  } else {
+    EXPECT_EQ(result.invariants.executed, 0u);
+  }
+  EXPECT_NO_THROW(problem.check_invariants());
+}
+
+TEST(InvariantLayerTest, Figure2CountsPeriodicChecksOnLinArr) {
+  const auto nl = test_netlist();
+  util::Rng rng{kSeed + 1};
+  linarr::LinArrProblem problem{nl, linarr::Arrangement::random(15, rng)};
+  const auto g = core::make_g(GClass::kCubicDiff, {.scale = 0.4});
+  core::Figure2Options options;
+  options.budget = 2'000;
+  options.invariant_check_interval = 100;
+  const auto result = core::run_figure2(problem, *g, options, rng);
+  if constexpr (kInvariantsEnabled) {
+    EXPECT_GT(result.invariants.executed, 0u);
+  } else {
+    EXPECT_EQ(result.invariants.executed, 0u);
+  }
+  EXPECT_NO_THROW(problem.check_invariants());
+}
+
+TEST(InvariantLayerTest, TspProblemStaysConsistentUnderBothMoveKinds) {
+  util::Rng rng{kSeed + 2};
+  const auto instance = tsp::TspInstance::random_euclidean(20, rng);
+  for (const auto kind : {tsp::TspMoveKind::kTwoOpt, tsp::TspMoveKind::kOrOpt}) {
+    tsp::TspProblem problem{instance, tsp::random_order(20, rng), kind};
+    const auto g = core::make_g(GClass::kMetropolis, {.scale = 50.0});
+    core::Figure1Options options;
+    options.budget = 3'000;
+    options.invariant_check_interval = 64;
+    const auto result = core::run_figure1(problem, *g, options, rng);
+    if constexpr (kInvariantsEnabled) {
+      EXPECT_GT(result.invariants.executed, 0u);
+    }
+    EXPECT_NO_THROW(problem.check_invariants());
+  }
+}
+
+TEST(InvariantLayerTest, PartitionProblemStaysConsistent) {
+  const auto nl = test_netlist();
+  util::Rng rng{kSeed + 3};
+  partition::PartitionProblem problem{partition::PartitionState::random(nl, rng)};
+  const auto g = core::make_g(GClass::kSixTempAnnealing, {.scale = 10.0});
+  core::Figure1Options options;
+  options.budget = 2'000;
+  options.invariant_check_interval = 50;
+  const auto result = core::run_figure1(problem, *g, options, rng);
+  if constexpr (kInvariantsEnabled) {
+    EXPECT_GT(result.invariants.executed, 0u);
+  }
+  EXPECT_NO_THROW(problem.check_invariants());
+}
+
+TEST(InvariantLayerTest, MultistartAggregatesInvariantCounts) {
+  const auto nl = test_netlist();
+  util::Rng rng{kSeed + 4};
+  linarr::LinArrProblem problem{nl, linarr::Arrangement::random(15, rng)};
+  const auto g = core::make_g(GClass::kGOne);
+  core::Runner runner = [&g](core::Problem& p, std::uint64_t budget,
+                             util::Rng& r) {
+    core::Figure1Options options;
+    options.budget = budget;
+    options.invariant_check_interval = 100;
+    return core::run_figure1(p, *g, options, r);
+  };
+  core::MultistartOptions options;
+  options.total_budget = 2'000;
+  options.budget_per_start = 500;
+  const auto result = core::multistart(problem, runner, options, rng);
+  if constexpr (kInvariantsEnabled) {
+    // One per-restart check plus the periodic in-run checks.
+    EXPECT_GE(result.aggregate.invariants.executed, result.restarts);
+  } else {
+    EXPECT_EQ(result.aggregate.invariants.executed, 0u);
+  }
+}
+
+TEST(InvariantLayerTest, TemperingVerifiesEveryReplica) {
+  const auto nl = test_netlist();
+  core::TemperingOptions options;
+  options.temperatures = {8.0, 4.0, 2.0, 1.0};
+  options.budget = 4'000;
+  options.sweep = 10;
+  options.invariant_check_interval = 200;
+  util::Rng rng{kSeed + 5};
+  auto factory = [&nl](std::size_t r) -> std::unique_ptr<core::Problem> {
+    util::Rng arr_rng{util::derive_seed(kSeed, r)};
+    return std::make_unique<linarr::LinArrProblem>(
+        nl, linarr::Arrangement::random(15, arr_rng));
+  };
+  const auto result = core::parallel_tempering(factory, options, rng);
+  if constexpr (kInvariantsEnabled) {
+    // Checks come in whole sweeps of all four replicas.
+    EXPECT_GT(result.aggregate.invariants.executed, 0u);
+    EXPECT_EQ(result.aggregate.invariants.executed % 4, 0u);
+  } else {
+    EXPECT_EQ(result.aggregate.invariants.executed, 0u);
+  }
+}
+
+TEST(InvariantLayerTest, CheckedAndUncheckedRunsSeeIdenticalStreams) {
+  // The periodic verification must not consume randomness: a run with
+  // interval 1 and a run with checking effectively off must visit exactly
+  // the same solutions.
+  const auto nl = test_netlist();
+  util::Rng arr_rng{kSeed + 6};
+  const auto start = linarr::Arrangement::random(15, arr_rng);
+  const auto g = core::make_g(GClass::kSixTempAnnealing, {.scale = 4.0});
+
+  auto run = [&](std::uint64_t interval) {
+    linarr::LinArrProblem problem{nl, start};
+    util::Rng rng{kSeed + 7};
+    core::Figure1Options options;
+    options.budget = 2'000;
+    options.invariant_check_interval = interval;
+    return core::run_figure1(problem, *g, options, rng);
+  };
+  const auto checked = run(1);
+  const auto unchecked = run(0);
+  EXPECT_EQ(checked.best_cost, unchecked.best_cost);
+  EXPECT_EQ(checked.final_cost, unchecked.final_cost);
+  EXPECT_EQ(checked.accepts, unchecked.accepts);
+  EXPECT_EQ(checked.best_state, unchecked.best_state);
+}
+
+TEST(InvariantLayerTest, GFunctionRejectsOutOfRangeTemperatureIndex) {
+  if constexpr (kInvariantsEnabled) {
+    const auto g = core::make_g(GClass::kMetropolis, {.scale = 10.0});
+    EXPECT_THROW((void)g->probability(1, 10.0, 11.0),
+                 util::InvariantViolation);
+    const auto cohoon = core::make_g(GClass::kCohoonSahni, {.num_nets = 150});
+    EXPECT_THROW((void)cohoon->probability(3, 10.0, 11.0),
+                 util::InvariantViolation);
+  }
+}
+
+}  // namespace
+}  // namespace mcopt

@@ -1,0 +1,68 @@
+#include "util/invariant.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcopt::util {
+namespace {
+
+TEST(InvariantTest, TrueConditionNeverThrows) {
+  EXPECT_NO_THROW(MCOPT_CHECK(1 + 1 == 2, "arithmetic"));
+  EXPECT_NO_THROW(MCOPT_DCHECK(true, "trivial"));
+}
+
+TEST(InvariantTest, FalseConditionThrowsWhenEnabled) {
+  if constexpr (kInvariantsEnabled) {
+    EXPECT_THROW(MCOPT_CHECK(false, "must fire"), InvariantViolation);
+  } else {
+    EXPECT_NO_THROW(MCOPT_CHECK(false, "compiled out"));
+  }
+}
+
+TEST(InvariantTest, DisabledCheckDoesNotEvaluateCondition) {
+  // When compiled out the condition sits in an unevaluated sizeof context;
+  // when compiled in it runs exactly once.  Either way, never twice.
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  MCOPT_CHECK(count(), "side-effect probe");
+  EXPECT_EQ(evaluations, kInvariantsEnabled ? 1 : 0);
+}
+
+TEST(InvariantTest, FailureMessageCarriesLocationAndText) {
+  if constexpr (kInvariantsEnabled) {
+    try {
+      MCOPT_CHECK(2 < 1, "ordering broke");
+      FAIL() << "MCOPT_CHECK(false) did not throw";
+    } catch (const InvariantViolation& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("invariant_test.cpp"), std::string::npos) << what;
+      EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+      EXPECT_NE(what.find("ordering broke"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(InvariantTest, StatsAccumulate) {
+  InvariantStats a;
+  InvariantStats b;
+  a.executed = 3;
+  b.executed = 4;
+  a += b;
+  EXPECT_EQ(a.executed, 7u);
+  EXPECT_EQ(b.executed, 4u);
+}
+
+TEST(InvariantTest, InvariantFailureFormatsWithoutMessage) {
+  EXPECT_THROW(invariant_failure("f.cpp", 7, "x == y", ""),
+               InvariantViolation);
+  try {
+    invariant_failure("f.cpp", 7, "x == y", nullptr);
+  } catch (const InvariantViolation& e) {
+    EXPECT_STREQ(e.what(), "f.cpp:7: invariant violated: x == y");
+  }
+}
+
+}  // namespace
+}  // namespace mcopt::util

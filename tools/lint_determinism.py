@@ -1,0 +1,314 @@
+#!/usr/bin/env python3
+"""Determinism lint for the mcopt source tree.
+
+Bit-exact reproducibility of the EXPERIMENTS.md tables is a hard project
+contract: every stochastic component must draw from util::Rng (xoshiro256++
+seeded via splitmix64), and cost arithmetic must be double-precision.  This
+tool rejects source constructs that silently break that contract:
+
+  * std::rand / srand / rand()          - C PRNG, global state, libc-specific
+  * std::random_device                  - nondeterministic by design
+  * std::uniform_*_distribution et al.  - unspecified algorithm; streams
+    differ between standard libraries even for equal seeds
+  * std::mt19937 / minstd / ranlux ...  - engine construction outside
+    util::Rng (default-constructed engines are unseeded; even seeded ones
+    bypass the project's stream-derivation scheme)
+  * time(...) / clock() / system_clock  - wall-clock seeding or wall-clock
+    dependent logic (steady_clock is allowed: it only measures durations)
+  * float in cost arithmetic            - all costs are double; float
+    narrows differently across FPUs and vector units
+
+Comments and string literals are stripped before matching, so *discussing*
+a banned construct is fine.  A genuine exception can be allowlisted by
+putting `mcopt-lint: allow(<rule>)` in a comment on the same line.
+
+Exit status: 0 when clean, 1 when violations are found, 2 on usage errors.
+Run `tools/lint_determinism.py --self-test` to verify the linter catches
+every rule (used by CI to prove the lint is live).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_DIRS = ["src", "bench", "examples", "tests", "tools"]
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+ALLOW_RE = re.compile(r"mcopt-lint:\s*allow\(([a-z0-9_\-, ]+)\)")
+
+# rule name -> (regex on comment/string-stripped code, human explanation)
+RULES = {
+    "c-rand": (
+        re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("),
+        "C rand()/srand(): global-state PRNG, not reproducible across libcs; "
+        "use util::Rng",
+    ),
+    "random-device": (
+        re.compile(r"\bstd\s*::\s*random_device\b"),
+        "std::random_device is nondeterministic; seed util::Rng explicitly",
+    ),
+    "std-distribution": (
+        re.compile(
+            r"\bstd\s*::\s*(?:uniform_int_distribution|"
+            r"uniform_real_distribution|normal_distribution|"
+            r"bernoulli_distribution|discrete_distribution|"
+            r"exponential_distribution|poisson_distribution|"
+            r"geometric_distribution|binomial_distribution)\b"
+        ),
+        "std distributions have unspecified algorithms (streams differ across "
+        "standard libraries); use util::Rng helpers",
+    ),
+    "std-engine": (
+        re.compile(
+            r"\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|ranlux\w+|"
+            r"knuth_b|default_random_engine)\b"
+        ),
+        "std random engine construction bypasses util::Rng and the project's "
+        "seed-derivation scheme",
+    ),
+    "wall-clock": (
+        re.compile(
+            r"(?:\btime\s*\(|\bclock\s*\(|"
+            r"\bstd\s*::\s*chrono\s*::\s*(?:system_clock|"
+            r"high_resolution_clock)\b|\bgettimeofday\s*\()"
+        ),
+        "wall-clock access: seeds or logic derived from it are not "
+        "reproducible (steady_clock durations via util::Stopwatch are fine)",
+    ),
+    "float-arithmetic": (
+        re.compile(r"\bfloat\b"),
+        "float narrows cost arithmetic differently across FPUs; the project "
+        "contract is double everywhere",
+    ),
+    "shuffle-std": (
+        re.compile(r"\bstd\s*::\s*(?:shuffle|random_shuffle)\b"),
+        "std::shuffle's use of the URBG is unspecified; use util::Rng::shuffle",
+    ),
+}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string literals, and char literals, preserving
+    line structure so reported line numbers match the original file."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                match = re.match(r'R"([^()\\ ]*)\(', text[i:])
+                if match:
+                    raw_terminator = ")" + match.group(1) + '"'
+                    state = "raw"
+                    out.append(" " * len(match.group(0)))
+                    i += len(match.group(0))
+                    continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+        elif state == "raw":
+            if text.startswith(raw_terminator, i):
+                state = "code"
+                out.append(" " * len(raw_terminator))
+                i += len(raw_terminator)
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+        elif state in ("string", "char"):
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (state == "char" and c == "'"):
+                state = "code"
+            out.append(" " if c != "\n" else c)
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules(original_line: str) -> set[str]:
+    match = ALLOW_RE.search(original_line)
+    if not match:
+        return set()
+    return {rule.strip() for rule in match.group(1).split(",")}
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [f"{path}: unreadable: {err}"]
+    stripped = strip_comments_and_strings(text)
+    original_lines = text.splitlines()
+    violations = []
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        original = (
+            original_lines[lineno - 1] if lineno <= len(original_lines) else ""
+        )
+        allows = allowed_rules(original)
+        for rule, (pattern, explanation) in RULES.items():
+            if rule in allows:
+                continue
+            if pattern.search(line):
+                violations.append(
+                    f"{path}:{lineno}: [{rule}] {explanation}\n"
+                    f"    {original.strip()}"
+                )
+    return violations
+
+
+def collect_files(roots: list[pathlib.Path]) -> list[pathlib.Path]:
+    files = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+            continue
+        files.extend(
+            p
+            for p in sorted(root.rglob("*"))
+            if p.suffix in SOURCE_SUFFIXES and p.is_file()
+        )
+    return files
+
+
+def run_lint(roots: list[pathlib.Path]) -> int:
+    files = collect_files(roots)
+    if not files:
+        print("lint_determinism: no source files found", file=sys.stderr)
+        return 2
+    all_violations = []
+    for path in files:
+        all_violations.extend(lint_file(path))
+    for violation in all_violations:
+        print(violation)
+    if all_violations:
+        print(
+            f"lint_determinism: {len(all_violations)} violation(s) "
+            f"in {len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: OK ({len(files)} files clean)")
+    return 0
+
+
+SELF_TEST_SNIPPETS = {
+    "c-rand": "int x = std::rand();",
+    "random-device": "std::random_device rd;",
+    "std-distribution": "std::uniform_int_distribution<int> d(0, 9);",
+    "std-engine": "std::mt19937 gen(42);",
+    "wall-clock": "auto t0 = time(nullptr);",
+    "float-arithmetic": "float cost = 0.0f;",
+    "shuffle-std": "std::shuffle(v.begin(), v.end(), gen);",
+}
+
+SELF_TEST_CLEAN = """\
+// std::rand() in a comment is fine; so is "std::random_device" in a string.
+#include "util/rng.hpp"
+const char* banner = "seeded by std::mt19937? never.";
+double run(mcopt::util::Rng& rng) { return rng.next_double(); }
+int narrow = 3;  // float would be flagged, double is the contract
+std::uint64_t stamp();  // mcopt-lint: allow(wall-clock) -- not actually used
+"""
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = pathlib.Path(tmp)
+        for rule, snippet in SELF_TEST_SNIPPETS.items():
+            path = tmpdir / f"{rule}.cpp"
+            path.write_text(snippet + "\n", encoding="utf-8")
+            violations = lint_file(path)
+            if not any(f"[{rule}]" in v for v in violations):
+                failures.append(f"rule '{rule}' missed: {snippet!r}")
+            path.unlink()
+        clean = tmpdir / "clean.cpp"
+        clean.write_text(SELF_TEST_CLEAN, encoding="utf-8")
+        violations = lint_file(clean)
+        if violations:
+            failures.append(
+                "false positives on comment/string/allowlisted code:\n  "
+                + "\n  ".join(violations)
+            )
+    if failures:
+        print("lint_determinism --self-test FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"lint_determinism --self-test OK ({len(SELF_TEST_SNIPPETS)} rules)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_DIRS)} "
+        "relative to the repo root)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify every rule fires on a planted violation, then exit",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if args.paths:
+        roots = [pathlib.Path(p) for p in args.paths]
+    else:
+        roots = [REPO_ROOT / d for d in DEFAULT_DIRS if (REPO_ROOT / d).is_dir()]
+    missing = [str(r) for r in roots if not r.exists()]
+    if missing:
+        print(f"lint_determinism: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    return run_lint(roots)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
