@@ -1,10 +1,15 @@
 #include "common.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "util/args.hpp"
 #include "util/csv.hpp"
 
 #include "core/figure1.hpp"
@@ -104,31 +109,87 @@ void print_invariant_summary() {
 std::vector<double> run_method_row(
     const Method& method, const std::vector<netlist::Netlist>& instances,
     const TableRunConfig& config) {
-  std::vector<double> totals(config.budgets.size(), 0.0);
-  for (std::size_t b = 0; b < config.budgets.size(); ++b) {
-    for (std::size_t i = 0; i < instances.size(); ++i) {
-      const auto& nl = instances[i];
-      auto start = config.start == StartKind::kGoto
-                       ? linarr::goto_arrangement(nl)
-                       : random_start(i, nl.num_cells());
-      linarr::LinArrProblem problem{nl, std::move(start), config.move_kind};
-      const auto g = make_method_g(method, nl);
-      util::Rng rng{util::derive_seed(config.move_seed, i)};
-      core::RunResult result;
-      if (config.figure2) {
-        core::Figure2Options fig2;
-        fig2.budget = config.budgets[b];
-        result = core::run_figure2(problem, *g, fig2, rng);
-      } else {
-        core::Figure1Options fig1;
-        fig1.budget = config.budgets[b];
-        result = core::run_figure1(problem, *g, fig1, rng);
-      }
-      totals[b] += result.reduction();
-      g_invariant_checks += result.invariants.executed;
+  // Every (budget, instance) cell is an independent job with its own derived
+  // RNG stream, so the grid can run on any number of threads; the index-
+  // ordered reduction below keeps the row bit-identical regardless.
+  const std::size_t num_jobs = config.budgets.size() * instances.size();
+  std::vector<double> reductions(num_jobs, 0.0);
+  std::vector<std::uint64_t> checks(num_jobs, 0);
+
+  auto run_job = [&](std::size_t job) {
+    const std::size_t b = job / instances.size();
+    const std::size_t i = job % instances.size();
+    const auto& nl = instances[i];
+    auto start = config.start == StartKind::kGoto
+                     ? linarr::goto_arrangement(nl)
+                     : random_start(i, nl.num_cells());
+    linarr::LinArrProblem problem{nl, std::move(start), config.move_kind};
+    const auto g = make_method_g(method, nl);
+    util::Rng rng{util::derive_seed(config.move_seed, i)};
+    core::RunResult result;
+    if (config.figure2) {
+      core::Figure2Options fig2;
+      fig2.budget = config.budgets[b];
+      result = core::run_figure2(problem, *g, fig2, rng);
+    } else {
+      core::Figure1Options fig1;
+      fig1.budget = config.budgets[b];
+      result = core::run_figure1(problem, *g, fig1, rng);
     }
+    reductions[job] = result.reduction();
+    checks[job] = result.invariants.executed;
+  };
+
+  const unsigned workers = config.num_threads == 0 ? 1 : config.num_threads;
+  if (workers <= 1 || num_jobs <= 1) {
+    for (std::size_t job = 0; job < num_jobs; ++job) run_job(job);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+      for (std::size_t job = next.fetch_add(1); job < num_jobs;
+           job = next.fetch_add(1)) {
+        run_job(job);
+      }
+    };
+    std::vector<std::thread> pool;
+    const std::size_t spawn =
+        std::min<std::size_t>(workers, num_jobs);
+    pool.reserve(spawn);
+    for (std::size_t t = 0; t < spawn; ++t) pool.emplace_back(drain);
+    for (auto& thread : pool) thread.join();
+  }
+
+  std::vector<double> totals(config.budgets.size(), 0.0);
+  for (std::size_t job = 0; job < num_jobs; ++job) {
+    totals[job / instances.size()] += reductions[job];
+    g_invariant_checks += checks[job];
   }
   return totals;
+}
+
+unsigned threads_from_args(int argc, const char* const* argv) {
+  const util::Args args{argc, argv};
+  const auto unknown = args.unknown_flags({"threads"});
+  if (!unknown.empty() || !args.positional().empty()) {
+    std::fprintf(stderr, "usage: %s [--threads N]\n", args.program().c_str());
+    std::exit(2);
+  }
+  long long threads = 1;
+  try {
+    threads = args.get_int("threads", 1);
+  } catch (const std::invalid_argument&) {
+    threads = 0;
+  }
+  if (threads < 1) {
+    std::fprintf(stderr, "%s: --threads must be a positive integer\n",
+                 args.program().c_str());
+    std::exit(2);
+  }
+  if (threads > 1) {
+    std::printf("threads=%lld (results are thread-count invariant)\n",
+                threads);
+  }
+  return static_cast<unsigned>(threads);
 }
 
 long long total_start_density(const std::vector<netlist::Netlist>& instances,
@@ -175,6 +236,20 @@ void maybe_write_csv(const std::string& experiment,
   csv.row(table.headers());
   for (const auto& row : table.data()) csv.row(row);
   std::printf("(csv mirrored to %s)\n", path.c_str());
+}
+
+void write_json_report(const std::string& name, const std::string& payload) {
+  const char* dir = std::getenv("MCOPT_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr && dir[0] != '\0' ? std::string{dir} + "/" : std::string{}) +
+      name + ".json";
+  std::ofstream out{path};
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << payload;
+  std::printf("(json report written to %s)\n", path.c_str());
 }
 
 }  // namespace mcopt::bench

@@ -85,6 +85,11 @@ struct TableRunConfig {
   bool figure2 = false;
   linarr::MoveKind move_kind = linarr::MoveKind::kPairwiseInterchange;
   std::uint64_t move_seed = 7;  ///< stream id for the perturbation RNG
+  /// Worker threads for the per-(budget, instance) runs.  Every (budget,
+  /// instance) cell already owns a derived RNG stream and the results are
+  /// reduced in index order, so the row is bit-identical for any value —
+  /// the table drivers default to 1 and let --threads opt in.
+  unsigned num_threads = 1;
 };
 
 /// Total reduction (summed over instances) for one method at each budget —
@@ -93,6 +98,11 @@ struct TableRunConfig {
 std::vector<double> run_method_row(const Method& method,
                                    const std::vector<netlist::Netlist>& instances,
                                    const TableRunConfig& config);
+
+/// Parses --threads N (default 1, must be >= 1) for the table drivers and
+/// rejects unknown flags; prints a note when the run is parallel.  Exits
+/// with status 2 on a bad command line.
+unsigned threads_from_args(int argc, const char* const* argv);
 
 /// Sum of the starting densities over the instance set for the given start
 /// policy (the paper quotes 2594 random / 4254 NOLA-random etc.).
@@ -119,5 +129,11 @@ void print_invariant_summary();
 /// <dir>/<experiment>.csv (header row + data rows) so plots can be
 /// regenerated outside the repo.  No-op otherwise.
 void maybe_write_csv(const std::string& experiment, const util::Table& table);
+
+/// Writes an already-serialized JSON document to <dir>/<name>.json, where
+/// <dir> is MCOPT_BENCH_JSON_DIR or the current directory.  Machine-readable
+/// bench output (BENCH_parallel.json etc.) flows through here so future PRs
+/// can diff perf trajectories.
+void write_json_report(const std::string& name, const std::string& payload);
 
 }  // namespace mcopt::bench

@@ -44,8 +44,9 @@ const std::map<std::string, std::array<int, 3>> kPaper41{
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcopt;
+  const unsigned threads = bench::threads_from_args(argc, argv);
   bench::print_header(
       "Table 4.1 — GOLA: total density reduction, Figure 1, random starts",
       "30 instances, 15 elements, 150 two-pin nets; budgets = 6/9/12 s "
@@ -69,6 +70,7 @@ int main() {
   config.budgets = {bench::scaled(bench::kSixSec),
                     bench::scaled(bench::kNineSec),
                     bench::scaled(bench::kTwelveSec)};
+  config.num_threads = threads;
 
   util::Table table;
   table.add_column("g function", util::Table::Align::kLeft);

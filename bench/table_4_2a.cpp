@@ -24,8 +24,9 @@ const std::map<std::string, std::array<int, 3>> kPaper42a{
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcopt;
+  const unsigned threads = bench::threads_from_args(argc, argv);
   bench::print_header(
       "Table 4.2(a) — GOLA: reductions from the Goto starting arrangement",
       "30 instances; Figure 1; 13 g classes; budgets = 6/9/12 s equivalents");
@@ -45,6 +46,7 @@ int main() {
   config.budgets = {bench::scaled(bench::kSixSec),
                     bench::scaled(bench::kNineSec),
                     bench::scaled(bench::kTwelveSec)};
+  config.num_threads = threads;
   config.start = bench::StartKind::kGoto;
   config.move_seed = 11;
 

@@ -28,8 +28,9 @@ const std::map<std::string, std::array<int, 2>> kPaper42b{
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcopt;
+  const unsigned threads = bench::threads_from_args(argc, argv);
   bench::print_header(
       "Table 4.2(b) — GOLA: Figure 1 vs Figure 2 at the 3-minute budget",
       "30 instances; random starts; 13 g classes; budget = 3 min equivalent "
@@ -44,6 +45,7 @@ int main() {
   bench::TableRunConfig fig1;
   fig1.budgets = {bench::scaled(bench::kThreeMin)};
   fig1.move_seed = 13;
+  fig1.num_threads = threads;
   bench::TableRunConfig fig2 = fig1;
   fig2.figure2 = true;
 

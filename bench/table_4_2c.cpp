@@ -27,8 +27,9 @@ const std::map<std::string, std::array<int, 3>> kPaper42c{
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcopt;
+  const unsigned threads = bench::threads_from_args(argc, argv);
   bench::print_header(
       "Table 4.2(c) — NOLA: total density reduction, Figure 1, random starts",
       "30 instances, 15 elements, 150 nets of 2-6 pins; GOLA temperatures "
@@ -49,6 +50,7 @@ int main() {
   config.budgets = {bench::scaled(bench::kSixSec),
                     bench::scaled(bench::kNineSec),
                     bench::scaled(bench::kTwelveSec)};
+  config.num_threads = threads;
   config.move_seed = 17;
 
   util::Table table;

@@ -22,7 +22,7 @@ RunResult random_descent(Problem& problem, std::uint64_t budget,
   RunResult result;
   result.initial_cost = problem.cost();
   result.best_cost = result.initial_cost;
-  result.best_state = problem.snapshot();
+  problem.snapshot_into(result.best_state);
   result.temperatures_visited = 1;
 
   double h_i = result.initial_cost;
@@ -37,7 +37,7 @@ RunResult random_descent(Problem& problem, std::uint64_t budget,
       h_i = h_j;
       if (h_i < result.best_cost) {
         result.best_cost = h_i;
-        result.best_state = problem.snapshot();
+        problem.snapshot_into(result.best_state);
       }
     } else {
       problem.reject();

@@ -17,7 +17,7 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
   RunResult result;
   result.initial_cost = problem.cost();
   result.best_cost = result.initial_cost;
-  result.best_state = problem.snapshot();
+  problem.snapshot_into(result.best_state);
   result.temperatures_visited = k == 0 ? 0 : 1;
 
   unsigned temp = 0;
@@ -81,7 +81,7 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
       reject_counter = 0;
       if (h_i < result.best_cost) {
         result.best_cost = h_i;
-        result.best_state = problem.snapshot();
+        problem.snapshot_into(result.best_state);
       }
       note_accept();
       continue;

@@ -12,7 +12,7 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
   RunResult result;
   result.initial_cost = problem.cost();
   result.best_cost = result.initial_cost;
-  result.best_state = problem.snapshot();
+  problem.snapshot_into(result.best_state);
   result.temperatures_visited = k == 0 ? 0 : 1;
 
   unsigned temp = 0;
@@ -30,7 +30,7 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
   auto update_best = [&](double h) {
     if (h < result.best_cost) {
       result.best_cost = h;
-      result.best_state = problem.snapshot();
+      problem.snapshot_into(result.best_state);
     }
   };
 

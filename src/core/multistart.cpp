@@ -19,15 +19,27 @@ MultistartResult multistart(Problem& problem, const Runner& runner,
         "multistart: budget_per_start exceeds total_budget");
   }
 
+  // One master draw, then a SplitMix-derived stream per restart: restart i
+  // sees Rng::split(master, i) no matter what earlier restarts consumed.
+  // This is what lets parallel_multistart() reproduce this loop bit-for-bit
+  // from worker threads (core/parallel.hpp); the caller's rng advances by
+  // exactly one output either way.
+  const std::uint64_t master = rng.next();
+
   MultistartResult out;
   std::uint64_t spent = 0;
   bool first = true;
+  std::uint64_t index = 0;
   while (spent < options.total_budget) {
     const std::uint64_t slice =
         std::min(options.budget_per_start, options.total_budget - spent);
-    if (!first || options.randomize_first) problem.randomize(rng);
-    const RunResult run = runner(problem, slice, rng);
-    spent += std::max<std::uint64_t>(run.ticks, slice);
+    util::Rng start_rng = util::Rng::split(master, index++);
+    if (!first || options.randomize_first) problem.randomize(start_rng);
+    const RunResult run = runner(problem, slice, start_rng);
+    // Charge what the run actually consumed (an early-terminating runner
+    // leaves budget for more restarts); the max(., 1) floor guarantees
+    // progress against a runner that reports zero ticks.
+    spent += std::max<std::uint64_t>(run.ticks, 1);
     ++out.restarts;
 
     // Deep-verify the problem state between restarts; the per-run interval

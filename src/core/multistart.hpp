@@ -24,7 +24,9 @@ using Runner =
     std::function<RunResult(Problem&, std::uint64_t budget, util::Rng&)>;
 
 struct MultistartOptions {
-  /// Total ticks across all restarts.
+  /// Total ticks across all restarts.  A restart that terminates early is
+  /// charged only what it consumed, so the leftover funds further restarts
+  /// (the paper's equal-time protocol).
   std::uint64_t total_budget = 30'000;
   /// Ticks per restart; the last restart gets the (possibly smaller)
   /// remainder.  Must be >= 1.
@@ -42,6 +44,12 @@ struct MultistartResult {
 };
 
 /// Throws std::invalid_argument on a null runner or zero budget_per_start.
+///
+/// RNG contract: one output of `rng` seeds a master stream, and restart i
+/// draws exclusively from util::Rng::split(master, i).  The caller's rng
+/// therefore advances by exactly one output regardless of how many restarts
+/// run, and core::parallel_multistart() reproduces the result bit-for-bit
+/// with any thread count.
 [[nodiscard]] MultistartResult multistart(Problem& problem,
                                           const Runner& runner,
                                           const MultistartOptions& options,

@@ -1,0 +1,218 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/invariant.hpp"
+
+namespace mcopt::core {
+
+namespace {
+
+/// Everything one restart produces: the run itself plus the final solution,
+/// so the reducer can leave the caller's problem in the sequential loop's
+/// end state.
+struct StartResult {
+  RunResult run;
+  Snapshot final_state;
+};
+
+/// Executes restart `index` with `slice` ticks on `problem` — one iteration
+/// of the sequential multistart() loop, including the between-restart deep
+/// verification.  Deterministic given (index, slice, start state).
+StartResult run_start(Problem& problem, const Runner& runner,
+                      const Snapshot& initial_state, bool randomize,
+                      std::uint64_t master, std::uint64_t index,
+                      std::uint64_t slice) {
+  util::Rng rng = util::Rng::split(master, index);
+  if (randomize) {
+    problem.randomize(rng);
+  } else {
+    problem.restore(initial_state);
+  }
+  StartResult out;
+  out.run = runner(problem, slice, rng);
+  if constexpr (util::kInvariantsEnabled) {
+    problem.check_invariants();
+  }
+  problem.snapshot_into(out.final_state);
+  return out;
+}
+
+/// Shared speculation state.  Workers claim restart indices below `limit`
+/// (and within `window` of the reducer) and deliver full-slice results;
+/// the reducing thread consumes them in index order.
+struct SpeculationQueue {
+  std::mutex mu;
+  std::condition_variable work_cv;   // workers: more indices / shutdown
+  std::condition_variable ready_cv;  // reducer: a result arrived
+  std::map<std::uint64_t, StartResult> ready;
+  std::uint64_t next_index = 0;  // next index a worker may claim
+  std::uint64_t consumed = 0;    // next index the reducer will fold
+  std::uint64_t limit = 0;       // indices < limit are full-slice starts
+  std::uint64_t window = 0;      // backpressure: claim < consumed + window
+  bool shutdown = false;
+};
+
+}  // namespace
+
+MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
+                                     const ParallelMultistartOptions& options,
+                                     util::Rng& rng) {
+  const MultistartOptions& opts = options.multistart;
+  if (!runner) throw std::invalid_argument("parallel_multistart: null runner");
+  if (opts.budget_per_start == 0) {
+    throw std::invalid_argument(
+        "parallel_multistart: budget_per_start must be >= 1");
+  }
+  if (opts.budget_per_start > opts.total_budget) {
+    throw std::invalid_argument(
+        "parallel_multistart: budget_per_start exceeds total_budget");
+  }
+  if (options.num_threads == 0) {
+    throw std::invalid_argument("parallel_multistart: num_threads must be >= 1");
+  }
+
+  // Clone in the calling thread, before any worker exists, so clone() never
+  // races with a mutating run.
+  std::vector<std::unique_ptr<Problem>> clones;
+  clones.reserve(options.num_threads);
+  for (unsigned t = 0; t < options.num_threads; ++t) {
+    auto clone = problem.clone();
+    if (!clone) {
+      throw std::invalid_argument(
+          "parallel_multistart: Problem::clone() returned nullptr");
+    }
+    clones.push_back(std::move(clone));
+  }
+
+  const std::uint64_t master = rng.next();  // same single draw as multistart()
+  const Snapshot initial_state = problem.snapshot();
+  const std::uint64_t per_start = opts.budget_per_start;
+  const std::uint64_t total = opts.total_budget;
+
+  SpeculationQueue queue;
+  queue.limit = total / per_start;
+  queue.window = 4ULL * options.num_threads + 4;
+
+  auto worker = [&](Problem& local) {
+    while (true) {
+      std::uint64_t index;
+      {
+        std::unique_lock<std::mutex> lock{queue.mu};
+        queue.work_cv.wait(lock, [&] {
+          return queue.shutdown || (queue.next_index < queue.limit &&
+                                    queue.next_index <
+                                        queue.consumed + queue.window);
+        });
+        if (queue.shutdown) return;
+        index = queue.next_index++;
+      }
+      StartResult result =
+          run_start(local, runner, initial_state,
+                    index > 0 || opts.randomize_first, master, index,
+                    per_start);
+      {
+        std::lock_guard<std::mutex> lock{queue.mu};
+        queue.ready.emplace(index, std::move(result));
+      }
+      queue.ready_cv.notify_one();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(options.num_threads);
+  for (unsigned t = 0; t < options.num_threads; ++t) {
+    pool.emplace_back(worker, std::ref(*clones[t]));
+  }
+
+  // Index-ordered reduction: the exact bookkeeping of the sequential loop.
+  MultistartResult out;
+  Snapshot last_final_state = initial_state;
+  std::uint64_t spent = 0;
+  bool first = true;
+  std::uint64_t index = 0;
+  while (spent < total) {
+    const std::uint64_t slice = std::min(per_start, total - spent);
+    StartResult start;
+    if (slice == per_start) {
+      // Every full-slice index is below queue.limit (the limit is re-derived
+      // from `spent` after each fold), so a worker claims it eventually:
+      // consume the speculative result.
+      std::unique_lock<std::mutex> lock{queue.mu};
+      queue.ready_cv.wait(lock,
+                          [&] { return queue.ready.count(index) != 0; });
+      auto it = queue.ready.find(index);
+      start = std::move(it->second);
+      queue.ready.erase(it);
+    } else {
+      // The remainder slice: the full-slice speculation (if any) used the
+      // wrong budget, so run this index here with the sequentially-correct
+      // slice.  Streams are index-keyed, so this reproduces exactly what
+      // the sequential loop would have done.
+      start = run_start(problem, runner, initial_state,
+                        index > 0 || opts.randomize_first, master, index,
+                        slice);
+    }
+
+    spent += std::max<std::uint64_t>(start.run.ticks, 1);
+    ++out.restarts;
+    if constexpr (util::kInvariantsEnabled) {
+      ++out.aggregate.invariants.executed;
+    }
+    if (first) {
+      const util::InvariantStats checks = out.aggregate.invariants;
+      out.aggregate = start.run;
+      out.aggregate.invariants += checks;
+      first = false;
+    } else {
+      out.aggregate.final_cost = start.run.final_cost;
+      out.aggregate.proposals += start.run.proposals;
+      out.aggregate.accepts += start.run.accepts;
+      out.aggregate.uphill_accepts += start.run.uphill_accepts;
+      out.aggregate.descent_steps += start.run.descent_steps;
+      out.aggregate.ticks += start.run.ticks;
+      out.aggregate.temperatures_visited += start.run.temperatures_visited;
+      out.aggregate.invariants += start.run.invariants;
+      if (start.run.best_cost < out.aggregate.best_cost) {
+        out.aggregate.best_cost = start.run.best_cost;
+        out.aggregate.best_state = start.run.best_state;
+      }
+    }
+    last_final_state = std::move(start.final_state);
+    ++index;
+
+    // Underspending restarts extend the horizon of guaranteed full-slice
+    // starts; let the workers speculate into it.
+    {
+      std::lock_guard<std::mutex> lock{queue.mu};
+      queue.consumed = index;
+      const std::uint64_t guaranteed =
+          index + (total > spent ? (total - spent) / per_start : 0);
+      queue.limit = std::max(queue.limit, guaranteed);
+    }
+    queue.work_cv.notify_all();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock{queue.mu};
+    queue.shutdown = true;
+  }
+  queue.work_cv.notify_all();
+  for (auto& thread : pool) thread.join();
+
+  // Leave the caller's problem where the sequential loop would have: at the
+  // last restart's final solution.
+  problem.restore(last_final_state);
+  return out;
+}
+
+}  // namespace mcopt::core

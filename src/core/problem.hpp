@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/budget.hpp"
@@ -50,8 +51,24 @@ class Problem {
   /// Serializes the current solution.
   [[nodiscard]] virtual Snapshot snapshot() const = 0;
 
+  /// Serializes the current solution into `out`, reusing its capacity.
+  /// The runners call this on every best-so-far improvement — a hot path —
+  /// so problems should override it to avoid the temporary the default
+  /// (out = snapshot()) allocates.
+  virtual void snapshot_into(Snapshot& out) const { out = snapshot(); }
+
   /// Restores a solution previously produced by snapshot().
   virtual void restore(const Snapshot& snap) = 0;
+
+  /// An independent deep copy sharing only immutable inputs (the instance /
+  /// netlist the problem was built on).  The parallel multistart engine
+  /// gives each worker thread its own clone; a clone must never alias
+  /// mutable state with its source.  Returns nullptr when the problem does
+  /// not support cloning (the default), in which case the parallel engine
+  /// refuses to run.
+  [[nodiscard]] virtual std::unique_ptr<Problem> clone() const {
+    return nullptr;
+  }
 
   /// Deep self-verification: recompute every incrementally-maintained
   /// quantity from scratch and compare (util/invariant.hpp).  Throws

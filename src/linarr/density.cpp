@@ -16,6 +16,9 @@ DensityState::DensityState(const Netlist& netlist, Arrangement arrangement)
   net_lo_.resize(netlist.num_nets());
   net_hi_.resize(netlist.num_nets());
   touched_mark_.assign(netlist.num_nets(), 0);
+  // A move touches at most every net, so one reservation up front keeps the
+  // per-move scratch vector allocation-free for the life of the state.
+  touched_.reserve(netlist.num_nets());
   rebuild();
 }
 

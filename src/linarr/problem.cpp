@@ -120,6 +120,15 @@ core::Snapshot LinArrProblem::snapshot() const {
   return core::Snapshot(order.begin(), order.end());
 }
 
+void LinArrProblem::snapshot_into(core::Snapshot& out) const {
+  const auto& order = state_.arrangement().order();
+  out.assign(order.begin(), order.end());
+}
+
+std::unique_ptr<core::Problem> LinArrProblem::clone() const {
+  return std::make_unique<LinArrProblem>(*this);
+}
+
 void LinArrProblem::restore(const core::Snapshot& snap) {
   if (pending_ != Pending::kNone) {
     throw std::logic_error("restore: a perturbation is pending");

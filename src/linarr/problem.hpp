@@ -41,8 +41,11 @@ class LinArrProblem final : public core::Problem {
   void descend(util::WorkBudget& budget) override;
   void randomize(util::Rng& rng) override;
   [[nodiscard]] core::Snapshot snapshot() const override;
+  void snapshot_into(core::Snapshot& out) const override;
   void restore(const core::Snapshot& snap) override;
   void check_invariants() const override;
+  /// Deep copy sharing only the immutable netlist.
+  [[nodiscard]] std::unique_ptr<core::Problem> clone() const override;
 
   /// Read access for reporting and tests.
   [[nodiscard]] const DensityState& state() const noexcept { return state_; }

@@ -87,6 +87,15 @@ core::Snapshot PartitionProblem::snapshot() const {
   return core::Snapshot(sides.begin(), sides.end());
 }
 
+void PartitionProblem::snapshot_into(core::Snapshot& out) const {
+  const auto& sides = state_.sides();
+  out.assign(sides.begin(), sides.end());
+}
+
+std::unique_ptr<core::Problem> PartitionProblem::clone() const {
+  return std::make_unique<PartitionProblem>(*this);
+}
+
 void PartitionProblem::restore(const core::Snapshot& snap) {
   if (pending_) throw std::logic_error("restore: a perturbation is pending");
   std::vector<std::uint8_t> sides(snap.begin(), snap.end());

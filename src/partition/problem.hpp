@@ -29,8 +29,11 @@ class PartitionProblem final : public core::Problem {
   void descend(util::WorkBudget& budget) override;
   void randomize(util::Rng& rng) override;
   [[nodiscard]] core::Snapshot snapshot() const override;
+  void snapshot_into(core::Snapshot& out) const override;
   void restore(const core::Snapshot& snap) override;
   void check_invariants() const override;
+  /// Deep copy sharing only the immutable netlist.
+  [[nodiscard]] std::unique_ptr<core::Problem> clone() const override;
 
   [[nodiscard]] const PartitionState& state() const noexcept { return state_; }
 

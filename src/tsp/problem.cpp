@@ -104,6 +104,14 @@ core::Snapshot TspProblem::snapshot() const {
   return core::Snapshot(order_.begin(), order_.end());
 }
 
+void TspProblem::snapshot_into(core::Snapshot& out) const {
+  out.assign(order_.begin(), order_.end());
+}
+
+std::unique_ptr<core::Problem> TspProblem::clone() const {
+  return std::make_unique<TspProblem>(*this);
+}
+
 void TspProblem::restore(const core::Snapshot& snap) {
   if (pending_ != Pending::kNone) {
     throw std::logic_error("restore: a perturbation is pending");

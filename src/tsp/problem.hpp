@@ -33,8 +33,11 @@ class TspProblem final : public core::Problem {
   void descend(util::WorkBudget& budget) override;
   void randomize(util::Rng& rng) override;
   [[nodiscard]] core::Snapshot snapshot() const override;
+  void snapshot_into(core::Snapshot& out) const override;
   void restore(const core::Snapshot& snap) override;
   void check_invariants() const override;
+  /// Deep copy sharing only the immutable instance.
+  [[nodiscard]] std::unique_ptr<core::Problem> clone() const override;
 
   [[nodiscard]] const Order& order() const noexcept { return order_; }
   [[nodiscard]] const TspInstance& instance() const noexcept {

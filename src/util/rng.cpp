@@ -84,6 +84,10 @@ bool Rng::next_bool(double p) noexcept {
   return next_double() < p;
 }
 
+Rng Rng::split(std::uint64_t master, std::uint64_t stream) noexcept {
+  return Rng{derive_seed(master, stream)};
+}
+
 Rng Rng::split() noexcept {
   // Seed the child from two outputs of the parent; the parent advances, so
   // successive splits give distinct children.

@@ -62,6 +62,15 @@ class Rng {
   /// own stream so methods never share randomness.
   Rng split() noexcept;
 
+  /// A generator for stream `stream` of master seed `master`, derived
+  /// SplitMix-style (derive_seed): distinct (master, stream) pairs yield
+  /// independent streams, and the derivation touches no generator state, so
+  /// stream i is the same whether it is created first, last, or on another
+  /// thread.  The parallel multistart engine keys each restart's stream off
+  /// its restart index this way to stay bit-identical at any thread count.
+  [[nodiscard]] static Rng split(std::uint64_t master,
+                                 std::uint64_t stream) noexcept;
+
   /// Distinct pair (a, b), a != b, both uniform in [0, n).  n must be >= 2.
   std::pair<std::size_t, std::size_t> next_distinct_pair(std::size_t n) noexcept;
 

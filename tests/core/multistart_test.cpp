@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/annealer.hpp"
@@ -57,6 +58,43 @@ TEST(MultistartTest, RunsExpectedNumberOfRestarts) {
   EXPECT_EQ(result.restarts, 10u);
   EXPECT_EQ(result.aggregate.ticks, 1000u);
   EXPECT_EQ(result.aggregate.proposals, 1000u);
+}
+
+TEST(MultistartTest, ChargesActualTicksNotSliceSize) {
+  // Regression: spent used to be charged max(run.ticks, slice), so a runner
+  // that terminated a slice early still "paid" for the whole slice and the
+  // saved budget funded no extra restarts.  Budget left unspent by one
+  // start must now roll over into additional starts.
+  Runner half_runner = [](Problem& problem, std::uint64_t budget,
+                          util::Rng& rng) {
+    return random_descent(problem, std::min<std::uint64_t>(budget, 50), rng);
+  };
+  ToyProblem problem{{5, 4, 3, 2, 1, 2, 3, 4}, 0};
+  util::Rng rng{2};
+  MultistartOptions options;
+  options.total_budget = 1000;
+  options.budget_per_start = 100;
+  const MultistartResult result =
+      multistart(problem, half_runner, options, rng);
+  // Each start consumes 50 ticks, so 1000 total ticks fund 20 starts.
+  EXPECT_EQ(result.restarts, 20u);
+  EXPECT_EQ(result.aggregate.ticks, 1000u);
+}
+
+TEST(MultistartTest, ZeroTickRunnerStillTerminates) {
+  // A pathological runner that reports zero ticks is charged a minimum of
+  // one tick per restart so the loop cannot spin forever.
+  Runner zero_runner = [](Problem&, std::uint64_t, util::Rng&) {
+    return RunResult{};
+  };
+  ToyProblem problem{{1, 2, 3}, 0};
+  util::Rng rng{3};
+  MultistartOptions options;
+  options.total_budget = 64;
+  options.budget_per_start = 8;
+  const MultistartResult result =
+      multistart(problem, zero_runner, options, rng);
+  EXPECT_EQ(result.restarts, 64u);
 }
 
 TEST(MultistartTest, LastRestartGetsTheRemainder) {

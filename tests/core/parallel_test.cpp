@@ -1,0 +1,261 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/annealer.hpp"
+#include "core/figure1.hpp"
+#include "core/figure2.hpp"
+#include "core/gfunction.hpp"
+#include "core/multistart.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/generator.hpp"
+#include "support/toy_problem.hpp"
+#include "tsp/construct.hpp"
+#include "tsp/instance.hpp"
+#include "tsp/problem.hpp"
+
+namespace mcopt::core {
+namespace {
+
+using mcopt::testing::ToyProblem;
+
+// A problem without clone support: exercises the engine's refusal path.
+class NoCloneProblem final : public Problem {
+ public:
+  [[nodiscard]] double cost() const override { return 0.0; }
+  double propose(util::Rng&) override { return 0.0; }
+  void accept() override {}
+  void reject() override {}
+  void descend(util::WorkBudget&) override {}
+  void randomize(util::Rng&) override {}
+  [[nodiscard]] Snapshot snapshot() const override { return {0}; }
+  void restore(const Snapshot&) override {}
+};
+
+Runner descent_runner() {
+  return [](Problem& problem, std::uint64_t budget, util::Rng& rng) {
+    return random_descent(problem, budget, rng);
+  };
+}
+
+void expect_identical(const MultistartResult& a, const MultistartResult& b) {
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.aggregate.initial_cost, b.aggregate.initial_cost);
+  EXPECT_EQ(a.aggregate.final_cost, b.aggregate.final_cost);
+  EXPECT_EQ(a.aggregate.best_cost, b.aggregate.best_cost);
+  EXPECT_EQ(a.aggregate.best_state, b.aggregate.best_state);
+  EXPECT_EQ(a.aggregate.proposals, b.aggregate.proposals);
+  EXPECT_EQ(a.aggregate.accepts, b.aggregate.accepts);
+  EXPECT_EQ(a.aggregate.uphill_accepts, b.aggregate.uphill_accepts);
+  EXPECT_EQ(a.aggregate.descent_steps, b.aggregate.descent_steps);
+  EXPECT_EQ(a.aggregate.ticks, b.aggregate.ticks);
+  EXPECT_EQ(a.aggregate.temperatures_visited, b.aggregate.temperatures_visited);
+  EXPECT_EQ(a.aggregate.invariants.executed, b.aggregate.invariants.executed);
+}
+
+TEST(ParallelMultistartTest, RejectsBadInputs) {
+  ToyProblem problem{{1, 2, 3}, 0};
+  util::Rng rng{1};
+  ParallelMultistartOptions options;
+  options.num_threads = 2;
+  EXPECT_THROW((void)parallel_multistart(problem, nullptr, options, rng),
+               std::invalid_argument);
+
+  options.multistart.budget_per_start = 0;
+  EXPECT_THROW(
+      (void)parallel_multistart(problem, descent_runner(), options, rng),
+      std::invalid_argument);
+
+  options.multistart.budget_per_start =
+      options.multistart.total_budget + 1;
+  EXPECT_THROW(
+      (void)parallel_multistart(problem, descent_runner(), options, rng),
+      std::invalid_argument);
+
+  options.multistart = MultistartOptions{};
+  options.num_threads = 0;
+  EXPECT_THROW(
+      (void)parallel_multistart(problem, descent_runner(), options, rng),
+      std::invalid_argument);
+}
+
+TEST(ParallelMultistartTest, RefusesProblemsWithoutClone) {
+  NoCloneProblem problem;
+  util::Rng rng{1};
+  ParallelMultistartOptions options;
+  options.num_threads = 2;
+  EXPECT_THROW(
+      (void)parallel_multistart(problem, descent_runner(), options, rng),
+      std::invalid_argument);
+}
+
+TEST(ParallelMultistartTest, MatchesSequentialOnToyProblem) {
+  const std::vector<double> landscape{6, 3, 5, 2, 6, 4, 7, 1, 5, 0, 6, 3};
+  MultistartOptions opts;
+  opts.total_budget = 3'000;
+  opts.budget_per_start = 250;
+
+  ToyProblem sequential_problem{landscape, 0};
+  util::Rng sequential_rng{42};
+  const MultistartResult sequential = multistart(
+      sequential_problem, descent_runner(), opts, sequential_rng);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ToyProblem problem{landscape, 0};
+    util::Rng rng{42};
+    ParallelMultistartOptions options;
+    options.multistart = opts;
+    options.num_threads = threads;
+    const MultistartResult parallel =
+        parallel_multistart(problem, descent_runner(), options, rng);
+    expect_identical(sequential, parallel);
+    // The problem is left in the sequential loop's end state and the rng
+    // has advanced identically.
+    EXPECT_EQ(problem.position(), sequential_problem.position());
+    EXPECT_EQ(rng.next(), sequential_rng.next());
+    // Undo the comparison draw so the next loop iteration starts equal.
+    sequential_rng = util::Rng{42};
+    (void)sequential_rng.next();
+  }
+}
+
+TEST(ParallelMultistartTest, MatchesSequentialWithFigure1OnLinArr) {
+  const auto nl =
+      netlist::gola_test_set(1, netlist::GolaParams{15, 150}, 7)[0];
+  const auto g = make_g(GClass::kSixTempAnnealing);
+  Runner runner = [&g](Problem& p, std::uint64_t budget, util::Rng& r) {
+    Figure1Options options;
+    options.budget = budget;
+    options.invariant_check_interval = 64;
+    return run_figure1(p, *g, options, r);
+  };
+  MultistartOptions opts;
+  opts.total_budget = 4'000;
+  opts.budget_per_start = 600;  // 6 full slices + a 400-tick remainder
+
+  util::Rng arr_rng{3};
+  linarr::LinArrProblem sequential_problem{
+      nl, linarr::Arrangement::random(15, arr_rng)};
+  util::Rng sequential_rng{1985};
+  const MultistartResult sequential =
+      multistart(sequential_problem, runner, opts, sequential_rng);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    util::Rng arr_rng2{3};
+    linarr::LinArrProblem problem{nl,
+                                  linarr::Arrangement::random(15, arr_rng2)};
+    util::Rng rng{1985};
+    ParallelMultistartOptions options;
+    options.multistart = opts;
+    options.num_threads = threads;
+    const MultistartResult parallel =
+        parallel_multistart(problem, runner, options, rng);
+    expect_identical(sequential, parallel);
+    EXPECT_EQ(problem.snapshot(), sequential_problem.snapshot());
+  }
+}
+
+TEST(ParallelMultistartTest, MatchesSequentialWithFigure2OnTsp) {
+  // Figure 2 runners interleave descent and kicks and can terminate slices
+  // early; the engine must still reduce to the sequential aggregate.
+  util::Rng city_rng{11};
+  const auto instance = tsp::TspInstance::random_euclidean(24, city_rng);
+  const auto g = make_g(GClass::kMetropolis);
+  Runner runner = [&g](Problem& p, std::uint64_t budget, util::Rng& r) {
+    Figure2Options options;
+    options.budget = budget;
+    return run_figure2(p, *g, options, r);
+  };
+  MultistartOptions opts;
+  opts.total_budget = 5'000;
+  opts.budget_per_start = 900;
+
+  tsp::TspProblem sequential_problem{instance,
+                                     tsp::nearest_neighbour(instance, 0)};
+  util::Rng sequential_rng{5};
+  const MultistartResult sequential =
+      multistart(sequential_problem, runner, opts, sequential_rng);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    tsp::TspProblem problem{instance,
+                            tsp::nearest_neighbour(instance, 0)};
+    util::Rng rng{5};
+    ParallelMultistartOptions options;
+    options.multistart = opts;
+    options.num_threads = threads;
+    const MultistartResult parallel =
+        parallel_multistart(problem, runner, options, rng);
+    expect_identical(sequential, parallel);
+  }
+}
+
+TEST(ParallelMultistartTest, KeepFirstStartWhenRequested) {
+  // randomize_first = false: restart 0 must run from the caller's current
+  // solution even though it executes on a worker's clone.
+  const std::vector<double> landscape{9, 2, 9, 9, 0, 9, 9, 9};
+  MultistartOptions opts;
+  opts.total_budget = 100;
+  opts.budget_per_start = 100;
+  opts.randomize_first = false;
+
+  ToyProblem problem{landscape, 1};
+  util::Rng rng{5};
+  ParallelMultistartOptions options;
+  options.multistart = opts;
+  options.num_threads = 4;
+  const MultistartResult result =
+      parallel_multistart(problem, descent_runner(), options, rng);
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_DOUBLE_EQ(result.aggregate.best_cost, 2.0);
+}
+
+TEST(ParallelMultistartTest, MoreThreadsThanRestarts) {
+  ToyProblem problem{{5, 4, 3, 2, 1, 2, 3, 4}, 0};
+  util::Rng rng{2};
+  ParallelMultistartOptions options;
+  options.multistart.total_budget = 200;
+  options.multistart.budget_per_start = 100;
+  options.num_threads = 8;
+  const MultistartResult result =
+      parallel_multistart(problem, descent_runner(), options, rng);
+  EXPECT_EQ(result.restarts, 2u);
+  EXPECT_EQ(result.aggregate.ticks, 200u);
+}
+
+TEST(ParallelMultistartTest, EarlyTerminatingRunnerExtendsRestarts) {
+  // A runner that consumes half its slice funds twice the restarts; the
+  // speculation horizon must keep up and the parallel result must agree
+  // with the sequential accounting.
+  Runner half_runner = [](Problem& problem, std::uint64_t budget,
+                          util::Rng& rng) {
+    return random_descent(problem, std::min<std::uint64_t>(budget, 50), rng);
+  };
+  MultistartOptions opts;
+  opts.total_budget = 1'000;
+  opts.budget_per_start = 100;
+
+  ToyProblem sequential_problem{{5, 4, 3, 2, 1, 2, 3, 4}, 0};
+  util::Rng sequential_rng{9};
+  const MultistartResult sequential =
+      multistart(sequential_problem, half_runner, opts, sequential_rng);
+  EXPECT_EQ(sequential.restarts, 20u);
+
+  for (const unsigned threads : {2u, 8u}) {
+    ToyProblem problem{{5, 4, 3, 2, 1, 2, 3, 4}, 0};
+    util::Rng rng{9};
+    ParallelMultistartOptions options;
+    options.multistart = opts;
+    options.num_threads = threads;
+    const MultistartResult parallel =
+        parallel_multistart(problem, half_runner, options, rng);
+    expect_identical(sequential, parallel);
+  }
+}
+
+}  // namespace
+}  // namespace mcopt::core

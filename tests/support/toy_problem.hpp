@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -72,6 +73,10 @@ class ToyProblem final : public core::Problem {
       throw std::invalid_argument("ToyProblem: bad snapshot");
     }
     x_ = snap[0];
+  }
+
+  [[nodiscard]] std::unique_ptr<core::Problem> clone() const override {
+    return std::make_unique<ToyProblem>(*this);
   }
 
   [[nodiscard]] std::size_t position() const noexcept { return x_; }

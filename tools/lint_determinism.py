@@ -17,6 +17,10 @@ tool rejects source constructs that silently break that contract:
     dependent logic (steady_clock is allowed: it only measures durations)
   * float in cost arithmetic            - all costs are double; float
     narrows differently across FPUs and vector units
+  * sleep_for / sleep_until, std::async - scheduler-dependent timing or
+    launch policy; parallel code uses the explicit pool in core/parallel.cpp
+  * thread_local ... Rng                - per-OS-thread randomness depends on
+    scheduling; derive per-work-item streams with util::Rng::split
 
 Comments and string literals are stripped before matching, so *discussing*
 a banned construct is fine.  A genuine exception can be allowlisted by
@@ -88,6 +92,21 @@ RULES = {
     "shuffle-std": (
         re.compile(r"\bstd\s*::\s*(?:shuffle|random_shuffle)\b"),
         "std::shuffle's use of the URBG is unspecified; use util::Rng::shuffle",
+    ),
+    "thread-sleep": (
+        re.compile(r"\bstd\s*::\s*this_thread\s*::\s*sleep_(?:for|until)\b"),
+        "sleeping makes behaviour depend on the scheduler; parallel code must "
+        "synchronize with condition variables / joins, never timed waits",
+    ),
+    "std-async": (
+        re.compile(r"\bstd\s*::\s*async\b"),
+        "std::async launch policy and thread reuse are implementation-defined; "
+        "use the explicit std::thread pool in core/parallel.cpp",
+    ),
+    "thread-local-rng": (
+        re.compile(r"\bthread_local\b[^;{]*\bRng\b"),
+        "thread_local Rng state is seeded per OS thread, so results depend on "
+        "thread scheduling; derive per-work-item streams with util::Rng::split",
     ),
 }
 
@@ -242,6 +261,9 @@ SELF_TEST_SNIPPETS = {
     "wall-clock": "auto t0 = time(nullptr);",
     "float-arithmetic": "float cost = 0.0f;",
     "shuffle-std": "std::shuffle(v.begin(), v.end(), gen);",
+    "thread-sleep": "std::this_thread::sleep_for(std::chrono::seconds(1));",
+    "std-async": "auto f = std::async(work);",
+    "thread-local-rng": "thread_local util::Rng rng{42};",
 }
 
 SELF_TEST_CLEAN = """\
