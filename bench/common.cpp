@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -16,6 +18,8 @@
 #include "core/figure2.hpp"
 #include "linarr/goto_heuristic.hpp"
 #include "netlist/generator.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "util/invariant.hpp"
 #include "util/rng.hpp"
 
@@ -94,7 +98,19 @@ std::vector<Method> tune_methods(
 }
 
 namespace {
+
 std::uint64_t g_invariant_checks = 0;
+
+// Observability state installed by parse_driver_flags().  The recorder is
+// off by default, so drivers that never see an observability flag pay one
+// dead branch per event site and nothing else.
+std::unique_ptr<obs::JsonlFileSink> g_trace_sink;
+obs::Recorder g_recorder;
+obs::RunMetrics g_metrics_totals;
+std::string g_trace_path;
+std::string g_metrics_path;
+std::uint64_t g_run_counter = 0;
+
 }  // namespace
 
 std::uint64_t invariant_checks_executed() { return g_invariant_checks; }
@@ -116,7 +132,15 @@ std::vector<double> run_method_row(
   std::vector<double> reductions(num_jobs, 0.0);
   std::vector<std::uint64_t> checks(num_jobs, 0);
 
-  auto run_job = [&](std::size_t job) {
+  // One run id per row; each job is a restart-scoped shard within it, so
+  // (run, restart) identifies (row, budget x instance cell) in the trace.
+  const obs::Recorder root = config.recorder != nullptr
+                                 ? config.recorder->with_run(g_run_counter++)
+                                 : obs::Recorder{};
+  std::vector<obs::RunMetrics> job_metrics(num_jobs);
+  std::vector<std::vector<obs::Event>> job_events(num_jobs);
+
+  auto run_job = [&](std::size_t job, std::uint64_t worker) {
     const std::size_t b = job / instances.size();
     const std::size_t i = job % instances.size();
     const auto& nl = instances[i];
@@ -126,70 +150,147 @@ std::vector<double> run_method_row(
     linarr::LinArrProblem problem{nl, std::move(start), config.move_kind};
     const auto g = make_method_g(method, nl);
     util::Rng rng{util::derive_seed(config.move_seed, i)};
+    obs::VectorSink shard;
+    obs::Recorder rec =
+        root.for_restart(job, worker, root.tracing() ? &shard : nullptr);
+    if (rec.on()) rec.restart_begin(problem.cost());
     core::RunResult result;
     if (config.figure2) {
       core::Figure2Options fig2;
       fig2.budget = config.budgets[b];
+      fig2.recorder = &rec;
       result = core::run_figure2(problem, *g, fig2, rng);
     } else {
       core::Figure1Options fig1;
       fig1.budget = config.budgets[b];
+      fig1.recorder = &rec;
       result = core::run_figure1(problem, *g, fig1, rng);
     }
     reductions[job] = result.reduction();
     checks[job] = result.invariants.executed;
+    if (result.metrics.collected) result.metrics.restarts = 1;
+    job_metrics[job] = std::move(result.metrics);
+    job_events[job] = shard.take();
   };
 
   const unsigned workers = config.num_threads == 0 ? 1 : config.num_threads;
   if (workers <= 1 || num_jobs <= 1) {
-    for (std::size_t job = 0; job < num_jobs; ++job) run_job(job);
+    for (std::size_t job = 0; job < num_jobs; ++job) run_job(job, 0);
   } else {
     std::atomic<std::size_t> next{0};
-    auto drain = [&] {
+    auto drain = [&](std::uint64_t worker) {
       for (std::size_t job = next.fetch_add(1); job < num_jobs;
            job = next.fetch_add(1)) {
-        run_job(job);
+        run_job(job, worker);
       }
     };
     std::vector<std::thread> pool;
     const std::size_t spawn =
         std::min<std::size_t>(workers, num_jobs);
     pool.reserve(spawn);
-    for (std::size_t t = 0; t < spawn; ++t) pool.emplace_back(drain);
+    for (std::size_t t = 0; t < spawn; ++t) {
+      pool.emplace_back(drain, static_cast<std::uint64_t>(t) + 1);
+    }
     for (auto& thread : pool) thread.join();
   }
 
   std::vector<double> totals(config.budgets.size(), 0.0);
+  obs::TraceSink* sink = root.sink();
   for (std::size_t job = 0; job < num_jobs; ++job) {
     totals[job / instances.size()] += reductions[job];
     g_invariant_checks += checks[job];
+    // Job order is the single-thread execution order, so the drained trace
+    // and merged metrics are thread-count invariant (worker stamps aside).
+    if (sink != nullptr) {
+      for (const obs::Event& event : job_events[job]) sink->write(event);
+    }
+    g_metrics_totals.merge(job_metrics[job]);
   }
   return totals;
 }
 
-unsigned threads_from_args(int argc, const char* const* argv) {
+unsigned parse_driver_flags(int argc, const char* const* argv) {
   const util::Args args{argc, argv};
-  const auto unknown = args.unknown_flags({"threads"});
+  const auto unknown = args.unknown_flags(
+      {"threads", "trace", "metrics", "trace-sample", "quiet", "verbose"});
   if (!unknown.empty() || !args.positional().empty()) {
-    std::fprintf(stderr, "usage: %s [--threads N]\n", args.program().c_str());
+    obs::log(obs::LogLevel::kError,
+             "usage: %s [--threads N] [--trace FILE] [--metrics FILE] "
+             "[--trace-sample N] [--quiet|--verbose]",
+             args.program().c_str());
     std::exit(2);
   }
+  if (args.has("quiet") && args.has("verbose")) {
+    obs::log(obs::LogLevel::kError, "%s: --quiet and --verbose conflict",
+             args.program().c_str());
+    std::exit(2);
+  }
+  if (args.has("quiet")) obs::set_log_level(obs::LogLevel::kError);
+  if (args.has("verbose")) obs::set_log_level(obs::LogLevel::kDebug);
+
   long long threads = 1;
+  long long sample = 1;
   try {
     threads = args.get_int("threads", 1);
+    sample = args.get_int("trace-sample", 1);
   } catch (const std::invalid_argument&) {
     threads = 0;
   }
-  if (threads < 1) {
-    std::fprintf(stderr, "%s: --threads must be a positive integer\n",
-                 args.program().c_str());
+  if (threads < 1 || sample < 1) {
+    obs::log(obs::LogLevel::kError,
+             "%s: --threads and --trace-sample must be positive integers",
+             args.program().c_str());
     std::exit(2);
   }
   if (threads > 1) {
-    std::printf("threads=%lld (results are thread-count invariant)\n",
-                threads);
+    obs::log(obs::LogLevel::kInfo,
+             "threads=%lld (results are thread-count invariant)", threads);
+  }
+
+  g_trace_path = args.get("trace", "");
+  g_metrics_path = args.get("metrics", "");
+  if (!g_trace_path.empty()) {
+    try {
+      g_trace_sink = std::make_unique<obs::JsonlFileSink>(g_trace_path);
+    } catch (const std::invalid_argument& error) {
+      obs::log(obs::LogLevel::kError, "%s: %s", args.program().c_str(),
+               error.what());
+      std::exit(2);
+    }
+  }
+  const bool collect_metrics = !g_metrics_path.empty();
+  if (g_trace_sink != nullptr || collect_metrics) {
+    g_recorder = obs::Recorder{g_trace_sink.get(), collect_metrics,
+                               static_cast<std::uint64_t>(sample)};
   }
   return static_cast<unsigned>(threads);
+}
+
+const obs::Recorder* driver_recorder() { return &g_recorder; }
+
+void absorb_run_metrics(const obs::RunMetrics& metrics) {
+  g_metrics_totals.merge(metrics);
+}
+
+void finish_driver_observability() {
+  if (g_trace_sink != nullptr) {
+    g_trace_sink->flush();
+    obs::log(obs::LogLevel::kInfo, "trace: %llu events -> %s",
+             static_cast<unsigned long long>(g_trace_sink->written()),
+             g_trace_path.c_str());
+  }
+  if (!g_metrics_path.empty()) {
+    std::ofstream out{g_metrics_path};
+    if (!out) {
+      obs::log(obs::LogLevel::kError, "warning: cannot write %s",
+               g_metrics_path.c_str());
+    } else {
+      out << g_metrics_totals.to_json();
+      obs::log(obs::LogLevel::kInfo, "%s",
+               g_metrics_totals.summary().c_str());
+      obs::log(obs::LogLevel::kInfo, "metrics -> %s", g_metrics_path.c_str());
+    }
+  }
 }
 
 long long total_start_density(const std::vector<netlist::Netlist>& instances,
@@ -229,7 +330,7 @@ void maybe_write_csv(const std::string& experiment,
   const std::string path = std::string{dir} + "/" + experiment + ".csv";
   std::ofstream out{path};
   if (!out) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    obs::log(obs::LogLevel::kError, "warning: cannot write %s", path.c_str());
     return;
   }
   util::CsvWriter csv{out};
@@ -245,7 +346,7 @@ void write_json_report(const std::string& name, const std::string& payload) {
       name + ".json";
   std::ofstream out{path};
   if (!out) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    obs::log(obs::LogLevel::kError, "warning: cannot write %s", path.c_str());
     return;
   }
   out << payload;

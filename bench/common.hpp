@@ -25,6 +25,7 @@
 #include "core/tuner.hpp"
 #include "linarr/problem.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/recorder.hpp"
 #include "util/table.hpp"
 
 namespace mcopt::bench {
@@ -90,6 +91,12 @@ struct TableRunConfig {
   /// reduced in index order, so the row is bit-identical for any value —
   /// the table drivers default to 1 and let --threads opt in.
   unsigned num_threads = 1;
+  /// Observability root (normally bench::driver_recorder()).  Each
+  /// (budget, instance) job becomes a restart-scoped shard whose events
+  /// are drained in job order after the row completes, so traces are
+  /// thread-count invariant; job metrics merge into the driver totals
+  /// reported by finish_driver_observability().
+  const obs::Recorder* recorder = nullptr;
 };
 
 /// Total reduction (summed over instances) for one method at each budget —
@@ -99,10 +106,32 @@ std::vector<double> run_method_row(const Method& method,
                                    const std::vector<netlist::Netlist>& instances,
                                    const TableRunConfig& config);
 
-/// Parses --threads N (default 1, must be >= 1) for the table drivers and
-/// rejects unknown flags; prints a note when the run is parallel.  Exits
-/// with status 2 on a bad command line.
-unsigned threads_from_args(int argc, const char* const* argv);
+/// Parses the flags shared by every table driver and returns the worker
+/// thread count:
+///   --threads N        worker threads (default 1, must be >= 1)
+///   --trace FILE       JSONL trace of every run (tools/trace_report.py)
+///   --metrics FILE     per-stage metrics summary as JSON
+///   --trace-sample N   keep every Nth proposal/accept/reject trio
+///   --quiet / --verbose  log level (errors only / debug)
+/// Installs the recorder returned by driver_recorder() and sets the
+/// obs::log level.  Rejects unknown flags; exits with status 2 on a bad
+/// command line.
+unsigned parse_driver_flags(int argc, const char* const* argv);
+
+/// The process-wide recorder configured by parse_driver_flags(); off (and
+/// free) when no observability flag was given.  Never null.
+const obs::Recorder* driver_recorder();
+
+/// Merges one run's metrics into the driver totals reported by
+/// finish_driver_observability().  run_method_row() does this itself; call
+/// it only for runs executed outside that harness (e.g. the tempering loop
+/// of extension_tempering).
+void absorb_run_metrics(const obs::RunMetrics& metrics);
+
+/// Flushes the trace sink, writes the --metrics JSON file, and logs a
+/// one-line telemetry summary.  Call once at the end of a driver's main;
+/// no-op when observability is off.
+void finish_driver_observability();
 
 /// Sum of the starting densities over the instance set for the given start
 /// policy (the paper quotes 2594 random / 4254 NOLA-random etc.).

@@ -12,10 +12,12 @@
 #include "core/schedule.hpp"
 #include "core/tempering.hpp"
 #include "linarr/problem.hpp"
+#include "obs/recorder.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcopt;
+  const unsigned threads = bench::parse_driver_flags(argc, argv);
   bench::print_header(
       "Extension — parallel tempering vs the paper's methods (GOLA)",
       "30 instances; equal tick budgets; tempering uses 4 replicas");
@@ -41,6 +43,8 @@ int main() {
     bench::TableRunConfig config;
     config.budgets = budgets;
     config.move_seed = 47;
+    config.num_threads = threads;
+    config.recorder = bench::driver_recorder();
     const auto totals = bench::run_method_row(method, instances, config);
     table.begin_row();
     table.cell(method.name);
@@ -49,6 +53,9 @@ int main() {
 
   table.begin_row();
   table.cell("Parallel tempering (R=4)");
+  // Tempering runs sit outside run_method_row, so they pick their own run
+  // ids well past the row counter and merge metrics back by hand.
+  std::uint64_t tempering_run = 1000;
   for (const auto budget : budgets) {
     double total = 0.0;
     for (std::size_t i = 0; i < instances.size(); ++i) {
@@ -70,13 +77,23 @@ int main() {
       options.temperatures = core::geometric_schedule(y1, 0.5, 4);
       options.budget = budget;
       options.sweep = 25;
+      const obs::Recorder rec =
+          bench::driver_recorder()->with_run(tempering_run++).for_restart(
+              i, 0, nullptr);
+      options.recorder = &rec;
       const auto result = core::parallel_tempering(factory, options, rng);
+      if (result.aggregate.metrics.collected) {
+        obs::RunMetrics m = result.aggregate.metrics;
+        m.restarts = 1;
+        bench::absorb_run_metrics(m);
+      }
       total += result.aggregate.initial_cost - result.aggregate.best_cost;
     }
     table.cell(static_cast<long long>(total));
   }
   table.print();
   bench::maybe_write_csv("extension_tempering", table);
+  bench::finish_driver_observability();
 
   std::printf(
       "\nShape check: at equal work the verdict of 1985 extends.  Splitting\n"

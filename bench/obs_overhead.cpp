@@ -1,0 +1,385 @@
+// Observability overhead — proves the Recorder is free when off.
+//
+// The contract (src/obs/recorder.hpp): every event method is an inlined
+// `if (off_) return;` in front of an out-of-line slow path, so compiling
+// the instrumentation into the Figure 1 hot loop must cost <1% in
+// proposals/sec when no recorder is installed.  This bench measures that
+// directly against a hand-stripped copy of the same loop (below, verified
+// bit-identical in its results), then reports the price of each
+// observability tier when it *is* on: metrics only, ring-buffer trace,
+// and sampled JSONL trace.
+//
+// It also enforces the cross-cutting acceptance criterion of the telemetry
+// work: a traced 8-thread parallel multistart run must be bit-identical in
+// its final results (aggregate counters, best state, per-restart history)
+// to an untraced single-threaded run.
+//
+// Results land in BENCH_obs.json via bench::write_json_report.  Wall-clock
+// numbers are hardware-dependent; the determinism checks are not.
+//
+// Flags: --budget T   ticks per timed run (default 2'000'000)
+//        --reps N     timed repetitions per config, best-of (default 5)
+//        --gate-pct P max allowed off-vs-baseline regression (default 1.0)
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/figure1.hpp"
+#include "core/gfunction.hpp"
+#include "core/multistart.hpp"
+#include "core/parallel.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/generator.hpp"
+#include "obs/log.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "util/args.hpp"
+#include "util/budget.hpp"
+#include "util/invariant.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mcopt;
+
+// A hand-stripped copy of core::run_figure1 — the Figure 1 loop exactly as
+// it would look with no instrumentation compiled in at all.  This is the
+// timing baseline the <1% gate compares against; main() asserts it stays
+// bit-identical in results to the real loop so the two cannot drift apart
+// silently.
+core::RunResult run_figure1_stripped(core::Problem& problem,
+                                     const core::GFunction& g,
+                                     const core::Figure1Options& options,
+                                     util::Rng& rng) {
+  const unsigned k = g.num_temperatures();
+  util::WorkBudget budget{options.budget};
+
+  core::RunResult result;
+  result.initial_cost = problem.cost();
+  result.best_cost = result.initial_cost;
+  problem.snapshot_into(result.best_state);
+  result.temperatures_visited = k == 0 ? 0 : 1;
+
+  unsigned temp = 0;
+  std::uint64_t reject_counter = 0;
+  std::uint64_t accept_counter = 0;
+  unsigned gate_counter = 0;
+  double h_i = result.initial_cost;
+
+  auto advance_temperature = [&]() -> bool {
+    if (temp + 1 >= k) return false;
+    ++temp;
+    ++result.temperatures_visited;
+    reject_counter = 0;
+    accept_counter = 0;
+    return true;
+  };
+
+  bool schedule_exhausted = false;
+  while (!budget.exhausted() && !schedule_exhausted && k > 0) {
+    while (budget.spent() >= budget.slice_end(k, temp)) {
+      if (!advance_temperature()) {
+        schedule_exhausted = true;
+        break;
+      }
+    }
+    if (schedule_exhausted) break;
+
+    if constexpr (util::kInvariantsEnabled) {
+      if (options.invariant_check_interval != 0 &&
+          result.proposals % options.invariant_check_interval == 0) {
+        problem.check_invariants();
+        ++result.invariants.executed;
+      }
+    }
+
+    const double h_j = problem.propose(rng);
+    budget.charge();
+    ++result.proposals;
+    result.ticks = budget.spent();
+
+    auto note_accept = [&]() {
+      ++accept_counter;
+      if (options.equilibrium_accepts > 0 &&
+          accept_counter >= options.equilibrium_accepts &&
+          !advance_temperature()) {
+        schedule_exhausted = true;
+      }
+    };
+
+    const double delta = h_j - h_i;
+    if (delta < 0.0) {
+      problem.accept();
+      ++result.accepts;
+      h_i = h_j;
+      gate_counter = 0;
+      reject_counter = 0;
+      if (h_i < result.best_cost) {
+        result.best_cost = h_i;
+        problem.snapshot_into(result.best_state);
+      }
+      note_accept();
+      continue;
+    }
+
+    if (options.equilibrium_rejects > 0 &&
+        reject_counter >= options.equilibrium_rejects) {
+      problem.reject();
+      if (!advance_temperature()) break;
+      continue;
+    }
+
+    bool take = false;
+    if (g.always_accepts(temp)) {
+      ++gate_counter;
+      if (gate_counter >= options.gate_threshold) {
+        take = true;
+        gate_counter = 1;
+      }
+    } else {
+      take = rng.next_double() < g.probability(temp, h_i, h_j);
+    }
+
+    if (take) {
+      problem.accept();
+      ++result.accepts;
+      if (delta > 0.0) ++result.uphill_accepts;
+      h_i = h_j;
+      reject_counter = 0;
+      note_accept();
+    } else {
+      problem.reject();
+      ++reject_counter;
+    }
+  }
+
+  result.final_cost = problem.cost();
+  return result;
+}
+
+bool results_match(const core::RunResult& a, const core::RunResult& b) {
+  return a.best_cost == b.best_cost && a.final_cost == b.final_cost &&
+         a.proposals == b.proposals && a.accepts == b.accepts &&
+         a.uphill_accepts == b.uphill_accepts && a.ticks == b.ticks &&
+         a.temperatures_visited == b.temperatures_visited &&
+         a.best_state == b.best_state;
+}
+
+struct ConfigTiming {
+  std::string name;
+  double best_seconds = 0.0;
+  double proposals_per_sec = 0.0;
+  double overhead_pct = 0.0;  // vs the stripped baseline
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args{argc, argv};
+  const auto unknown = args.unknown_flags({"budget", "reps", "gate-pct"});
+  if (!unknown.empty() || !args.positional().empty()) {
+    obs::log(obs::LogLevel::kError,
+             "usage: %s [--budget T] [--reps N] [--gate-pct P]",
+             args.program().c_str());
+    return 2;
+  }
+  const long long budget_flag = args.get_int("budget", 2'000'000);
+  const long long reps_flag = args.get_int("reps", 5);
+  const double gate_pct = args.get_double("gate-pct", 1.0);
+  if (budget_flag < 1 || reps_flag < 1 || gate_pct <= 0.0) {
+    obs::log(obs::LogLevel::kError, "%s: flags must be positive",
+             args.program().c_str());
+    return 2;
+  }
+  const auto budget = static_cast<std::uint64_t>(budget_flag);
+  const auto reps = static_cast<std::size_t>(reps_flag);
+
+  char gate_buf[32];
+  std::snprintf(gate_buf, sizeof gate_buf, "%.2f", gate_pct);
+  bench::print_header(
+      "Observability overhead — Recorder cost per tier",
+      "Figure 1, six-temperature annealing, GOLA 15/150; best-of-reps "
+      "timings; off-path gate <" +
+          std::string{gate_buf} + "% vs a hand-stripped loop");
+
+  util::Rng gen_rng{util::derive_seed(bench::kSeed, 15)};
+  const auto nl =
+      netlist::random_gola(netlist::GolaParams{15, 150}, gen_rng);
+  const auto g = core::make_g(core::GClass::kSixTempAnnealing);
+
+  core::Figure1Options base_options;
+  base_options.budget = budget;
+
+  auto make_problem = [&]() {
+    util::Rng start_rng{util::derive_seed(bench::kSeed + 3, 15)};
+    return linarr::LinArrProblem{
+        nl, linarr::Arrangement::random(15, start_rng)};
+  };
+
+  // Every timed run replays the same seed, so all configs do identical
+  // work and their results must agree bit-for-bit.
+  auto timed_run = [&](const core::Figure1Options& options, bool stripped,
+                       core::RunResult* out) {
+    auto problem = make_problem();
+    util::Rng rng{bench::kSeed + 9};
+    util::Stopwatch watch;
+    core::RunResult result =
+        stripped ? run_figure1_stripped(problem, *g, options, rng)
+                 : core::run_figure1(problem, *g, options, rng);
+    const double seconds = watch.seconds();
+    if (out != nullptr) *out = result;
+    return seconds;
+  };
+
+  core::RunResult reference;
+  timed_run(base_options, /*stripped=*/true, &reference);
+
+  obs::RingBufferSink ring{65536};
+  std::ostringstream jsonl_out;
+  obs::JsonlFileSink jsonl{jsonl_out};
+  const obs::Recorder metrics_only{nullptr, /*collect_metrics=*/true};
+  const obs::Recorder ring_traced{&ring, /*collect_metrics=*/true};
+  const obs::Recorder jsonl_sampled{&jsonl, /*collect_metrics=*/true,
+                                    /*trace_sample=*/64};
+
+  struct Tier {
+    const char* name;
+    bool stripped;
+    const obs::Recorder* recorder;
+  };
+  const std::vector<Tier> tiers{
+      {"baseline (stripped loop)", true, nullptr},
+      {"off (no recorder)", false, nullptr},
+      {"metrics only", false, &metrics_only},
+      {"ring trace 64k + metrics", false, &ring_traced},
+      {"jsonl 1/64 + metrics", false, &jsonl_sampled},
+  };
+
+  std::vector<ConfigTiming> timings;
+  double baseline_best = 0.0;
+  for (const Tier& tier : tiers) {
+    core::Figure1Options options = base_options;
+    options.recorder = tier.recorder;
+    ConfigTiming timing;
+    timing.name = tier.name;
+    timing.best_seconds = 1e300;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      core::RunResult result;
+      const double seconds = timed_run(options, tier.stripped, &result);
+      timing.best_seconds = std::min(timing.best_seconds, seconds);
+      if (!results_match(reference, result)) {
+        obs::log(obs::LogLevel::kError,
+                 "FATAL: '%s' changed the optimization results "
+                 "(determinism violation)",
+                 tier.name);
+        return 1;
+      }
+    }
+    timing.proposals_per_sec =
+        timing.best_seconds > 0.0
+            ? static_cast<double>(reference.proposals) / timing.best_seconds
+            : 0.0;
+    if (tier.stripped) baseline_best = timing.best_seconds;
+    timing.overhead_pct =
+        baseline_best > 0.0
+            ? 100.0 * (timing.best_seconds - baseline_best) / baseline_best
+            : 0.0;
+    timings.push_back(timing);
+  }
+
+  util::Table table;
+  table.add_column("config", util::Table::Align::kLeft);
+  table.add_column("seconds");
+  table.add_column("proposals/s");
+  table.add_column("overhead %");
+  for (const ConfigTiming& timing : timings) {
+    table.begin_row();
+    table.cell(timing.name);
+    table.cell(timing.best_seconds, 4);
+    table.cell(timing.proposals_per_sec, 0);
+    table.cell(timing.overhead_pct, 2);
+  }
+  table.print();
+
+  const double off_overhead = timings[1].overhead_pct;
+  const bool gate_ok = off_overhead < gate_pct;
+
+  // Acceptance criterion: traced 8-thread run == untraced 1-thread run in
+  // every final result the engines report.
+  core::Runner runner = [&g](core::Problem& p, std::uint64_t slice,
+                             util::Rng& r, const obs::Recorder& recorder) {
+    core::Figure1Options options;
+    options.budget = slice;
+    options.recorder = &recorder;
+    return core::run_figure1(p, *g, options, r);
+  };
+  const std::uint64_t ms_budget = std::min<std::uint64_t>(budget, 200'000);
+
+  auto untraced_problem = make_problem();
+  core::MultistartOptions seq_options;
+  seq_options.total_budget = ms_budget;
+  seq_options.budget_per_start = ms_budget / 50 == 0 ? 1 : ms_budget / 50;
+  util::Rng seq_rng{bench::kSeed + 21};
+  const auto untraced =
+      core::multistart(untraced_problem, runner, seq_options, seq_rng);
+
+  auto traced_problem = make_problem();
+  obs::VectorSink events;
+  const obs::Recorder root{&events, /*collect_metrics=*/true,
+                           /*trace_sample=*/16};
+  core::ParallelMultistartOptions par_options;
+  par_options.multistart = seq_options;
+  par_options.multistart.recorder = &root;
+  par_options.num_threads = 8;
+  util::Rng par_rng{bench::kSeed + 21};
+  const auto traced =
+      core::parallel_multistart(traced_problem, runner, par_options, par_rng);
+
+  const bool determinism_ok =
+      untraced.restarts == traced.restarts &&
+      untraced.restart_best_costs == traced.restart_best_costs &&
+      results_match(untraced.aggregate, traced.aggregate);
+  if (!determinism_ok) {
+    obs::log(obs::LogLevel::kError,
+             "FATAL: traced 8-thread multistart differs from untraced "
+             "1-thread multistart (determinism violation)");
+  }
+
+  std::string json = "{\n  \"bench\": \"obs_overhead\",\n";
+  json += "  \"seed\": " + std::to_string(bench::kSeed) + ",\n";
+  json += "  \"budget\": " + std::to_string(budget) + ",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"gate_pct\": " + std::to_string(gate_pct) + ",\n";
+  json += "  \"off_overhead_pct\": " + std::to_string(off_overhead) + ",\n";
+  json += std::string{"  \"gate_ok\": "} + (gate_ok ? "true" : "false") +
+          ",\n";
+  json += std::string{"  \"traced_parallel_bit_identical\": "} +
+          (determinism_ok ? "true" : "false") + ",\n";
+  json += "  \"trace_events_in_parallel_check\": " +
+          std::to_string(events.events().size()) + ",\n";
+  json += "  \"configs\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const ConfigTiming& timing = timings[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"seconds\": %.6f, "
+                  "\"proposals_per_sec\": %.1f, \"overhead_pct\": %.3f}%s\n",
+                  timing.name.c_str(), timing.best_seconds,
+                  timing.proposals_per_sec, timing.overhead_pct,
+                  i + 1 < timings.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+  bench::write_json_report("BENCH_obs", json);
+
+  std::printf(
+      "\nOff-path overhead: %.2f%% (gate: <%.2f%%) — %s.\n"
+      "Traced 8-thread multistart vs untraced 1-thread: %s "
+      "(%zu events captured).\n",
+      off_overhead, gate_pct, gate_ok ? "PASS" : "FAIL",
+      determinism_ok ? "bit-identical" : "MISMATCH", events.events().size());
+  if (!gate_ok || !determinism_ok) return 1;
+  return 0;
+}

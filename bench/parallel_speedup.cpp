@@ -25,6 +25,7 @@
 #include "core/figure1.hpp"
 #include "core/parallel.hpp"
 #include "linarr/problem.hpp"
+#include "obs/log.hpp"
 #include "netlist/generator.hpp"
 #include "util/args.hpp"
 #include "util/budget.hpp"
@@ -61,15 +62,15 @@ int main(int argc, char** argv) {
   const util::Args args{argc, argv};
   const auto unknown = args.unknown_flags({"max-threads", "budget"});
   if (!unknown.empty() || !args.positional().empty()) {
-    std::fprintf(stderr, "usage: %s [--max-threads N] [--budget T]\n",
-                 args.program().c_str());
+    obs::log(obs::LogLevel::kError, "usage: %s [--max-threads N] [--budget T]",
+             args.program().c_str());
     return 2;
   }
   const long long max_threads = args.get_int("max-threads", 8);
   const long long budget_flag = args.get_int("budget", 400'000);
   if (max_threads < 1 || budget_flag < 1) {
-    std::fprintf(stderr, "%s: flags must be positive\n",
-                 args.program().c_str());
+    obs::log(obs::LogLevel::kError, "%s: flags must be positive",
+             args.program().c_str());
     return 2;
   }
 
@@ -114,9 +115,10 @@ int main(int argc, char** argv) {
         netlist::GolaParams{size.cells, size.nets}, gen_rng);
     const auto g = core::make_g(core::GClass::kSixTempAnnealing);
     core::Runner runner = [&g](core::Problem& p, std::uint64_t budget,
-                               util::Rng& r) {
+                               util::Rng& r, const obs::Recorder& recorder) {
       core::Figure1Options options;
       options.budget = budget;
+      options.recorder = &recorder;
       return core::run_figure1(p, *g, options, r);
     };
 
@@ -153,10 +155,10 @@ int main(int argc, char** argv) {
         have_baseline = true;
       } else {
         if (!aggregates_match(baseline_result, stored.result)) {
-          std::fprintf(stderr,
-                       "FATAL: %u-thread aggregate differs from 1-thread "
-                       "aggregate (determinism violation)\n",
-                       threads);
+          obs::log(obs::LogLevel::kError,
+                   "FATAL: %u-thread aggregate differs from 1-thread "
+                   "aggregate (determinism violation)",
+                   threads);
           return 1;
         }
         stored.speedup = stored.seconds > 0.0

@@ -46,7 +46,7 @@ const std::map<std::string, std::array<int, 3>> kPaper41{
 
 int main(int argc, char** argv) {
   using namespace mcopt;
-  const unsigned threads = bench::threads_from_args(argc, argv);
+  const unsigned threads = bench::parse_driver_flags(argc, argv);
   bench::print_header(
       "Table 4.1 — GOLA: total density reduction, Figure 1, random starts",
       "30 instances, 15 elements, 150 two-pin nets; budgets = 6/9/12 s "
@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
                     bench::scaled(bench::kNineSec),
                     bench::scaled(bench::kTwelveSec)};
   config.num_threads = threads;
+  config.recorder = bench::driver_recorder();
 
   util::Table table;
   table.add_column("g function", util::Table::Align::kLeft);
@@ -114,6 +115,7 @@ int main(int argc, char** argv) {
   table.print();
   bench::maybe_write_csv("table_4_1", table);
   bench::print_invariant_summary();
+  bench::finish_driver_observability();
 
   std::printf(
       "\nShape checks (paper §4.2.2): six-temperature annealing, g = 1 and\n"

@@ -26,7 +26,7 @@ const std::map<std::string, std::array<int, 3>> kPaper42a{
 
 int main(int argc, char** argv) {
   using namespace mcopt;
-  const unsigned threads = bench::threads_from_args(argc, argv);
+  const unsigned threads = bench::parse_driver_flags(argc, argv);
   bench::print_header(
       "Table 4.2(a) — GOLA: reductions from the Goto starting arrangement",
       "30 instances; Figure 1; 13 g classes; budgets = 6/9/12 s equivalents");
@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
                     bench::scaled(bench::kNineSec),
                     bench::scaled(bench::kTwelveSec)};
   config.num_threads = threads;
+  config.recorder = bench::driver_recorder();
   config.start = bench::StartKind::kGoto;
   config.move_seed = 11;
 
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
   }
   table.print();
   bench::maybe_write_csv("table_4_2a", table);
+  bench::finish_driver_observability();
 
   std::printf(
       "\nShape checks (§4.2.3): every improvement is small relative to the\n"

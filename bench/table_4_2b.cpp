@@ -30,7 +30,7 @@ const std::map<std::string, std::array<int, 2>> kPaper42b{
 
 int main(int argc, char** argv) {
   using namespace mcopt;
-  const unsigned threads = bench::threads_from_args(argc, argv);
+  const unsigned threads = bench::parse_driver_flags(argc, argv);
   bench::print_header(
       "Table 4.2(b) — GOLA: Figure 1 vs Figure 2 at the 3-minute budget",
       "30 instances; random starts; 13 g classes; budget = 3 min equivalent "
@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   fig1.budgets = {bench::scaled(bench::kThreeMin)};
   fig1.move_seed = 13;
   fig1.num_threads = threads;
+  fig1.recorder = bench::driver_recorder();
   bench::TableRunConfig fig2 = fig1;
   fig2.figure2 = true;
 
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
   }
   table.print();
   bench::maybe_write_csv("table_4_2b", table);
+  bench::finish_driver_observability();
 
   std::printf(
       "\nFigure 2 wins %d of 13 classes (paper: 9 of 13).\n"

@@ -29,7 +29,7 @@ const std::map<std::string, std::array<int, 3>> kPaper42c{
 
 int main(int argc, char** argv) {
   using namespace mcopt;
-  const unsigned threads = bench::threads_from_args(argc, argv);
+  const unsigned threads = bench::parse_driver_flags(argc, argv);
   bench::print_header(
       "Table 4.2(c) — NOLA: total density reduction, Figure 1, random starts",
       "30 instances, 15 elements, 150 nets of 2-6 pins; GOLA temperatures "
@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
                     bench::scaled(bench::kNineSec),
                     bench::scaled(bench::kTwelveSec)};
   config.num_threads = threads;
+  config.recorder = bench::driver_recorder();
   config.move_seed = 17;
 
   util::Table table;
@@ -85,6 +86,7 @@ int main(int argc, char** argv) {
   }
   table.print();
   bench::maybe_write_csv("table_4_2c", table);
+  bench::finish_driver_observability();
 
   std::printf(
       "\nShape checks (§4.3.2): g = 1 leads and is the only Monte Carlo row\n"

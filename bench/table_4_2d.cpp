@@ -30,7 +30,7 @@ const std::map<std::string, std::array<int, 3>> kPaper42d{
 
 int main(int argc, char** argv) {
   using namespace mcopt;
-  const unsigned threads = bench::threads_from_args(argc, argv);
+  const unsigned threads = bench::parse_driver_flags(argc, argv);
   bench::print_header(
       "Table 4.2(d) — NOLA: reductions from the Goto starting arrangement",
       "30 NOLA instances; Figure 1; GOLA temperatures; budgets = 6/9/12 s "
@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
                     bench::scaled(bench::kNineSec),
                     bench::scaled(bench::kTwelveSec)};
   config.num_threads = threads;
+  config.recorder = bench::driver_recorder();
   config.start = bench::StartKind::kGoto;
   config.move_seed = 19;
 
@@ -75,6 +76,7 @@ int main(int argc, char** argv) {
   }
   table.print();
   bench::maybe_write_csv("table_4_2d", table);
+  bench::finish_driver_observability();
 
   std::printf(
       "\nShape checks (§4.3.2): no method improves significantly on the Goto\n"

@@ -18,6 +18,7 @@
 #include "netlist/generator.hpp"
 #include "netlist/io.hpp"
 #include "netlist/stats.hpp"
+#include "obs/log.hpp"
 
 namespace {
 
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     std::ifstream in{argv[1]};
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      obs::log(obs::LogLevel::kError, "cannot open %s", argv[1]);
       return 1;
     }
     nl = netlist::read_netlist(in);

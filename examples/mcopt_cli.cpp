@@ -29,6 +29,7 @@
 #include "netlist/generator.hpp"
 #include "netlist/io.hpp"
 #include "netlist/stats.hpp"
+#include "obs/log.hpp"
 #include "partition/fm.hpp"
 #include "partition/kl.hpp"
 #include "partition/problem.hpp"
@@ -42,8 +43,9 @@ namespace {
 using namespace mcopt;
 
 int usage(const char* error = nullptr) {
-  if (error != nullptr) std::cerr << "error: " << error << "\n\n";
-  std::cerr <<
+  if (error != nullptr) obs::log(obs::LogLevel::kError, "error: %s\n", error);
+  obs::log(
+      obs::LogLevel::kError,
       "usage:\n"
       "  mcopt_cli gen   --kind gola|nola --cells N --nets M [--min-pins P]\n"
       "                  [--max-pins P] [--seed S] [--out FILE]\n"
@@ -55,7 +57,7 @@ int usage(const char* error = nullptr) {
       "                  [--scale Y] [--moves swap|insert]\n"
       "  mcopt_cli partition (--in FILE | --cells N --nets M) [--budget N]\n"
       "                  [--seed S] [--tolerance T]\n"
-      "  mcopt_cli tsp   --n N [--budget N] [--seed S]\n";
+      "  mcopt_cli tsp   --n N [--budget N] [--seed S]");
   return 2;
 }
 

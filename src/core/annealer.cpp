@@ -14,16 +14,22 @@ RunResult simulated_annealing(Problem& problem, const AnnealOptions& options,
   Figure1Options fig1;
   fig1.budget = options.budget;
   fig1.equilibrium_rejects = options.equilibrium_rejects;
+  fig1.recorder = options.recorder;
   return run_figure1(problem, *g, fig1, rng);
 }
 
 RunResult random_descent(Problem& problem, std::uint64_t budget,
-                         util::Rng& rng) {
+                         util::Rng& rng, const obs::Recorder* recorder) {
   RunResult result;
   result.initial_cost = problem.cost();
   result.best_cost = result.initial_cost;
   problem.snapshot_into(result.best_state);
   result.temperatures_visited = 1;
+
+  obs::Recorder rec = recorder != nullptr ? *recorder : obs::Recorder{};
+  rec.begin_run(&result.metrics, 1);
+  rec.stage_begin(0, 0, result.initial_cost, result.best_cost,
+                  obs::StageReason::kStart);
 
   double h_i = result.initial_cost;
   util::WorkBudget work{budget};
@@ -31,20 +37,25 @@ RunResult random_descent(Problem& problem, std::uint64_t budget,
     const double h_j = problem.propose(rng);
     work.charge();
     ++result.proposals;
+    rec.proposal(0, work.spent(), h_j, result.best_cost);
     if (h_j < h_i) {
       problem.accept();
       ++result.accepts;
       h_i = h_j;
+      rec.accept(0, work.spent(), h_j, result.best_cost, false);
       if (h_i < result.best_cost) {
         result.best_cost = h_i;
         problem.snapshot_into(result.best_state);
+        rec.new_best(0, work.spent(), result.best_cost);
       }
     } else {
       problem.reject();
+      rec.reject(0, work.spent(), h_j, result.best_cost);
     }
   }
   result.ticks = work.spent();
   result.final_cost = problem.cost();
+  rec.end_run();
   return result;
 }
 

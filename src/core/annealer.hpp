@@ -12,6 +12,7 @@
 
 #include "core/problem.hpp"
 #include "core/result.hpp"
+#include "obs/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace mcopt::core {
@@ -24,6 +25,8 @@ struct AnnealOptions {
   /// If > 0, also advance temperature after this many consecutive rejects
   /// (the equilibrium criterion of [KIRK83]).
   std::uint64_t equilibrium_rejects = 0;
+  /// Optional telemetry (src/obs), forwarded to run_figure1.
+  const obs::Recorder* recorder = nullptr;
 };
 
 /// Anneals from the problem's current solution and returns the run record;
@@ -34,8 +37,10 @@ struct AnnealOptions {
 
 /// Pure descent baseline: repeatedly proposes random perturbations and
 /// accepts only strict improvements until the budget is spent (the
-/// "quench" limit of annealing; used by ablation benches).
+/// "quench" limit of annealing; used by ablation benches).  The optional
+/// recorder observes the run as a single stage-0 level.
 [[nodiscard]] RunResult random_descent(Problem& problem, std::uint64_t budget,
-                                       util::Rng& rng);
+                                       util::Rng& rng,
+                                       const obs::Recorder* recorder = nullptr);
 
 }  // namespace mcopt::core

@@ -20,19 +20,31 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
   problem.snapshot_into(result.best_state);
   result.temperatures_visited = k == 0 ? 0 : 1;
 
+  // By-value copy: gives this run a private sampling counter, so the trace
+  // is a pure function of the seed regardless of which thread runs it.
+  // The recorder consumes no randomness and never touches `rng`.
+  obs::Recorder rec =
+      options.recorder != nullptr ? *options.recorder : obs::Recorder{};
+  rec.begin_run(&result.metrics, k);
+  if (k > 0) {
+    rec.stage_begin(0, 0, result.initial_cost, result.best_cost,
+                    obs::StageReason::kStart);
+  }
+
   unsigned temp = 0;
   std::uint64_t reject_counter = 0;  // Step 4's `counter`
   std::uint64_t accept_counter = 0;  // the [KIRK83] equilibrium counter
   unsigned gate_counter = 0;         // the §3 gate for g == 1 levels
   double h_i = result.initial_cost;
 
-  auto advance_temperature = [&]() -> bool {
+  auto advance_temperature = [&](obs::StageReason reason) -> bool {
     // Returns false when the schedule is exhausted (temp == k in the paper).
     if (temp + 1 >= k) return false;
     ++temp;
     ++result.temperatures_visited;
     reject_counter = 0;
     accept_counter = 0;
+    rec.stage_begin(temp, budget.spent(), h_i, result.best_cost, reason);
     return true;
   };
 
@@ -40,9 +52,9 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
   while (!budget.exhausted() && !schedule_exhausted && k > 0) {
     // Budget-slice criterion: level `temp` owns ticks up to slice_end.
     while (budget.spent() >= budget.slice_end(k, temp)) {
-      if (!advance_temperature()) {  // unreachable with slices, kept for
-        schedule_exhausted = true;   // safety against future criteria
-        break;
+      if (!advance_temperature(obs::StageReason::kSlice)) {
+        schedule_exhausted = true;  // unreachable with slices, kept for
+        break;                      // safety against future criteria
       }
     }
     if (schedule_exhausted) break;
@@ -51,7 +63,13 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
     if constexpr (util::kInvariantsEnabled) {
       if (options.invariant_check_interval != 0 &&
           result.proposals % options.invariant_check_interval == 0) {
-        problem.check_invariants();
+        if (rec.collecting_metrics()) {
+          util::Stopwatch watch;
+          problem.check_invariants();
+          rec.invariant_check(watch.seconds());
+        } else {
+          problem.check_invariants();
+        }
         ++result.invariants.executed;
       }
     }
@@ -60,13 +78,14 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
     budget.charge();
     ++result.proposals;
     result.ticks = budget.spent();
+    rec.proposal(temp, result.ticks, h_j, result.best_cost);
 
     // [KIRK83] equilibrium: enough acceptances at this level.
     auto note_accept = [&]() {
       ++accept_counter;
       if (options.equilibrium_accepts > 0 &&
           accept_counter >= options.equilibrium_accepts &&
-          !advance_temperature()) {
+          !advance_temperature(obs::StageReason::kEquilibrium)) {
         schedule_exhausted = true;
       }
     };
@@ -76,12 +95,15 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
       // Step 3: strict improvement.
       problem.accept();
       ++result.accepts;
+      if (reject_counter > 0) rec.patience_reset();
       h_i = h_j;
       gate_counter = 0;
       reject_counter = 0;
+      rec.accept(temp, result.ticks, h_j, result.best_cost, false);
       if (h_i < result.best_cost) {
         result.best_cost = h_i;
         problem.snapshot_into(result.best_state);
+        rec.new_best(temp, result.ticks, result.best_cost);
       }
       note_accept();
       continue;
@@ -91,7 +113,8 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
     if (options.equilibrium_rejects > 0 &&
         reject_counter >= options.equilibrium_rejects) {
       problem.reject();
-      if (!advance_temperature()) break;
+      rec.reject(temp, result.ticks, h_j, result.best_cost);
+      if (!advance_temperature(obs::StageReason::kPatience)) break;
       continue;
     }
 
@@ -111,15 +134,19 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
       ++result.accepts;
       if (delta > 0.0) ++result.uphill_accepts;
       h_i = h_j;
+      if (reject_counter > 0) rec.patience_reset();
       reject_counter = 0;
+      rec.accept(temp, result.ticks, h_j, result.best_cost, delta > 0.0);
       note_accept();
     } else {
       problem.reject();
       ++reject_counter;
+      rec.reject(temp, result.ticks, h_j, result.best_cost);
     }
   }
 
   result.final_cost = problem.cost();
+  rec.end_run();
   return result;
 }
 

@@ -30,6 +30,7 @@
 #include "core/gfunction.hpp"
 #include "core/problem.hpp"
 #include "core/result.hpp"
+#include "obs/recorder.hpp"
 #include "util/budget.hpp"
 #include "util/rng.hpp"
 
@@ -51,6 +52,9 @@ struct Figure1Options {
   /// MCOPT_CHECK_INVARIANTS; 0 disables.  Consumes no randomness, so
   /// checked and unchecked builds produce identical streams.
   std::uint64_t invariant_check_interval = 4096;
+  /// Optional telemetry (src/obs): the runner takes a by-value copy, so
+  /// events and metrics are seed-pure per run.  Null = no observation.
+  const obs::Recorder* recorder = nullptr;
 };
 
 /// Runs Figure 1 from the problem's current solution.  On return the

@@ -15,22 +15,34 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
   problem.snapshot_into(result.best_state);
   result.temperatures_visited = k == 0 ? 0 : 1;
 
+  // By-value copy: private sampling counter, seed-pure trace (figure1.cpp).
+  obs::Recorder rec =
+      options.recorder != nullptr ? *options.recorder : obs::Recorder{};
+  rec.begin_run(&result.metrics, k);
+  if (k > 0) {
+    rec.stage_begin(0, 0, result.initial_cost, result.best_cost,
+                    obs::StageReason::kStart);
+  }
+
   unsigned temp = 0;
   std::uint64_t kick_counter = 0;
   std::uint64_t next_invariant_check = 0;
 
-  auto advance_temperature = [&]() -> bool {
+  auto advance_temperature = [&](obs::StageReason reason) -> bool {
     if (temp + 1 >= k) return false;
     ++temp;
     ++result.temperatures_visited;
     kick_counter = 0;
+    rec.stage_begin(temp, budget.spent(), problem.cost(), result.best_cost,
+                    reason);
     return true;
   };
 
-  auto update_best = [&](double h) {
+  auto update_best = [&](double h, std::uint64_t tick) {
     if (h < result.best_cost) {
       result.best_cost = h;
       problem.snapshot_into(result.best_state);
+      rec.new_best(temp, tick, result.best_cost);
     }
   };
 
@@ -39,14 +51,22 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
     // Step 2: descend to a local optimum (charges the budget internally).
     const std::uint64_t before = budget.spent();
     problem.descend(budget);
-    result.descent_steps += budget.spent() - before;
+    const std::uint64_t descended = budget.spent() - before;
+    result.descent_steps += descended;
+    rec.descent_ticks(temp, descended);
     const double h_i = problem.cost();
 
     // Periodic deep verification (descend() leaves nothing pending).
     if constexpr (util::kInvariantsEnabled) {
       if (options.invariant_check_interval != 0 &&
           budget.spent() >= next_invariant_check) {
-        problem.check_invariants();
+        if (rec.collecting_metrics()) {
+          util::Stopwatch watch;
+          problem.check_invariants();
+          rec.invariant_check(watch.seconds());
+        } else {
+          problem.check_invariants();
+        }
         ++result.invariants.executed;
         next_invariant_check =
             budget.spent() + options.invariant_check_interval;
@@ -54,7 +74,7 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
     }
 
     // Step 3.
-    update_best(h_i);
+    update_best(h_i, budget.spent());
 
     // Steps 4-5: kick until one is taken (then descend again) or the level
     // sequence / budget runs out.
@@ -63,7 +83,10 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
       while (budget.spent() >= budget.slice_end(k, temp) ||
              (options.equilibrium_kicks > 0 &&
               kick_counter >= options.equilibrium_kicks)) {
-        if (!advance_temperature()) {
+        const bool patience = options.equilibrium_kicks > 0 &&
+                              kick_counter >= options.equilibrium_kicks;
+        if (!advance_temperature(patience ? obs::StageReason::kPatience
+                                          : obs::StageReason::kSlice)) {
           done = true;
           break;
         }
@@ -74,21 +97,25 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
       const double h_j = problem.propose(rng);
       budget.charge();
       ++result.proposals;
+      rec.proposal(temp, budget.spent(), h_j, result.best_cost);
 
       if (rng.next_double() < g.probability(temp, h_i, h_j)) {
         problem.accept();
         ++result.accepts;
         if (h_j > h_i) ++result.uphill_accepts;
-        update_best(h_j);
+        rec.accept(temp, budget.spent(), h_j, result.best_cost, h_j > h_i);
+        update_best(h_j, budget.spent());
         kicked = true;  // back to Step 2
       } else {
         problem.reject();
+        rec.reject(temp, budget.spent(), h_j, result.best_cost);
       }
     }
   }
 
   result.ticks = budget.spent();
   result.final_cost = problem.cost();
+  rec.end_run();
   return result;
 }
 

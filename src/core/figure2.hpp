@@ -25,6 +25,7 @@
 #include "core/gfunction.hpp"
 #include "core/problem.hpp"
 #include "core/result.hpp"
+#include "obs/recorder.hpp"
 #include "util/budget.hpp"
 #include "util/rng.hpp"
 
@@ -40,6 +41,9 @@ struct Figure2Options {
   /// verification; util/invariant.hpp).  Only active in builds with
   /// MCOPT_CHECK_INVARIANTS; 0 disables.
   std::uint64_t invariant_check_interval = 4096;
+  /// Optional telemetry (src/obs): the runner takes a by-value copy, so
+  /// events and metrics are seed-pure per run.  Null = no observation.
+  const obs::Recorder* recorder = nullptr;
 };
 
 /// Runs Figure 2 from the problem's current solution.  On return the

@@ -26,6 +26,9 @@ MultistartResult multistart(Problem& problem, const Runner& runner,
   // exactly one output either way.
   const std::uint64_t master = rng.next();
 
+  const obs::Recorder root =
+      options.recorder != nullptr ? *options.recorder : obs::Recorder{};
+
   MultistartResult out;
   std::uint64_t spent = 0;
   bool first = true;
@@ -33,14 +36,22 @@ MultistartResult multistart(Problem& problem, const Runner& runner,
   while (spent < options.total_budget) {
     const std::uint64_t slice =
         std::min(options.budget_per_start, options.total_budget - spent);
-    util::Rng start_rng = util::Rng::split(master, index++);
+    util::Rng start_rng = util::Rng::split(master, index);
     if (!first || options.randomize_first) problem.randomize(start_rng);
-    const RunResult run = runner(problem, slice, start_rng);
+
+    // Restart-scoped recorder, writing straight to the caller's sink (the
+    // sequential loop IS index order); worker 0 = the calling thread.
+    obs::Recorder restart_rec = root.for_restart(index, 0, nullptr);
+    if (restart_rec.on()) restart_rec.restart_begin(problem.cost());
+
+    const RunResult run = runner(problem, slice, start_rng, restart_rec);
     // Charge what the run actually consumed (an early-terminating runner
     // leaves budget for more restarts); the max(., 1) floor guarantees
     // progress against a runner that reports zero ticks.
     spent += std::max<std::uint64_t>(run.ticks, 1);
     ++out.restarts;
+    ++index;
+    out.restart_best_costs.push_back(run.best_cost);
 
     // Deep-verify the problem state between restarts; the per-run interval
     // checks inside the runner are summed into the aggregate below.
@@ -54,6 +65,9 @@ MultistartResult multistart(Problem& problem, const Runner& runner,
       out.aggregate = run;
       out.aggregate.invariants += checks;
       first = false;
+      // Aggregate-level confirmation of the incumbent after each restart
+      // folds (restart 0 always sets it).
+      restart_rec.new_best(0, run.ticks, out.aggregate.best_cost);
     } else {
       out.aggregate.final_cost = run.final_cost;
       out.aggregate.proposals += run.proposals;
@@ -63,11 +77,16 @@ MultistartResult multistart(Problem& problem, const Runner& runner,
       out.aggregate.ticks += run.ticks;
       out.aggregate.temperatures_visited += run.temperatures_visited;
       out.aggregate.invariants += run.invariants;
+      out.aggregate.metrics.merge(run.metrics);
       if (run.best_cost < out.aggregate.best_cost) {
         out.aggregate.best_cost = run.best_cost;
         out.aggregate.best_state = run.best_state;
+        restart_rec.new_best(0, run.ticks, out.aggregate.best_cost);
       }
     }
+  }
+  if (out.aggregate.metrics.collected) {
+    out.aggregate.metrics.restarts = out.restarts;
   }
   return out;
 }

@@ -11,17 +11,22 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/problem.hpp"
 #include "core/result.hpp"
+#include "obs/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace mcopt::core {
 
 /// Runs one attempt from the problem's current solution with the given
 /// tick budget (e.g. a lambda wrapping run_figure1 with fixed options).
-using Runner =
-    std::function<RunResult(Problem&, std::uint64_t budget, util::Rng&)>;
+/// The recorder is scoped to this restart (correct restart/worker stamps);
+/// pass it to the runner's options (or ignore it — it is off when the
+/// engine was given no recorder).
+using Runner = std::function<RunResult(
+    Problem&, std::uint64_t budget, util::Rng&, const obs::Recorder&)>;
 
 struct MultistartOptions {
   /// Total ticks across all restarts.  A restart that terminates early is
@@ -34,6 +39,13 @@ struct MultistartOptions {
   /// Randomize the problem before every restart (including the first).
   /// When false the first restart continues from the current solution.
   bool randomize_first = true;
+  /// Optional telemetry (src/obs).  The engine derives a restart-scoped
+  /// recorder per start (emitting restart_begin and aggregate-level
+  /// new_best events) and hands it to the runner; parallel_multistart()
+  /// buffers each restart's events in a private shard and drains them in
+  /// index order, so the trace stream is thread-count-invariant except for
+  /// `worker` stamps and worker_steal events.
+  const obs::Recorder* recorder = nullptr;
 };
 
 struct MultistartResult {
@@ -41,6 +53,10 @@ struct MultistartResult {
   /// is the first restart's, final_cost the last restart's.
   RunResult aggregate;
   std::uint64_t restarts = 0;
+  /// best_cost of each individual restart, in restart order — the history
+  /// that aggregate.best_cost is the running minimum of, so trace-level
+  /// new_best events can be reconciled against the result.
+  std::vector<double> restart_best_costs;
 };
 
 /// Throws std::invalid_argument on a null runner or zero budget_per_start.

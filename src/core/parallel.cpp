@@ -19,19 +19,24 @@ namespace {
 
 /// Everything one restart produces: the run itself plus the final solution,
 /// so the reducer can leave the caller's problem in the sequential loop's
-/// end state.
+/// end state, plus the restart's buffered trace events (drained into the
+/// caller's sink in index order).
 struct StartResult {
   RunResult run;
   Snapshot final_state;
+  std::vector<obs::Event> events;
 };
 
 /// Executes restart `index` with `slice` ticks on `problem` — one iteration
 /// of the sequential multistart() loop, including the between-restart deep
-/// verification.  Deterministic given (index, slice, start state).
+/// verification.  Deterministic given (index, slice, start state); the
+/// recorder adds only the (worker, steal) stamps, which are excluded from
+/// the determinism contract (obs/event.hpp).
 StartResult run_start(Problem& problem, const Runner& runner,
                       const Snapshot& initial_state, bool randomize,
                       std::uint64_t master, std::uint64_t index,
-                      std::uint64_t slice) {
+                      std::uint64_t slice, const obs::Recorder& root,
+                      std::uint64_t worker, bool steal) {
   util::Rng rng = util::Rng::split(master, index);
   if (randomize) {
     problem.randomize(rng);
@@ -39,11 +44,21 @@ StartResult run_start(Problem& problem, const Runner& runner,
     problem.restore(initial_state);
   }
   StartResult out;
-  out.run = runner(problem, slice, rng);
+  // Buffer this restart's events privately; each shard has exactly one
+  // writer (this thread), so no sink is ever shared across threads.
+  obs::VectorSink shard;
+  obs::Recorder rec =
+      root.for_restart(index, worker, root.tracing() ? &shard : nullptr);
+  if (rec.on()) {
+    if (steal) rec.worker_steal();
+    rec.restart_begin(problem.cost());
+  }
+  out.run = runner(problem, slice, rng, rec);
   if constexpr (util::kInvariantsEnabled) {
     problem.check_invariants();
   }
   problem.snapshot_into(out.final_state);
+  out.events = shard.take();
   return out;
 }
 
@@ -98,12 +113,15 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
   const Snapshot initial_state = problem.snapshot();
   const std::uint64_t per_start = opts.budget_per_start;
   const std::uint64_t total = opts.total_budget;
+  const obs::Recorder root =
+      opts.recorder != nullptr ? *opts.recorder : obs::Recorder{};
 
   SpeculationQueue queue;
   queue.limit = total / per_start;
   queue.window = 4ULL * options.num_threads + 4;
 
-  auto worker = [&](Problem& local) {
+  // Worker ids are 1-based (0 = the calling/reducing thread).
+  auto worker = [&](Problem& local, std::uint64_t worker_id) {
     while (true) {
       std::uint64_t index;
       {
@@ -119,7 +137,7 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
       StartResult result =
           run_start(local, runner, initial_state,
                     index > 0 || opts.randomize_first, master, index,
-                    per_start);
+                    per_start, root, worker_id, /*steal=*/true);
       {
         std::lock_guard<std::mutex> lock{queue.mu};
         queue.ready.emplace(index, std::move(result));
@@ -131,7 +149,8 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
   std::vector<std::thread> pool;
   pool.reserve(options.num_threads);
   for (unsigned t = 0; t < options.num_threads; ++t) {
-    pool.emplace_back(worker, std::ref(*clones[t]));
+    pool.emplace_back(worker, std::ref(*clones[t]),
+                      static_cast<std::uint64_t>(t) + 1);
   }
 
   // Index-ordered reduction: the exact bookkeeping of the sequential loop.
@@ -160,11 +179,20 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
       // the sequential loop would have done.
       start = run_start(problem, runner, initial_state,
                         index > 0 || opts.randomize_first, master, index,
-                        slice);
+                        slice, root, /*worker=*/0, /*steal=*/false);
     }
+
+    // Drain the restart's shard into the caller's sink — only here, on the
+    // reducing thread, strictly in index order, so the stream matches the
+    // sequential loop event for event (worker stamps aside).
+    if (obs::TraceSink* sink = root.sink()) {
+      for (const obs::Event& event : start.events) sink->write(event);
+    }
+    obs::Recorder fold_rec = root.for_restart(index, 0, nullptr);
 
     spent += std::max<std::uint64_t>(start.run.ticks, 1);
     ++out.restarts;
+    out.restart_best_costs.push_back(start.run.best_cost);
     if constexpr (util::kInvariantsEnabled) {
       ++out.aggregate.invariants.executed;
     }
@@ -173,6 +201,7 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
       out.aggregate = start.run;
       out.aggregate.invariants += checks;
       first = false;
+      fold_rec.new_best(0, start.run.ticks, out.aggregate.best_cost);
     } else {
       out.aggregate.final_cost = start.run.final_cost;
       out.aggregate.proposals += start.run.proposals;
@@ -182,9 +211,11 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
       out.aggregate.ticks += start.run.ticks;
       out.aggregate.temperatures_visited += start.run.temperatures_visited;
       out.aggregate.invariants += start.run.invariants;
+      out.aggregate.metrics.merge(start.run.metrics);
       if (start.run.best_cost < out.aggregate.best_cost) {
         out.aggregate.best_cost = start.run.best_cost;
         out.aggregate.best_state = start.run.best_state;
+        fold_rec.new_best(0, start.run.ticks, out.aggregate.best_cost);
       }
     }
     last_final_state = std::move(start.final_state);
@@ -208,6 +239,9 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
   }
   queue.work_cv.notify_all();
   for (auto& thread : pool) thread.join();
+  if (out.aggregate.metrics.collected) {
+    out.aggregate.metrics.restarts = out.restarts;
+  }
 
   // Leave the caller's problem where the sequential loop would have: at the
   // last restart's final solution.

@@ -14,6 +14,9 @@ std::string to_string(const RunResult& result) {
   if (result.invariants.executed > 0) {
     os << " invariant_checks=" << result.invariants.executed;
   }
+  if (result.metrics.collected) {
+    os << " [" << result.metrics.summary() << "]";
+  }
   return os.str();
 }
 

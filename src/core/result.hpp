@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/problem.hpp"
+#include "obs/metrics.hpp"
 #include "util/invariant.hpp"
 
 namespace mcopt::core {
@@ -26,6 +27,12 @@ struct RunResult {
   /// Deep invariant verifications performed during the run; always 0 when
   /// the library is built without MCOPT_CHECK_INVARIANTS.
   util::InvariantStats invariants;
+
+  /// Telemetry summary; empty (collected == false) unless the run was
+  /// driven with a metrics-collecting obs::Recorder.  The multistart folds
+  /// merge these blocks in restart-index order, so aggregates are
+  /// deterministic at any thread count (wall-clock fields excepted).
+  obs::RunMetrics metrics;
 
   /// initial_cost - best_cost; the paper's tables total this over 30
   /// instances ("total reduction in density").

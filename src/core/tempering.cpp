@@ -42,14 +42,27 @@ TemperingResult parallel_tempering(
   out.aggregate.best_cost = h[best_replica];
   out.aggregate.best_state = replicas[best_replica]->snapshot();
 
+  // Replicas interleave on one thread, so events carry the replica index in
+  // `stage` and per-stage wall time stays unsplit (see TemperingOptions).
+  obs::Recorder rec =
+      options.recorder != nullptr ? *options.recorder : obs::Recorder{};
+  rec.begin_run(&out.aggregate.metrics, num_replicas,
+                /*stage_walls=*/false);
+  for (std::size_t r = 0; r < num_replicas; ++r) {
+    rec.stage_begin(static_cast<std::uint32_t>(r), 0, h[r],
+                    out.aggregate.best_cost, obs::StageReason::kStart);
+  }
+
+  util::WorkBudget budget{options.budget};
+
   auto update_best = [&](std::size_t r) {
     if (h[r] < out.aggregate.best_cost) {
       out.aggregate.best_cost = h[r];
       out.aggregate.best_state = replicas[r]->snapshot();
+      rec.new_best(static_cast<std::uint32_t>(r), budget.spent(),
+                   out.aggregate.best_cost);
     }
   };
-
-  util::WorkBudget budget{options.budget};
   std::uint64_t cycles = 0;
   std::uint64_t next_invariant_check = 0;
   while (!budget.exhausted()) {
@@ -58,6 +71,8 @@ TemperingResult parallel_tempering(
       const double h_j = replicas[r]->propose(rng);
       budget.charge();
       ++out.aggregate.proposals;
+      const auto stage = static_cast<std::uint32_t>(r);
+      rec.proposal(stage, budget.spent(), h_j, out.aggregate.best_cost);
       const double delta = h_j - h[r];
       const bool take =
           delta <= 0.0 || rng.next_double() < std::exp(-delta / ys[r]);
@@ -65,10 +80,13 @@ TemperingResult parallel_tempering(
         replicas[r]->accept();
         ++out.aggregate.accepts;
         if (delta > 0.0) ++out.aggregate.uphill_accepts;
+        rec.accept(stage, budget.spent(), h_j, out.aggregate.best_cost,
+                   delta > 0.0);
         h[r] = h_j;
         update_best(r);
       } else {
         replicas[r]->reject();
+        rec.reject(stage, budget.spent(), h_j, out.aggregate.best_cost);
       }
     }
 
@@ -80,7 +98,13 @@ TemperingResult parallel_tempering(
       if (options.invariant_check_interval != 0 &&
           budget.spent() >= next_invariant_check) {
         for (const auto& replica : replicas) {
-          replica->check_invariants();
+          if (rec.collecting_metrics()) {
+            util::Stopwatch watch;
+            replica->check_invariants();
+            rec.invariant_check(watch.seconds());
+          } else {
+            replica->check_invariants();
+          }
           ++out.aggregate.invariants.executed;
         }
         next_invariant_check =
@@ -111,6 +135,7 @@ TemperingResult parallel_tempering(
   }
   out.aggregate.final_cost = h[final_best];
   out.aggregate.ticks = budget.spent();
+  rec.end_run();
   return out;
 }
 

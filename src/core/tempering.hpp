@@ -26,6 +26,7 @@
 
 #include "core/problem.hpp"
 #include "core/result.hpp"
+#include "obs/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace mcopt::core {
@@ -43,6 +44,9 @@ struct TemperingOptions {
   /// replica via Problem::check_invariants() (util/invariant.hpp).  Only
   /// active in builds with MCOPT_CHECK_INVARIANTS; 0 disables.
   std::uint64_t invariant_check_interval = 4096;
+  /// Optional telemetry (src/obs).  Events carry the replica index in the
+  /// `stage` field; per-stage wall time is not split (replicas interleave).
+  const obs::Recorder* recorder = nullptr;
 };
 
 struct TemperingResult {

@@ -1,0 +1,67 @@
+// The typed trace-event vocabulary of the observability layer.
+//
+// The paper's argument is made from run-internal dynamics — acceptance
+// rates per temperature stage, uphill-move frequency per g class, where the
+// patience counter fires — none of which survive into a final cost.  An
+// Event is one observation of those dynamics: a fixed-size, string-free
+// record carrying (run, restart, worker) identity so events from parallel
+// restarts interleave coherently in one stream.
+//
+// Determinism contract: every field except `worker` is a pure function of
+// the seed (ticks, stages, and costs are; wall-clock never appears here).
+// `worker` — and the kWorkerSteal event, which exists to observe the
+// parallel engine's scheduling — is the one deliberate exception, and
+// consumers that compare traces across thread counts must ignore both
+// (tools/trace_report.py and the trace-determinism tests do).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcopt::obs {
+
+enum class EventKind : std::uint8_t {
+  kStageBegin = 0,   ///< a temperature level was entered
+  kProposal = 1,     ///< a random perturbation was sampled (subsampled)
+  kAccept = 2,       ///< the pending perturbation was committed
+  kReject = 3,       ///< the pending perturbation was discarded
+  kRestartBegin = 4, ///< a multistart restart began from a fresh solution
+  kNewBest = 5,      ///< the best-so-far cost improved
+  kWorkerSteal = 6,  ///< a parallel worker claimed a restart (nondeterministic)
+};
+
+/// Why a stage was entered; carried only by kStageBegin events.
+enum class StageReason : std::uint8_t {
+  kNone = 0,         ///< not a stage event
+  kStart = 1,        ///< first stage of a run
+  kSlice = 2,        ///< the level's budget slice was exhausted (§4.2.1)
+  kPatience = 3,     ///< the Step 4 reject counter fired
+  kEquilibrium = 4,  ///< the [KIRK83] acceptance criterion fired
+};
+
+/// One observation.  Fixed-size and trivially copyable so ring buffers and
+/// per-restart shards can hold millions without allocation churn.
+struct Event {
+  EventKind kind = EventKind::kProposal;
+  StageReason reason = StageReason::kNone;
+  std::uint32_t stage = 0;    ///< temperature level (replica index for
+                              ///< tempering); 0 for engine-level events
+  std::uint64_t run = 0;      ///< caller-chosen run id (bench: row counter)
+  std::uint64_t restart = 0;  ///< restart index within the run
+  std::uint64_t worker = 0;   ///< 0 = caller thread; workers are 1-based
+  std::uint64_t tick = 0;     ///< budget ticks spent within the restart
+  double cost = 0.0;          ///< cost the event observed (see schema docs)
+  double best = 0.0;          ///< best-so-far cost when the event fired
+};
+
+/// Stable lowercase names used in the JSONL schema ("stage_begin", ...).
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+[[nodiscard]] const char* stage_reason_name(StageReason reason) noexcept;
+
+/// Appends the canonical single-line JSONL form of `event` (including the
+/// trailing newline) to `out`.  Key order is fixed; doubles are printed
+/// with %.17g so values round-trip exactly.  This is THE schema that
+/// tools/trace_report.py validates — change both together.
+void append_jsonl(const Event& event, std::string& out);
+
+}  // namespace mcopt::obs

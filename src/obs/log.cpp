@@ -1,0 +1,38 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mcopt::obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // The one sanctioned stderr write; everything else routes through here.
+  std::vfprintf(stderr, fmt, args);  // mcopt-lint: allow(raw-stderr)
+  std::fputc('\n', stderr);  // mcopt-lint: allow(raw-stderr)
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace mcopt::obs

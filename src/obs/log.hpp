@@ -1,0 +1,33 @@
+// One doorway for human-facing stderr chatter.
+//
+// All diagnostic output from the library, benches, and examples goes
+// through obs::log() so a single --quiet/--verbose flag controls it; the
+// determinism lint forbids raw std::cerr / fprintf(stderr, ...) inside
+// src/ to keep it that way.  This is for humans only — structured data
+// belongs in a TraceSink or a RunMetrics block, never in the log.
+#pragma once
+
+#include <cstdarg>
+
+namespace mcopt::obs {
+
+enum class LogLevel : int {
+  kError = 0,  ///< always shown (even under --quiet)
+  kInfo = 1,   ///< default: progress and summaries
+  kDebug = 2,  ///< --verbose: per-phase detail
+};
+
+/// Sets the global threshold; messages above it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// printf-style message to stderr, newline appended.  Dropped (cheaply)
+/// when `level` is above the current threshold.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log(LogLevel level, const char* fmt, ...);
+
+void vlog(LogLevel level, const char* fmt, std::va_list args);
+
+}  // namespace mcopt::obs

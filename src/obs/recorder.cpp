@@ -1,0 +1,163 @@
+#include "obs/recorder.hpp"
+
+namespace mcopt::obs {
+
+Recorder::Recorder(TraceSink* sink, bool collect_metrics,
+                   std::uint64_t trace_sample, std::uint64_t run)
+    : off_(sink == nullptr && !collect_metrics),
+      metrics_enabled_(collect_metrics),
+      sink_(sink),
+      sample_(trace_sample == 0 ? 1 : trace_sample),
+      run_(run) {}
+
+Recorder Recorder::for_restart(std::uint64_t restart, std::uint64_t worker,
+                               TraceSink* shard_sink) const {
+  Recorder out;
+  if (off_) return out;  // an off root derives off recorders, shard or not
+  out.metrics_enabled_ = metrics_enabled_;
+  out.sink_ = shard_sink != nullptr ? shard_sink : sink_;
+  out.off_ = out.sink_ == nullptr && !out.metrics_enabled_;
+  out.sample_ = sample_;
+  out.run_ = run_;
+  out.restart_ = restart;
+  out.worker_ = worker;
+  return out;
+}
+
+void Recorder::begin_run(RunMetrics* metrics, std::size_t num_stages,
+                         bool stage_walls) {
+  if (off_) return;
+  metrics_ = metrics_enabled_ ? metrics : nullptr;
+  if (metrics_ != nullptr) {
+    metrics_->collected = true;
+    if (metrics_->stages.size() < num_stages) {
+      metrics_->stages.resize(num_stages);
+    }
+  }
+  step_ = 0;
+  sample_live_ = true;
+  stage_walls_ = stage_walls;
+  have_stage_ = false;
+  cur_stage_ = 0;
+  stage_watch_.reset();
+  run_watch_.reset();
+}
+
+void Recorder::end_run() {
+  if (off_) return;
+  close_stage_wall();
+  if (metrics_ != nullptr) metrics_->wall_seconds += run_watch_.seconds();
+  metrics_ = nullptr;
+}
+
+StageMetrics& Recorder::stage_slot(std::uint32_t stage) {
+  if (metrics_->stages.size() <= stage) metrics_->stages.resize(stage + 1);
+  return metrics_->stages[stage];
+}
+
+void Recorder::emit(EventKind kind, StageReason reason, std::uint32_t stage,
+                    std::uint64_t tick, double cost, double best) {
+  if (sink_ == nullptr) return;
+  Event event;
+  event.kind = kind;
+  event.reason = reason;
+  event.stage = stage;
+  event.run = run_;
+  event.restart = restart_;
+  event.worker = worker_;
+  event.tick = tick;
+  event.cost = cost;
+  event.best = best;
+  sink_->write(event);
+  if (metrics_ != nullptr) ++metrics_->trace_events;
+}
+
+void Recorder::close_stage_wall() {
+  if (metrics_ != nullptr && stage_walls_ && have_stage_) {
+    stage_slot(cur_stage_).wall_seconds += stage_watch_.seconds();
+  }
+}
+
+void Recorder::stage_begin_impl(std::uint32_t stage, std::uint64_t tick,
+                                double cost, double best, StageReason reason) {
+  if (metrics_ != nullptr) {
+    close_stage_wall();
+    // A patience transition is attributed to the level it fired in, i.e.
+    // the stage being left, not the one being entered.
+    if (reason == StageReason::kPatience && have_stage_) {
+      ++stage_slot(cur_stage_).patience_fires;
+    }
+    stage_watch_.reset();
+  }
+  have_stage_ = true;
+  cur_stage_ = stage;
+  emit(EventKind::kStageBegin, reason, stage, tick, cost, best);
+}
+
+void Recorder::proposal_impl(std::uint32_t stage, std::uint64_t tick,
+                             double cost, double best) {
+  if (metrics_ != nullptr) {
+    StageMetrics& s = stage_slot(stage);
+    ++s.proposals;
+    ++s.ticks;
+  }
+  ++step_;
+  sample_live_ = sample_ <= 1 || step_ % sample_ == 0;
+  if (sample_live_) {
+    emit(EventKind::kProposal, StageReason::kNone, stage, tick, cost, best);
+  }
+}
+
+void Recorder::accept_impl(std::uint32_t stage, std::uint64_t tick,
+                           double cost, double best, bool uphill) {
+  if (metrics_ != nullptr) {
+    StageMetrics& s = stage_slot(stage);
+    ++s.accepts;
+    if (uphill) ++s.uphill_accepts;
+  }
+  if (sample_live_) {
+    emit(EventKind::kAccept, StageReason::kNone, stage, tick, cost, best);
+  }
+}
+
+void Recorder::reject_impl(std::uint32_t stage, std::uint64_t tick,
+                           double cost, double best) {
+  if (metrics_ != nullptr) ++stage_slot(stage).rejects;
+  if (sample_live_) {
+    emit(EventKind::kReject, StageReason::kNone, stage, tick, cost, best);
+  }
+}
+
+void Recorder::new_best_impl(std::uint32_t stage, std::uint64_t tick,
+                             double best) {
+  if (metrics_ != nullptr) {
+    ++metrics_->new_bests;
+    ++stage_slot(stage).new_bests;
+  }
+  emit(EventKind::kNewBest, StageReason::kNone, stage, tick, best, best);
+}
+
+void Recorder::restart_begin_impl(double cost) {
+  emit(EventKind::kRestartBegin, StageReason::kNone, 0, 0, cost, cost);
+}
+
+void Recorder::worker_steal_impl() {
+  emit(EventKind::kWorkerSteal, StageReason::kNone, 0, 0, 0.0, 0.0);
+}
+
+void Recorder::patience_reset_impl() {
+  if (metrics_ != nullptr) ++metrics_->patience_resets;
+}
+
+void Recorder::descent_ticks_impl(std::uint32_t stage, std::uint64_t n) {
+  if (metrics_ != nullptr) stage_slot(stage).ticks += n;
+}
+
+void Recorder::invariant_check_impl(double seconds) {
+  if (metrics_ != nullptr) {
+    ++metrics_->invariant_checks;
+    metrics_->invariant_seconds += seconds;
+  }
+}
+
+}  // namespace mcopt::obs

@@ -1,0 +1,173 @@
+// The Recorder: the single instrumentation handle the optimizers talk to.
+//
+// Runners receive a `const Recorder*` through their options struct and take
+// a by-value copy at the top of the run (a Recorder is a few words), which
+// binds the copy to that run's RunResult::metrics block and gives it a
+// private sampling counter — so the emitted stream is a pure function of
+// the seed no matter which thread executes the restart.
+//
+// Zero-overhead-when-off: a default-constructed Recorder is *off*, and
+// every event method is an inlined `if (off_) return;` in front of an
+// out-of-line slow path.  bench/obs_overhead.cpp holds this to <1% against
+// a hand-stripped copy of the same loop.
+//
+// Thread-safety: a Recorder (and its sink) is single-writer.  The parallel
+// engine never shares one across threads — each restart gets its own shard
+// recorder via for_restart() pointing at a private VectorSink, and the
+// reducer drains shards in restart-index order.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/budget.hpp"
+
+namespace mcopt::obs {
+
+class Recorder {
+ public:
+  /// Off: every event method is a single predicted-not-taken branch.
+  Recorder() = default;
+
+  /// On.  `sink` may be null for metrics-only collection; `trace_sample`
+  /// keeps every Nth proposal/accept/reject trio (<=1 keeps all); `run` is
+  /// the caller-chosen run id stamped on every event.
+  explicit Recorder(TraceSink* sink, bool collect_metrics = true,
+                    std::uint64_t trace_sample = 1, std::uint64_t run = 0);
+
+  [[nodiscard]] bool on() const noexcept { return !off_; }
+  [[nodiscard]] bool tracing() const noexcept { return sink_ != nullptr; }
+  [[nodiscard]] bool collecting_metrics() const noexcept {
+    return metrics_enabled_;
+  }
+  [[nodiscard]] std::uint64_t run_id() const noexcept { return run_; }
+  [[nodiscard]] std::uint64_t restart_id() const noexcept { return restart_; }
+  /// The sink events are routed to (null when not tracing).  Exposed so
+  /// the parallel engine can drain per-restart shards into it in order.
+  [[nodiscard]] TraceSink* sink() const noexcept { return sink_; }
+
+  /// A recorder for one restart: same configuration, fresh sampling state,
+  /// events stamped (restart, worker) and routed to `shard_sink` (typically
+  /// a private VectorSink the engine later drains in index order; null
+  /// keeps the parent's sink — only safe single-threaded).
+  [[nodiscard]] Recorder for_restart(std::uint64_t restart,
+                                     std::uint64_t worker,
+                                     TraceSink* shard_sink) const;
+
+  /// A copy of this recorder stamped with a different run id (the bench
+  /// harness gives each table row its own run id).
+  [[nodiscard]] Recorder with_run(std::uint64_t run) const {
+    Recorder out = *this;
+    out.run_ = run;
+    return out;
+  }
+
+  /// Binds this recorder to a run: metrics flow into `*metrics` (sized to
+  /// `num_stages` levels up front), wall clocks restart.  Call once per
+  /// runner invocation; end_run() closes the open stage and the run clock.
+  /// `stage_walls = false` skips per-stage wall attribution — for runners
+  /// whose levels interleave in time (tempering) rather than run monotone.
+  void begin_run(RunMetrics* metrics, std::size_t num_stages,
+                 bool stage_walls = true);
+  void end_run();
+
+  // --- event methods (hot path: inlined off-test, out-of-line slow path).
+  // `cost`/`best` conventions: accept/reject carry the candidate cost and
+  // the best BEFORE the move; new_best follows the accept that improved it.
+
+  void stage_begin(std::uint32_t stage, std::uint64_t tick, double cost,
+                   double best, StageReason reason) {
+    if (off_) return;
+    stage_begin_impl(stage, tick, cost, best, reason);
+  }
+  void proposal(std::uint32_t stage, std::uint64_t tick, double cost,
+                double best) {
+    if (off_) return;
+    proposal_impl(stage, tick, cost, best);
+  }
+  void accept(std::uint32_t stage, std::uint64_t tick, double cost,
+              double best, bool uphill) {
+    if (off_) return;
+    accept_impl(stage, tick, cost, best, uphill);
+  }
+  void reject(std::uint32_t stage, std::uint64_t tick, double cost,
+              double best) {
+    if (off_) return;
+    reject_impl(stage, tick, cost, best);
+  }
+  void new_best(std::uint32_t stage, std::uint64_t tick, double best) {
+    if (off_) return;
+    new_best_impl(stage, tick, best);
+  }
+  void restart_begin(double cost) {
+    if (off_) return;
+    restart_begin_impl(cost);
+  }
+  void worker_steal() {
+    if (off_) return;
+    worker_steal_impl();
+  }
+
+  // --- metrics-only hooks (no trace event).
+
+  /// The Step 4 reject counter was reset by an accept before firing.
+  void patience_reset() {
+    if (off_) return;
+    patience_reset_impl();
+  }
+  /// `n` budget ticks of pure descent charged at `stage` (Figure 2).
+  void descent_ticks(std::uint32_t stage, std::uint64_t n) {
+    if (off_) return;
+    descent_ticks_impl(stage, n);
+  }
+  /// One deep invariant verification took `seconds` of wall time.
+  void invariant_check(double seconds) {
+    if (off_) return;
+    invariant_check_impl(seconds);
+  }
+
+ private:
+  void stage_begin_impl(std::uint32_t stage, std::uint64_t tick, double cost,
+                        double best, StageReason reason);
+  void proposal_impl(std::uint32_t stage, std::uint64_t tick, double cost,
+                     double best);
+  void accept_impl(std::uint32_t stage, std::uint64_t tick, double cost,
+                   double best, bool uphill);
+  void reject_impl(std::uint32_t stage, std::uint64_t tick, double cost,
+                   double best);
+  void new_best_impl(std::uint32_t stage, std::uint64_t tick, double best);
+  void restart_begin_impl(double cost);
+  void worker_steal_impl();
+  void patience_reset_impl();
+  void descent_ticks_impl(std::uint32_t stage, std::uint64_t n);
+  void invariant_check_impl(double seconds);
+
+  /// stages[stage], growing the vector if a runner visits more levels than
+  /// begin_run() was told about.
+  StageMetrics& stage_slot(std::uint32_t stage);
+  void emit(EventKind kind, StageReason reason, std::uint32_t stage,
+            std::uint64_t tick, double cost, double best);
+  void close_stage_wall();
+
+  bool off_ = true;
+  bool metrics_enabled_ = false;
+  TraceSink* sink_ = nullptr;
+  std::uint64_t sample_ = 1;
+  std::uint64_t run_ = 0;
+  std::uint64_t restart_ = 0;
+  std::uint64_t worker_ = 0;
+
+  // Per-run state, reset by begin_run().
+  RunMetrics* metrics_ = nullptr;
+  std::uint64_t step_ = 0;       // proposals seen, drives the sampling stride
+  bool sample_live_ = true;      // does the current trio pass the stride?
+  bool stage_walls_ = true;      // attribute wall time to stages?
+  bool have_stage_ = false;      // has any stage_begin fired yet?
+  std::uint32_t cur_stage_ = 0;  // stage whose wall clock is open
+  util::Stopwatch stage_watch_;
+  util::Stopwatch run_watch_;
+};
+
+}  // namespace mcopt::obs

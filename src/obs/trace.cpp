@@ -1,0 +1,139 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mcopt::obs {
+
+namespace {
+
+/// Flush threshold for the JSONL writer; large enough that the file write
+/// cost amortizes, small enough that a crashed run still leaves a useful
+/// trace prefix on disk.
+constexpr std::size_t kJsonlBufferBytes = 1 << 16;
+
+void append_double(double value, std::string& out) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", value);
+  out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+}
+
+void append_u64(std::uint64_t value, std::string& out) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(value));
+  out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kStageBegin: return "stage_begin";
+    case EventKind::kProposal: return "proposal_sampled";
+    case EventKind::kAccept: return "accept";
+    case EventKind::kReject: return "reject";
+    case EventKind::kRestartBegin: return "restart_begin";
+    case EventKind::kNewBest: return "new_best";
+    case EventKind::kWorkerSteal: return "worker_steal";
+  }
+  return "unknown";
+}
+
+const char* stage_reason_name(StageReason reason) noexcept {
+  switch (reason) {
+    case StageReason::kNone: return "none";
+    case StageReason::kStart: return "start";
+    case StageReason::kSlice: return "slice";
+    case StageReason::kPatience: return "patience";
+    case StageReason::kEquilibrium: return "equilibrium";
+  }
+  return "unknown";
+}
+
+void append_jsonl(const Event& event, std::string& out) {
+  out += "{\"event\":\"";
+  out += event_kind_name(event.kind);
+  out += "\",\"run\":";
+  append_u64(event.run, out);
+  out += ",\"restart\":";
+  append_u64(event.restart, out);
+  out += ",\"worker\":";
+  append_u64(event.worker, out);
+  out += ",\"tick\":";
+  append_u64(event.tick, out);
+  out += ",\"stage\":";
+  append_u64(event.stage, out);
+  out += ",\"cost\":";
+  append_double(event.cost, out);
+  out += ",\"best\":";
+  append_double(event.best, out);
+  if (event.kind == EventKind::kStageBegin) {
+    out += ",\"reason\":\"";
+    out += stage_reason_name(event.reason);
+    out += "\"";
+  }
+  out += "}\n";
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : buffer_(), capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RingBufferSink: capacity must be >= 1");
+  }
+  buffer_.reserve(capacity);
+}
+
+void RingBufferSink::write(const Event& event) {
+  if (!full_) {
+    buffer_.push_back(event);
+    if (buffer_.size() == capacity_) full_ = true;  // next_ stays 0: oldest
+    return;
+  }
+  buffer_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<Event> RingBufferSink::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(size());
+  if (!full_) {
+    out.assign(buffer_.begin(), buffer_.end());
+    return out;
+  }
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    out.push_back(buffer_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : file_(path), out_(&file_) {
+  if (!file_) {
+    throw std::invalid_argument("JsonlFileSink: cannot open " + path);
+  }
+  buffer_.reserve(kJsonlBufferBytes + 256);
+}
+
+JsonlFileSink::JsonlFileSink(std::ostream& out) : out_(&out) {
+  buffer_.reserve(kJsonlBufferBytes + 256);
+}
+
+JsonlFileSink::~JsonlFileSink() { flush(); }
+
+void JsonlFileSink::write(const Event& event) {
+  append_jsonl(event, buffer_);
+  ++written_;
+  if (buffer_.size() >= kJsonlBufferBytes) flush();
+}
+
+void JsonlFileSink::flush() {
+  if (!buffer_.empty()) {
+    out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  out_->flush();
+}
+
+}  // namespace mcopt::obs

@@ -1,0 +1,104 @@
+// Trace sinks: where Event streams go.
+//
+// A TraceSink is a single-writer consumer of Events.  The runners never
+// write to a sink from two threads: the parallel multistart engine buffers
+// each restart's events in a private VectorSink shard (one per restart, on
+// the worker that ran it) and the reducing thread drains the shards into
+// the caller's sink strictly in restart-index order.  That makes a traced
+// parallel run produce the same stream as the sequential loop — the
+// project's bit-reproducibility contract extends to traces, except for the
+// `worker` field and kWorkerSteal events (see obs/event.hpp).
+//
+// Three sinks cover the intended uses:
+//   * JsonlFileSink — one JSON object per line, the on-disk interchange
+//     format consumed by tools/trace_report.py;
+//   * RingBufferSink — bounded in-memory tail for always-on tracing (keeps
+//     the last N events, counts what it dropped);
+//   * VectorSink — unbounded in-memory buffer for shards and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace mcopt::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const Event& event) = 0;
+  /// Push any buffered output to the underlying medium.  No-op by default.
+  virtual void flush() {}
+};
+
+/// Unbounded in-memory buffer; the shard sink of the multistart engines.
+class VectorSink final : public TraceSink {
+ public:
+  void write(const Event& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  /// Moves the buffered events out, leaving the sink empty.
+  [[nodiscard]] std::vector<Event> take() noexcept {
+    return std::exchange(events_, {});
+  }
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Bounded buffer keeping the most recent `capacity` events.
+class RingBufferSink final : public TraceSink {
+ public:
+  /// Capacity must be >= 1; throws std::invalid_argument otherwise.
+  explicit RingBufferSink(std::size_t capacity);
+
+  void write(const Event& event) override;
+
+  /// Buffered events, oldest first.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  /// Events overwritten because the buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::vector<Event> buffer_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  bool full_ = false;
+  std::uint64_t dropped_ = 0;
+};
+
+/// JSONL writer (see obs/event.hpp append_jsonl for the schema).  Output is
+/// buffered and flushed on flush() and destruction.
+class JsonlFileSink final : public TraceSink {
+ public:
+  /// Opens `path` for writing; throws std::invalid_argument on failure.
+  explicit JsonlFileSink(const std::string& path);
+  /// Writes to a caller-owned stream (tests, stdout piping).
+  explicit JsonlFileSink(std::ostream& out);
+  ~JsonlFileSink() override;
+
+  void write(const Event& event) override;
+  void flush() override;
+
+  /// Events written so far (buffered or not).
+  [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+
+ private:
+  std::ofstream file_;    // used by the path constructor
+  std::ostream* out_;     // always valid; aliases file_ or the caller's stream
+  std::string buffer_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace mcopt::obs

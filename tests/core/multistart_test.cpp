@@ -16,8 +16,9 @@ namespace {
 using mcopt::testing::ToyProblem;
 
 Runner descent_runner() {
-  return [](Problem& problem, std::uint64_t budget, util::Rng& rng) {
-    return random_descent(problem, budget, rng);
+  return [](Problem& problem, std::uint64_t budget, util::Rng& rng,
+            const obs::Recorder& recorder) {
+    return random_descent(problem, budget, rng, &recorder);
   };
 }
 
@@ -60,13 +61,33 @@ TEST(MultistartTest, RunsExpectedNumberOfRestarts) {
   EXPECT_EQ(result.aggregate.proposals, 1000u);
 }
 
+TEST(MultistartTest, ReportsPerRestartBestCostHistory) {
+  ToyProblem problem{{5, 4, 3, 2, 1, 2, 3, 4}, 0};
+  util::Rng rng{2};
+  MultistartOptions options;
+  options.total_budget = 1000;
+  options.budget_per_start = 100;
+  const MultistartResult result =
+      multistart(problem, descent_runner(), options, rng);
+  ASSERT_EQ(result.restart_best_costs.size(), result.restarts);
+  // The aggregate best is exactly the minimum of the per-restart history.
+  const double history_min = *std::min_element(
+      result.restart_best_costs.begin(), result.restart_best_costs.end());
+  EXPECT_DOUBLE_EQ(history_min, result.aggregate.best_cost);
+  // Every entry is a cost the landscape can actually produce.
+  for (const double best : result.restart_best_costs) {
+    EXPECT_GE(best, 1.0);
+    EXPECT_LE(best, 5.0);
+  }
+}
+
 TEST(MultistartTest, ChargesActualTicksNotSliceSize) {
   // Regression: spent used to be charged max(run.ticks, slice), so a runner
   // that terminated a slice early still "paid" for the whole slice and the
   // saved budget funded no extra restarts.  Budget left unspent by one
   // start must now roll over into additional starts.
   Runner half_runner = [](Problem& problem, std::uint64_t budget,
-                          util::Rng& rng) {
+                          util::Rng& rng, const obs::Recorder&) {
     return random_descent(problem, std::min<std::uint64_t>(budget, 50), rng);
   };
   ToyProblem problem{{5, 4, 3, 2, 1, 2, 3, 4}, 0};
@@ -84,9 +105,8 @@ TEST(MultistartTest, ChargesActualTicksNotSliceSize) {
 TEST(MultistartTest, ZeroTickRunnerStillTerminates) {
   // A pathological runner that reports zero ticks is charged a minimum of
   // one tick per restart so the loop cannot spin forever.
-  Runner zero_runner = [](Problem&, std::uint64_t, util::Rng&) {
-    return RunResult{};
-  };
+  Runner zero_runner = [](Problem&, std::uint64_t, util::Rng&,
+                          const obs::Recorder&) { return RunResult{}; };
   ToyProblem problem{{1, 2, 3}, 0};
   util::Rng rng{3};
   MultistartOptions options;
@@ -165,9 +185,11 @@ TEST(MultistartTest, WorksWithFigure1Runner) {
   ToyProblem problem{landscape, 0};
   util::Rng rng{7};
   const auto g = make_g(GClass::kGOne);
-  Runner runner = [&g](Problem& p, std::uint64_t budget, util::Rng& r) {
+  Runner runner = [&g](Problem& p, std::uint64_t budget, util::Rng& r,
+                       const obs::Recorder& recorder) {
     Figure1Options options;
     options.budget = budget;
+    options.recorder = &recorder;
     return run_figure1(p, *g, options, r);
   };
   MultistartOptions options;

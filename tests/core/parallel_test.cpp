@@ -38,13 +38,15 @@ class NoCloneProblem final : public Problem {
 };
 
 Runner descent_runner() {
-  return [](Problem& problem, std::uint64_t budget, util::Rng& rng) {
-    return random_descent(problem, budget, rng);
+  return [](Problem& problem, std::uint64_t budget, util::Rng& rng,
+            const obs::Recorder& recorder) {
+    return random_descent(problem, budget, rng, &recorder);
   };
 }
 
 void expect_identical(const MultistartResult& a, const MultistartResult& b) {
   EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.restart_best_costs, b.restart_best_costs);
   EXPECT_EQ(a.aggregate.initial_cost, b.aggregate.initial_cost);
   EXPECT_EQ(a.aggregate.final_cost, b.aggregate.final_cost);
   EXPECT_EQ(a.aggregate.best_cost, b.aggregate.best_cost);
@@ -128,10 +130,12 @@ TEST(ParallelMultistartTest, MatchesSequentialWithFigure1OnLinArr) {
   const auto nl =
       netlist::gola_test_set(1, netlist::GolaParams{15, 150}, 7)[0];
   const auto g = make_g(GClass::kSixTempAnnealing);
-  Runner runner = [&g](Problem& p, std::uint64_t budget, util::Rng& r) {
+  Runner runner = [&g](Problem& p, std::uint64_t budget, util::Rng& r,
+                       const obs::Recorder& recorder) {
     Figure1Options options;
     options.budget = budget;
     options.invariant_check_interval = 64;
+    options.recorder = &recorder;
     return run_figure1(p, *g, options, r);
   };
   MultistartOptions opts;
@@ -166,9 +170,11 @@ TEST(ParallelMultistartTest, MatchesSequentialWithFigure2OnTsp) {
   util::Rng city_rng{11};
   const auto instance = tsp::TspInstance::random_euclidean(24, city_rng);
   const auto g = make_g(GClass::kMetropolis);
-  Runner runner = [&g](Problem& p, std::uint64_t budget, util::Rng& r) {
+  Runner runner = [&g](Problem& p, std::uint64_t budget, util::Rng& r,
+                       const obs::Recorder& recorder) {
     Figure2Options options;
     options.budget = budget;
+    options.recorder = &recorder;
     return run_figure2(p, *g, options, r);
   };
   MultistartOptions opts;
@@ -232,7 +238,7 @@ TEST(ParallelMultistartTest, EarlyTerminatingRunnerExtendsRestarts) {
   // speculation horizon must keep up and the parallel result must agree
   // with the sequential accounting.
   Runner half_runner = [](Problem& problem, std::uint64_t budget,
-                          util::Rng& rng) {
+                          util::Rng& rng, const obs::Recorder&) {
     return random_descent(problem, std::min<std::uint64_t>(budget, 50), rng);
   };
   MultistartOptions opts;

@@ -102,7 +102,7 @@ TEST(InvariantLayerTest, MultistartAggregatesInvariantCounts) {
   linarr::LinArrProblem problem{nl, linarr::Arrangement::random(15, rng)};
   const auto g = core::make_g(GClass::kGOne);
   core::Runner runner = [&g](core::Problem& p, std::uint64_t budget,
-                             util::Rng& r) {
+                             util::Rng& r, const obs::Recorder&) {
     core::Figure1Options options;
     options.budget = budget;
     options.invariant_check_interval = 100;

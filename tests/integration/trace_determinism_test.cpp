@@ -1,0 +1,190 @@
+// Traces are part of the bit-reproducibility contract: a traced parallel
+// multistart must emit the same event stream as the sequential loop — the
+// only allowed differences are the `worker` stamps and kWorkerSteal events
+// (obs/event.hpp) — and attaching tracing must not perturb the results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/figure1.hpp"
+#include "core/gfunction.hpp"
+#include "core/multistart.hpp"
+#include "core/parallel.hpp"
+#include "linarr/problem.hpp"
+#include "netlist/generator.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace mcopt {
+namespace {
+
+constexpr std::uint64_t kSeed = 604;
+
+netlist::Netlist test_netlist() {
+  util::Rng rng{util::derive_seed(kSeed, 1)};
+  return netlist::random_gola(netlist::GolaParams{15, 120}, rng);
+}
+
+linarr::LinArrProblem test_problem(const netlist::Netlist& nl) {
+  util::Rng rng{util::derive_seed(kSeed, 2)};
+  return linarr::LinArrProblem{
+      nl, linarr::Arrangement::random(nl.num_cells(), rng)};
+}
+
+core::Runner figure1_runner(const core::GFunction& g) {
+  return [&g](core::Problem& p, std::uint64_t budget, util::Rng& r,
+              const obs::Recorder& recorder) {
+    core::Figure1Options options;
+    options.budget = budget;
+    options.recorder = &recorder;
+    return core::run_figure1(p, g, options, r);
+  };
+}
+
+// Drops worker_steal events and zeroes the worker stamp — the two
+// documented nondeterministic components of a parallel trace.
+std::vector<obs::Event> canonical(const std::vector<obs::Event>& events) {
+  std::vector<obs::Event> out;
+  out.reserve(events.size());
+  for (obs::Event event : events) {
+    if (event.kind == obs::EventKind::kWorkerSteal) continue;
+    event.worker = 0;
+    out.push_back(event);
+  }
+  return out;
+}
+
+bool events_equal(const obs::Event& a, const obs::Event& b) {
+  return a.kind == b.kind && a.reason == b.reason && a.stage == b.stage &&
+         a.run == b.run && a.restart == b.restart && a.worker == b.worker &&
+         a.tick == b.tick && a.cost == b.cost && a.best == b.best;
+}
+
+void expect_same_stream(const std::vector<obs::Event>& a,
+                        const std::vector<obs::Event>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(events_equal(a[i], b[i])) << "streams diverge at event " << i;
+  }
+}
+
+void expect_same_aggregate(const core::MultistartResult& a,
+                           const core::MultistartResult& b) {
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.restart_best_costs, b.restart_best_costs);
+  EXPECT_DOUBLE_EQ(a.aggregate.best_cost, b.aggregate.best_cost);
+  EXPECT_DOUBLE_EQ(a.aggregate.final_cost, b.aggregate.final_cost);
+  EXPECT_EQ(a.aggregate.proposals, b.aggregate.proposals);
+  EXPECT_EQ(a.aggregate.accepts, b.aggregate.accepts);
+  EXPECT_EQ(a.aggregate.ticks, b.aggregate.ticks);
+  EXPECT_EQ(a.aggregate.best_state, b.aggregate.best_state);
+}
+
+core::MultistartResult run_traced(unsigned threads, obs::VectorSink* sink) {
+  const auto nl = test_netlist();
+  auto problem = test_problem(nl);
+  const auto g = core::make_g(core::GClass::kSixTempAnnealing);
+  const auto runner = figure1_runner(*g);
+
+  core::MultistartOptions ms;
+  ms.total_budget = 20'000;
+  ms.budget_per_start = 1'000;
+  obs::Recorder root;
+  if (sink != nullptr) {
+    root = obs::Recorder{sink, /*collect_metrics=*/true, /*trace_sample=*/4};
+    ms.recorder = &root;
+  }
+  util::Rng rng{kSeed + 7};
+  if (threads == 1 && sink == nullptr) {
+    // Exercise the sequential engine for the untraced baseline.
+    core::MultistartResult result =
+        core::multistart(problem, runner, ms, rng);
+    return result;
+  }
+  core::ParallelMultistartOptions options;
+  options.multistart = ms;
+  options.num_threads = threads;
+  return core::parallel_multistart(problem, runner, options, rng);
+}
+
+TEST(TraceDeterminismTest, OneAndEightThreadTracesMatch) {
+  obs::VectorSink t1_sink;
+  const auto t1 = run_traced(1, &t1_sink);
+  obs::VectorSink t8_sink;
+  const auto t8 = run_traced(8, &t8_sink);
+
+  expect_same_aggregate(t1, t8);
+  expect_same_stream(canonical(t1_sink.events()),
+                     canonical(t8_sink.events()));
+  // The streams are already ordered by restart index (the engines drain
+  // shards in index order); double-check rather than assume.
+  const auto events = canonical(t8_sink.events());
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const obs::Event& a, const obs::Event& b) {
+                               return a.restart < b.restart;
+                             }));
+}
+
+TEST(TraceDeterminismTest, TracedEightThreadMatchesUntracedOneThread) {
+  // The headline acceptance criterion: tracing an 8-thread run changes
+  // nothing about the results vs an untraced 1-thread run.
+  const auto untraced = run_traced(1, nullptr);
+  obs::VectorSink sink;
+  const auto traced = run_traced(8, &sink);
+  expect_same_aggregate(untraced, traced);
+  EXPECT_FALSE(untraced.aggregate.metrics.collected);
+  EXPECT_TRUE(traced.aggregate.metrics.collected);
+  EXPECT_FALSE(sink.events().empty());
+}
+
+TEST(TraceDeterminismTest, SequentialAndParallelEnginesEmitSameStream) {
+  obs::VectorSink seq_sink;
+  const auto nl = test_netlist();
+  const auto g = core::make_g(core::GClass::kSixTempAnnealing);
+  const auto runner = figure1_runner(*g);
+
+  core::MultistartOptions ms;
+  ms.total_budget = 12'000;
+  ms.budget_per_start = 800;
+  const obs::Recorder seq_root{&seq_sink, true, /*trace_sample=*/4};
+  ms.recorder = &seq_root;
+  auto seq_problem = test_problem(nl);
+  util::Rng seq_rng{kSeed + 8};
+  const auto seq = core::multistart(seq_problem, runner, ms, seq_rng);
+
+  obs::VectorSink par_sink;
+  const obs::Recorder par_root{&par_sink, true, /*trace_sample=*/4};
+  core::ParallelMultistartOptions par_options;
+  par_options.multistart = ms;
+  par_options.multistart.recorder = &par_root;
+  par_options.num_threads = 4;
+  auto par_problem = test_problem(nl);
+  util::Rng par_rng{kSeed + 8};
+  const auto par =
+      core::parallel_multistart(par_problem, runner, par_options, par_rng);
+
+  expect_same_aggregate(seq, par);
+  expect_same_stream(canonical(seq_sink.events()),
+                     canonical(par_sink.events()));
+  EXPECT_EQ(seq.aggregate.metrics.new_bests, par.aggregate.metrics.new_bests);
+  EXPECT_EQ(seq.aggregate.metrics.trace_events,
+            par.aggregate.metrics.trace_events);
+}
+
+TEST(TraceDeterminismTest, RestartBestCostsReconcileWithRestartEvents) {
+  obs::VectorSink sink;
+  const auto result = run_traced(4, &sink);
+  std::uint64_t restart_begins = 0;
+  for (const obs::Event& event : sink.events()) {
+    if (event.kind == obs::EventKind::kRestartBegin) ++restart_begins;
+  }
+  EXPECT_EQ(restart_begins, result.restarts);
+  ASSERT_EQ(result.restart_best_costs.size(), result.restarts);
+  EXPECT_EQ(*std::min_element(result.restart_best_costs.begin(),
+                              result.restart_best_costs.end()),
+            result.aggregate.best_cost);
+}
+
+}  // namespace
+}  // namespace mcopt

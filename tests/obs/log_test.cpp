@@ -1,0 +1,69 @@
+// obs::log level gating.  These tests capture stderr, so they restore the
+// default level before returning to keep the fixture-free suite order-proof.
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mcopt::obs {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST(LogTest, SetLevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(LogTest, InfoSuppressedAtErrorLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kInfo, "should not appear %d", 1);
+  log(LogLevel::kError, "must appear %d", 2);
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("should not appear"), std::string::npos);
+  EXPECT_NE(captured.find("must appear 2"), std::string::npos);
+}
+
+TEST(LogTest, DebugOnlyAtVerboseLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kDebug, "quiet debug");
+  std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("quiet debug"), std::string::npos);
+
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kDebug, "loud debug");
+  captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("loud debug"), std::string::npos);
+}
+
+TEST(LogTest, FormatsArgumentsAndAppendsNewline) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kInfo, "%s=%d", "answer", 42);
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured, "answer=42\n");
+}
+
+}  // namespace
+}  // namespace mcopt::obs

@@ -1,0 +1,228 @@
+// Recorder semantics: off-by-default no-ops, sampling stride, per-restart
+// derivation, and the metrics it tallies.
+#include "obs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mcopt::obs {
+namespace {
+
+std::vector<EventKind> kinds_of(const std::vector<Event>& events) {
+  std::vector<EventKind> out;
+  out.reserve(events.size());
+  for (const Event& event : events) out.push_back(event.kind);
+  return out;
+}
+
+TEST(RecorderTest, DefaultConstructedIsOffAndInert) {
+  Recorder rec;
+  EXPECT_FALSE(rec.on());
+  EXPECT_FALSE(rec.tracing());
+  EXPECT_FALSE(rec.collecting_metrics());
+
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 6);
+  rec.stage_begin(0, 0, 1.0, 1.0, StageReason::kStart);
+  rec.proposal(0, 1, 2.0, 1.0);
+  rec.accept(0, 1, 2.0, 1.0, true);
+  rec.new_best(0, 1, 1.0);
+  rec.patience_reset();
+  rec.invariant_check(1.0);
+  rec.end_run();
+  EXPECT_FALSE(metrics.collected);
+  EXPECT_TRUE(metrics.stages.empty());
+}
+
+TEST(RecorderTest, MetricsOnlyCollectsWithoutSink) {
+  Recorder rec{nullptr, /*collect_metrics=*/true};
+  EXPECT_TRUE(rec.on());
+  EXPECT_FALSE(rec.tracing());
+  EXPECT_TRUE(rec.collecting_metrics());
+
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 2);
+  rec.stage_begin(0, 0, 10.0, 10.0, StageReason::kStart);
+  rec.proposal(0, 1, 9.0, 10.0);
+  rec.accept(0, 1, 9.0, 10.0, false);
+  rec.new_best(0, 1, 9.0);
+  rec.proposal(0, 2, 11.0, 9.0);
+  rec.reject(0, 2, 11.0, 9.0);
+  rec.end_run();
+
+  EXPECT_TRUE(metrics.collected);
+  EXPECT_EQ(metrics.new_bests, 1u);
+  EXPECT_EQ(metrics.trace_events, 0u);  // nothing traced
+  ASSERT_EQ(metrics.stages.size(), 2u);
+  EXPECT_EQ(metrics.stages[0].proposals, 2u);
+  EXPECT_EQ(metrics.stages[0].accepts, 1u);
+  EXPECT_EQ(metrics.stages[0].rejects, 1u);
+  EXPECT_EQ(metrics.stages[0].new_bests, 1u);
+}
+
+TEST(RecorderTest, TracesTypedEventsInOrder) {
+  VectorSink sink;
+  Recorder rec{&sink};
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 1);
+  rec.restart_begin(10.0);
+  rec.stage_begin(0, 0, 10.0, 10.0, StageReason::kStart);
+  rec.proposal(0, 1, 9.0, 10.0);
+  rec.accept(0, 1, 9.0, 10.0, false);
+  rec.new_best(0, 1, 9.0);
+  rec.end_run();
+
+  EXPECT_EQ(kinds_of(sink.events()),
+            (std::vector<EventKind>{EventKind::kRestartBegin,
+                                    EventKind::kStageBegin,
+                                    EventKind::kProposal, EventKind::kAccept,
+                                    EventKind::kNewBest}));
+  EXPECT_EQ(metrics.trace_events, 5u);
+}
+
+TEST(RecorderTest, SamplingKeepsWholeTrios) {
+  VectorSink sink;
+  Recorder rec{&sink, /*collect_metrics=*/true, /*trace_sample=*/3};
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 1);
+  for (std::uint64_t i = 1; i <= 9; ++i) {
+    rec.proposal(0, i, 5.0, 5.0);
+    if (i % 2 == 0) {
+      rec.accept(0, i, 5.0, 5.0, false);
+    } else {
+      rec.reject(0, i, 5.0, 5.0);
+    }
+  }
+  rec.end_run();
+
+  // Proposals 3, 6, 9 pass the stride; their accept/reject follow along.
+  const auto& events = sink.events();
+  ASSERT_EQ(events.size(), 6u);
+  for (std::size_t i = 0; i < events.size(); i += 2) {
+    EXPECT_EQ(events[i].kind, EventKind::kProposal);
+    EXPECT_EQ(events[i].tick, events[i + 1].tick)
+        << "outcome must ride with its sampled proposal";
+  }
+  // Metrics still count every proposal, not just sampled ones.
+  EXPECT_EQ(metrics.stages[0].proposals, 9u);
+  EXPECT_EQ(metrics.stages[0].accepts, 4u);
+  EXPECT_EQ(metrics.stages[0].rejects, 5u);
+}
+
+TEST(RecorderTest, NewBestAlwaysEmittedEvenWhenSampledOut) {
+  VectorSink sink;
+  Recorder rec{&sink, true, /*trace_sample=*/1000};
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 1);
+  rec.proposal(0, 1, 4.0, 5.0);
+  rec.accept(0, 1, 4.0, 5.0, false);
+  rec.new_best(0, 1, 4.0);
+  rec.end_run();
+  EXPECT_EQ(kinds_of(sink.events()),
+            (std::vector<EventKind>{EventKind::kNewBest}));
+}
+
+TEST(RecorderTest, ForRestartStampsIdentityAndResetsSampling) {
+  VectorSink parent;
+  Recorder root{&parent, true, /*trace_sample=*/2, /*run=*/7};
+  VectorSink shard;
+  Recorder rec = root.for_restart(41, 3, &shard);
+  EXPECT_EQ(rec.run_id(), 7u);
+  EXPECT_EQ(rec.restart_id(), 41u);
+
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 1);
+  rec.worker_steal();
+  rec.restart_begin(3.0);
+  rec.proposal(0, 1, 2.0, 3.0);  // step 1: sampled out (stride 2)
+  rec.proposal(0, 2, 2.5, 3.0);  // step 2: sampled
+  rec.end_run();
+
+  EXPECT_TRUE(parent.events().empty()) << "shard must not leak to parent";
+  const auto& events = shard.events();
+  ASSERT_EQ(events.size(), 3u);
+  for (const Event& event : events) {
+    EXPECT_EQ(event.run, 7u);
+    EXPECT_EQ(event.restart, 41u);
+    EXPECT_EQ(event.worker, 3u);
+  }
+  EXPECT_EQ(events[2].kind, EventKind::kProposal);
+  EXPECT_EQ(events[2].tick, 2u);
+}
+
+TEST(RecorderTest, ForRestartNullShardKeepsParentSink) {
+  VectorSink parent;
+  const Recorder root{&parent};
+  Recorder rec = root.for_restart(5, 0, nullptr);
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 1);
+  rec.restart_begin(1.0);
+  rec.end_run();
+  ASSERT_EQ(parent.events().size(), 1u);
+  EXPECT_EQ(parent.events()[0].restart, 5u);
+}
+
+TEST(RecorderTest, ForRestartFromOffRootStaysOff) {
+  const Recorder root;  // off
+  VectorSink shard;
+  const Recorder rec = root.for_restart(0, 1, &shard);
+  EXPECT_FALSE(rec.on());
+}
+
+TEST(RecorderTest, WithRunRestampsRunId) {
+  VectorSink sink;
+  const Recorder base{&sink};
+  Recorder rec = base.with_run(12);
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 1);
+  rec.restart_begin(0.0);
+  rec.end_run();
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].run, 12u);
+}
+
+TEST(RecorderTest, PatienceAttributedToStageBeingLeft) {
+  Recorder rec{nullptr, true};
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 3);
+  rec.stage_begin(0, 0, 5.0, 5.0, StageReason::kStart);
+  rec.stage_begin(1, 10, 5.0, 5.0, StageReason::kPatience);
+  rec.stage_begin(2, 20, 5.0, 5.0, StageReason::kSlice);
+  rec.end_run();
+  EXPECT_EQ(metrics.stages[0].patience_fires, 1u);
+  EXPECT_EQ(metrics.stages[1].patience_fires, 0u);
+  EXPECT_EQ(metrics.stages[2].patience_fires, 0u);
+}
+
+TEST(RecorderTest, CountersAndTimersAccumulate) {
+  Recorder rec{nullptr, true};
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 1);
+  rec.patience_reset();
+  rec.patience_reset();
+  rec.descent_ticks(0, 25);
+  rec.invariant_check(0.5);
+  rec.invariant_check(0.25);
+  rec.end_run();
+  EXPECT_EQ(metrics.patience_resets, 2u);
+  EXPECT_EQ(metrics.stages[0].ticks, 25u);
+  EXPECT_EQ(metrics.invariant_checks, 2u);
+  EXPECT_DOUBLE_EQ(metrics.invariant_seconds, 0.75);
+  EXPECT_GE(metrics.wall_seconds, 0.0);
+}
+
+TEST(RecorderTest, StageVectorGrowsOnDemand) {
+  Recorder rec{nullptr, true};
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 1);
+  rec.proposal(4, 1, 1.0, 1.0);
+  rec.end_run();
+  ASSERT_EQ(metrics.stages.size(), 5u);
+  EXPECT_EQ(metrics.stages[4].proposals, 1u);
+}
+
+}  // namespace
+}  // namespace mcopt::obs

@@ -1,0 +1,149 @@
+// Sinks and the JSONL schema.  The golden-line tests below pin THE
+// interchange format consumed by tools/trace_report.py — a change that
+// breaks them must update the tool (and its --validate mode) in the same
+// commit.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mcopt::obs {
+namespace {
+
+Event make_event(EventKind kind, std::uint64_t tick) {
+  Event event;
+  event.kind = kind;
+  event.tick = tick;
+  return event;
+}
+
+TEST(EventTest, KindNamesAreStable) {
+  EXPECT_STREQ(event_kind_name(EventKind::kStageBegin), "stage_begin");
+  EXPECT_STREQ(event_kind_name(EventKind::kProposal), "proposal_sampled");
+  EXPECT_STREQ(event_kind_name(EventKind::kAccept), "accept");
+  EXPECT_STREQ(event_kind_name(EventKind::kReject), "reject");
+  EXPECT_STREQ(event_kind_name(EventKind::kRestartBegin), "restart_begin");
+  EXPECT_STREQ(event_kind_name(EventKind::kNewBest), "new_best");
+  EXPECT_STREQ(event_kind_name(EventKind::kWorkerSteal), "worker_steal");
+}
+
+TEST(EventTest, ReasonNamesAreStable) {
+  EXPECT_STREQ(stage_reason_name(StageReason::kNone), "none");
+  EXPECT_STREQ(stage_reason_name(StageReason::kStart), "start");
+  EXPECT_STREQ(stage_reason_name(StageReason::kSlice), "slice");
+  EXPECT_STREQ(stage_reason_name(StageReason::kPatience), "patience");
+  EXPECT_STREQ(stage_reason_name(StageReason::kEquilibrium), "equilibrium");
+}
+
+TEST(EventTest, GoldenJsonlLine) {
+  Event event;
+  event.kind = EventKind::kAccept;
+  event.run = 3;
+  event.restart = 14;
+  event.worker = 2;
+  event.tick = 1234;
+  event.stage = 5;
+  event.cost = 71.0;
+  event.best = 68.5;
+  std::string out;
+  append_jsonl(event, out);
+  EXPECT_EQ(out,
+            "{\"event\":\"accept\",\"run\":3,\"restart\":14,\"worker\":2,"
+            "\"tick\":1234,\"stage\":5,\"cost\":71,\"best\":68.5}\n");
+}
+
+TEST(EventTest, GoldenJsonlStageBeginCarriesReason) {
+  Event event;
+  event.kind = EventKind::kStageBegin;
+  event.reason = StageReason::kPatience;
+  event.stage = 2;
+  event.cost = 80.0;
+  event.best = 72.0;
+  std::string out;
+  append_jsonl(event, out);
+  EXPECT_EQ(out,
+            "{\"event\":\"stage_begin\",\"run\":0,\"restart\":0,\"worker\":0,"
+            "\"tick\":0,\"stage\":2,\"cost\":80,\"best\":72,"
+            "\"reason\":\"patience\"}\n");
+}
+
+TEST(EventTest, JsonlDoublesRoundTrip) {
+  Event event;
+  event.cost = 0.1;  // not exactly representable; %.17g must round-trip
+  event.best = 1.0 / 3.0;
+  std::string out;
+  append_jsonl(event, out);
+  EXPECT_NE(out.find("0.10000000000000001"), std::string::npos) << out;
+}
+
+TEST(VectorSinkTest, CollectsAndTakes) {
+  VectorSink sink;
+  sink.write(make_event(EventKind::kProposal, 1));
+  sink.write(make_event(EventKind::kAccept, 2));
+  ASSERT_EQ(sink.events().size(), 2u);
+  const auto taken = sink.take();
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[1].tick, 2u);
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(RingBufferSinkTest, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBufferSink{0}, std::invalid_argument);
+}
+
+TEST(RingBufferSinkTest, KeepsMostRecentOldestFirst) {
+  RingBufferSink sink{3};
+  for (std::uint64_t tick = 1; tick <= 5; ++tick) {
+    sink.write(make_event(EventKind::kProposal, tick));
+  }
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].tick, 3u);
+  EXPECT_EQ(events[1].tick, 4u);
+  EXPECT_EQ(events[2].tick, 5u);
+}
+
+TEST(RingBufferSinkTest, PartialFillSnapshotsInOrder) {
+  RingBufferSink sink{8};
+  sink.write(make_event(EventKind::kProposal, 10));
+  sink.write(make_event(EventKind::kProposal, 11));
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].tick, 10u);
+  EXPECT_EQ(events[1].tick, 11u);
+}
+
+TEST(JsonlFileSinkTest, WritesOneLinePerEventOnFlush) {
+  std::ostringstream out;
+  JsonlFileSink sink{out};
+  sink.write(make_event(EventKind::kProposal, 1));
+  sink.write(make_event(EventKind::kReject, 2));
+  sink.flush();
+  EXPECT_EQ(sink.written(), 2u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"proposal_sampled\""), std::string::npos);
+  EXPECT_NE(text.find("\"reject\""), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(JsonlFileSinkTest, DestructorFlushes) {
+  std::ostringstream out;
+  {
+    JsonlFileSink sink{out};
+    sink.write(make_event(EventKind::kNewBest, 7));
+  }
+  EXPECT_NE(out.str().find("\"new_best\""), std::string::npos);
+}
+
+TEST(JsonlFileSinkTest, BadPathThrows) {
+  EXPECT_THROW(JsonlFileSink{"/nonexistent-dir-for-mcopt/trace.jsonl"},
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcopt::obs

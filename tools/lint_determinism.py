@@ -108,7 +108,20 @@ RULES = {
         "thread_local Rng state is seeded per OS thread, so results depend on "
         "thread scheduling; derive per-work-item streams with util::Rng::split",
     ),
+    "raw-stderr": (
+        re.compile(
+            r"\bstd\s*::\s*cerr\b|"
+            r"\b(?:std\s*::\s*)?v?fprintf\s*\(\s*stderr\b|"
+            r"\b(?:std\s*::\s*)?fput[sc]\s*\([^;)]*\bstderr\b"
+        ),
+        "raw stderr writes in src/ bypass the obs::log level control; route "
+        "diagnostics through obs::log (obs/log.hpp)",
+    ),
 }
+
+# Rules that only apply under these top-level directories (library code must
+# log through obs::log; drivers and tests may still print directly).
+SCOPED_RULES = {"raw-stderr": {"src"}}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -210,6 +223,9 @@ def lint_file(path: pathlib.Path) -> list[str]:
         for rule, (pattern, explanation) in RULES.items():
             if rule in allows:
                 continue
+            scope = SCOPED_RULES.get(rule)
+            if scope is not None and scope.isdisjoint(path.parts):
+                continue
             if pattern.search(line):
                 violations.append(
                     f"{path}:{lineno}: [{rule}] {explanation}\n"
@@ -264,6 +280,7 @@ SELF_TEST_SNIPPETS = {
     "thread-sleep": "std::this_thread::sleep_for(std::chrono::seconds(1));",
     "std-async": "auto f = std::async(work);",
     "thread-local-rng": "thread_local util::Rng rng{42};",
+    "raw-stderr": 'std::cerr << "chatter";',
 }
 
 SELF_TEST_CLEAN = """\
@@ -281,12 +298,24 @@ def self_test() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         tmpdir = pathlib.Path(tmp)
         for rule, snippet in SELF_TEST_SNIPPETS.items():
-            path = tmpdir / f"{rule}.cpp"
+            scope = SCOPED_RULES.get(rule)
+            rule_dir = tmpdir / sorted(scope)[0] if scope else tmpdir
+            rule_dir.mkdir(exist_ok=True)
+            path = rule_dir / f"{rule}.cpp"
             path.write_text(snippet + "\n", encoding="utf-8")
             violations = lint_file(path)
             if not any(f"[{rule}]" in v for v in violations):
                 failures.append(f"rule '{rule}' missed: {snippet!r}")
             path.unlink()
+            if scope:
+                # The same construct outside the scoped directories is legal.
+                outside = tmpdir / f"{rule}-outside.cpp"
+                outside.write_text(snippet + "\n", encoding="utf-8")
+                if any(f"[{rule}]" in v for v in lint_file(outside)):
+                    failures.append(
+                        f"scoped rule '{rule}' fired outside {sorted(scope)}"
+                    )
+                outside.unlink()
         clean = tmpdir / "clean.cpp"
         clean.write_text(SELF_TEST_CLEAN, encoding="utf-8")
         violations = lint_file(clean)

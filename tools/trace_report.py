@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Offline reporting and validation for mcopt JSONL traces.
+
+The bench drivers (``--trace FILE``) and the obs::JsonlFileSink emit one
+event per line with a fixed key order::
+
+    {"event":"accept","run":0,"restart":3,"worker":1,"tick":412,
+     "stage":2,"cost":71,"best":68}
+
+``stage_begin`` events carry an extra ``"reason"`` key.  Two consumers live
+here:
+
+* the default report: an acceptance-rate-vs-stage table, a cost-vs-tick
+  table (progress of the sampled proposal stream over the run), and a
+  restart / new-best summary — the §4 analysis loops of the paper, driven
+  from a trace instead of a rerun;
+* ``--validate``: a strict schema check of every line, used by CI on a
+  traced smoke workload.  Exit status 1 on the first malformed file.
+
+Determinism contract (see src/obs/event.hpp): every field except
+``worker`` — and ``worker_steal`` events entirely — is a pure function of
+the seed.  Cross-thread-count comparisons must ignore both; ``--validate``
+checks shape, not worker placement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+EVENT_KINDS = {
+    "stage_begin",
+    "proposal_sampled",
+    "accept",
+    "reject",
+    "restart_begin",
+    "new_best",
+    "worker_steal",
+}
+
+STAGE_REASONS = {"start", "slice", "patience", "equilibrium"}
+
+REQUIRED_KEYS = ("event", "run", "restart", "worker", "tick", "stage",
+                 "cost", "best")
+
+INT_KEYS = ("run", "restart", "worker", "tick", "stage")
+NUM_KEYS = ("cost", "best")
+
+
+def validate_line(lineno: int, line: str) -> list[str]:
+    """Returns the schema violations for one JSONL line (empty if clean)."""
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as err:
+        return [f"line {lineno}: not valid JSON: {err}"]
+    if not isinstance(event, dict):
+        return [f"line {lineno}: not a JSON object"]
+    errors = []
+    for key in REQUIRED_KEYS:
+        if key not in event:
+            errors.append(f"line {lineno}: missing key '{key}'")
+    kind = event.get("event")
+    if kind is not None and kind not in EVENT_KINDS:
+        errors.append(f"line {lineno}: unknown event kind '{kind}'")
+    for key in INT_KEYS:
+        value = event.get(key)
+        if value is not None and (isinstance(value, bool)
+                                  or not isinstance(value, int)):
+            errors.append(f"line {lineno}: '{key}' must be an integer, "
+                          f"got {value!r}")
+    for key in NUM_KEYS:
+        value = event.get(key)
+        if value is not None and (isinstance(value, bool)
+                                  or not isinstance(value, (int, float))):
+            errors.append(f"line {lineno}: '{key}' must be a number, "
+                          f"got {value!r}")
+    if kind == "stage_begin":
+        reason = event.get("reason")
+        if reason not in STAGE_REASONS:
+            errors.append(f"line {lineno}: stage_begin reason {reason!r} "
+                          f"not in {sorted(STAGE_REASONS)}")
+    elif "reason" in event:
+        errors.append(f"line {lineno}: '{kind}' must not carry 'reason'")
+    extra = set(event) - set(REQUIRED_KEYS) - {"reason"}
+    if extra:
+        errors.append(f"line {lineno}: unexpected keys {sorted(extra)}")
+    return errors
+
+
+def load_events(path: str):
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: not valid JSON: {err}")
+    return events
+
+
+def print_table(headers, rows):
+    widths = [len(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    def fmt(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    print(fmt(headers))
+    print(fmt(["-" * w for w in widths]))
+    for row in str_rows:
+        print(fmt(row))
+    print()
+
+
+def report(path: str, events, buckets: int) -> None:
+    print(f"{path}: {len(events)} events")
+    kinds = defaultdict(int)
+    for event in events:
+        kinds[event["event"]] += 1
+    print("  " + "  ".join(f"{k}={v}" for k, v in sorted(kinds.items())))
+    print()
+
+    # Acceptance rate vs stage, from the sampled accept/reject stream.
+    per_stage = defaultdict(lambda: {"accept": 0, "reject": 0, "begin": 0})
+    for event in events:
+        kind = event["event"]
+        if kind in ("accept", "reject"):
+            per_stage[event["stage"]][kind] += 1
+        elif kind == "stage_begin":
+            per_stage[event["stage"]]["begin"] += 1
+    if per_stage:
+        print("Acceptance rate vs stage (sampled accept/reject events):")
+        rows = []
+        for stage in sorted(per_stage):
+            s = per_stage[stage]
+            decided = s["accept"] + s["reject"]
+            rate = f"{s['accept'] / decided:.3f}" if decided else "-"
+            rows.append([stage, s["begin"], s["accept"], s["reject"], rate])
+        print_table(["stage", "entries", "accepts", "rejects", "rate"], rows)
+
+    # Cost vs tick: bucket the sampled proposal stream over the tick range.
+    proposals = [e for e in events if e["event"] == "proposal_sampled"]
+    if proposals:
+        max_tick = max(e["tick"] for e in proposals)
+        span = max(max_tick, 1)
+        stats = defaultdict(lambda: {"n": 0, "sum": 0.0, "best": float("inf")})
+        for event in proposals:
+            bucket = min((event["tick"] * buckets) // (span + 1), buckets - 1)
+            s = stats[bucket]
+            s["n"] += 1
+            s["sum"] += event["cost"]
+            s["best"] = min(s["best"], event["best"])
+        print("Cost vs tick (sampled proposals, bucketed):")
+        rows = []
+        for bucket in sorted(stats):
+            s = stats[bucket]
+            lo = bucket * span // buckets
+            hi = (bucket + 1) * span // buckets
+            rows.append([f"{lo}..{hi}", s["n"], f"{s['sum'] / s['n']:.2f}",
+                         f"{s['best']:g}"])
+        print_table(["ticks", "samples", "mean cost", "best so far"], rows)
+
+    # Restart / new-best summary per run.
+    runs = defaultdict(lambda: {"restarts": 0, "new_bests": 0,
+                                "best": float("inf"), "steals": 0})
+    for event in events:
+        r = runs[event["run"]]
+        kind = event["event"]
+        if kind == "restart_begin":
+            r["restarts"] += 1
+        elif kind == "new_best":
+            r["new_bests"] += 1
+            r["best"] = min(r["best"], event["best"])
+        elif kind == "worker_steal":
+            r["steals"] += 1
+    if runs:
+        print("Per-run summary:")
+        rows = []
+        for run in sorted(runs):
+            r = runs[run]
+            best = f"{r['best']:g}" if r["best"] != float("inf") else "-"
+            rows.append([run, r["restarts"], r["new_bests"], best,
+                         r["steals"]])
+        print_table(["run", "restarts", "new bests", "final best", "steals"],
+                    rows)
+
+
+def validate(path: str) -> int:
+    errors = []
+    lines = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                errors.append(f"line {lineno}: blank line")
+                continue
+            lines += 1
+            errors.extend(validate_line(lineno, line))
+            if len(errors) >= 20:
+                break
+    if errors:
+        for error in errors[:20]:
+            print(f"{path}: {error}", file=sys.stderr)
+        print(f"{path}: INVALID ({len(errors)}+ schema violation(s))",
+              file=sys.stderr)
+        return 1
+    print(f"{path}: OK ({lines} events, schema valid)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="+", help="JSONL trace file(s)")
+    parser.add_argument("--validate", action="store_true",
+                        help="strict schema check; exit 1 on any violation")
+    parser.add_argument("--buckets", type=int, default=10,
+                        help="tick buckets for the cost-vs-tick table")
+    args = parser.parse_args(argv)
+    if args.buckets < 1:
+        parser.error("--buckets must be >= 1")
+    status = 0
+    for path in args.traces:
+        try:
+            if args.validate:
+                status = max(status, validate(path))
+            else:
+                report(path, load_events(path), args.buckets)
+        except OSError as err:
+            print(f"{path}: {err}", file=sys.stderr)
+            status = max(status, 2)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
