@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,6 +20,7 @@
 #include "linarr/goto_heuristic.hpp"
 #include "netlist/generator.hpp"
 #include "obs/log.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/invariant.hpp"
 #include "util/rng.hpp"
@@ -106,9 +108,12 @@ std::uint64_t g_invariant_checks = 0;
 // dead branch per event site and nothing else.
 std::unique_ptr<obs::JsonlFileSink> g_trace_sink;
 obs::Recorder g_recorder;
+obs::Heartbeat g_heartbeat;
 obs::RunMetrics g_metrics_totals;
 std::string g_trace_path;
 std::string g_metrics_path;
+std::string g_profile_path;
+std::string g_prom_path;
 std::uint64_t g_run_counter = 0;
 
 }  // namespace
@@ -139,6 +144,7 @@ std::vector<double> run_method_row(
                                  : obs::Recorder{};
   std::vector<obs::RunMetrics> job_metrics(num_jobs);
   std::vector<std::vector<obs::Event>> job_events(num_jobs);
+  std::atomic<std::size_t> jobs_done{0};
 
   auto run_job = [&](std::size_t job, std::uint64_t worker) {
     const std::size_t b = job / instances.size();
@@ -171,6 +177,8 @@ std::vector<double> run_method_row(
     if (result.metrics.collected) result.metrics.restarts = 1;
     job_metrics[job] = std::move(result.metrics);
     job_events[job] = shard.take();
+    g_heartbeat.tick(jobs_done.fetch_add(1) + 1, num_jobs,
+                     std::nan(""));
   };
 
   const unsigned workers = config.num_threads == 0 ? 1 : config.num_threads;
@@ -209,64 +217,137 @@ std::vector<double> run_method_row(
   return totals;
 }
 
-unsigned parse_driver_flags(int argc, const char* const* argv) {
+std::optional<DriverOptions> parse_driver_options(int argc,
+                                                  const char* const* argv,
+                                                  std::string* error) {
   const util::Args args{argc, argv};
   const auto unknown = args.unknown_flags(
-      {"threads", "trace", "metrics", "trace-sample", "quiet", "verbose"});
-  if (!unknown.empty() || !args.positional().empty()) {
-    obs::log(obs::LogLevel::kError,
-             "usage: %s [--threads N] [--trace FILE] [--metrics FILE] "
-             "[--trace-sample N] [--quiet|--verbose]",
-             args.program().c_str());
-    std::exit(2);
+      {"threads", "trace", "metrics", "metrics-out", "profile-out",
+       "prom-out", "trace-sample", "progress", "quiet", "verbose"});
+  if (!unknown.empty()) {
+    *error = "unknown flag --" + unknown.front();
+    return std::nullopt;
+  }
+  if (!args.positional().empty()) {
+    *error = "unexpected argument '" + args.positional().front() + "'";
+    return std::nullopt;
   }
   if (args.has("quiet") && args.has("verbose")) {
-    obs::log(obs::LogLevel::kError, "%s: --quiet and --verbose conflict",
-             args.program().c_str());
-    std::exit(2);
+    *error = "--quiet and --verbose conflict";
+    return std::nullopt;
   }
-  if (args.has("quiet")) obs::set_log_level(obs::LogLevel::kError);
-  if (args.has("verbose")) obs::set_log_level(obs::LogLevel::kDebug);
 
+  DriverOptions out;
+  out.quiet = args.has("quiet");
+  out.verbose = args.has("verbose");
+
+  // Each numeric flag is validated by name so the error tells the user
+  // exactly which value to fix.
+  auto positive_int = [&](const char* name, long long fallback,
+                          long long* value) {
+    try {
+      *value = args.get_int(name, fallback);
+    } catch (const std::invalid_argument&) {
+      *error = std::string{"--"} + name + " expects an integer (got '" +
+               args.value(name).value_or("") + "')";
+      return false;
+    }
+    if (*value < 1) {
+      *error = std::string{"--"} + name + " must be >= 1 (got " +
+               std::to_string(*value) + ")";
+      return false;
+    }
+    return true;
+  };
   long long threads = 1;
   long long sample = 1;
-  try {
-    threads = args.get_int("threads", 1);
-    sample = args.get_int("trace-sample", 1);
-  } catch (const std::invalid_argument&) {
-    threads = 0;
+  if (!positive_int("threads", 1, &threads)) return std::nullopt;
+  if (!positive_int("trace-sample", 1, &sample)) return std::nullopt;
+  out.threads = static_cast<unsigned>(threads);
+  out.trace_sample = static_cast<std::uint64_t>(sample);
+
+  if (args.has("progress")) {
+    const std::string value = args.value("progress").value_or("");
+    if (value.empty()) {
+      out.progress_interval = 2.0;  // bare --progress
+    } else {
+      try {
+        out.progress_interval = args.get_double("progress", 2.0);
+      } catch (const std::invalid_argument&) {
+        *error = "--progress expects a number of seconds (got '" + value +
+                 "')";
+        return std::nullopt;
+      }
+      if (out.progress_interval <= 0.0) {
+        *error = "--progress interval must be > 0 (got " + value + ")";
+        return std::nullopt;
+      }
+    }
   }
-  if (threads < 1 || sample < 1) {
+
+  out.trace_path = args.get("trace", "");
+  // --metrics is the original spelling; --metrics-out matches the other
+  // exporter flags and wins when both are given.
+  out.metrics_path = args.get("metrics-out", args.get("metrics", ""));
+  out.profile_path = args.get("profile-out", "");
+  out.prom_path = args.get("prom-out", "");
+  return out;
+}
+
+unsigned parse_driver_flags(int argc, const char* const* argv) {
+  // Environment default first; explicit --quiet/--verbose override it.
+  obs::apply_env_log_level();
+  const util::Args args{argc, argv};
+  std::string error;
+  const auto parsed = parse_driver_options(argc, argv, &error);
+  if (!parsed) {
+    obs::log(obs::LogLevel::kError, "%s: %s", args.program().c_str(),
+             error.c_str());
     obs::log(obs::LogLevel::kError,
-             "%s: --threads and --trace-sample must be positive integers",
+             "usage: %s [--threads N] [--trace FILE] [--metrics-out FILE] "
+             "[--profile-out FILE] [--prom-out FILE] [--trace-sample N] "
+             "[--progress [SECS]] [--quiet|--verbose]",
              args.program().c_str());
     std::exit(2);
   }
-  if (threads > 1) {
+  if (parsed->quiet) obs::set_log_level(obs::LogLevel::kError);
+  if (parsed->verbose) obs::set_log_level(obs::LogLevel::kDebug);
+  if (parsed->threads > 1) {
     obs::log(obs::LogLevel::kInfo,
-             "threads=%lld (results are thread-count invariant)", threads);
+             "threads=%u (results are thread-count invariant)",
+             parsed->threads);
   }
 
-  g_trace_path = args.get("trace", "");
-  g_metrics_path = args.get("metrics", "");
+  g_trace_path = parsed->trace_path;
+  g_metrics_path = parsed->metrics_path;
+  g_profile_path = parsed->profile_path;
+  g_prom_path = parsed->prom_path;
   if (!g_trace_path.empty()) {
     try {
       g_trace_sink = std::make_unique<obs::JsonlFileSink>(g_trace_path);
-    } catch (const std::invalid_argument& error) {
+    } catch (const std::invalid_argument& open_error) {
       obs::log(obs::LogLevel::kError, "%s: %s", args.program().c_str(),
-               error.what());
+               open_error.what());
       std::exit(2);
     }
   }
-  const bool collect_metrics = !g_metrics_path.empty();
-  if (g_trace_sink != nullptr || collect_metrics) {
-    g_recorder = obs::Recorder{g_trace_sink.get(), collect_metrics,
-                               static_cast<std::uint64_t>(sample)};
+  if (parsed->progress_interval > 0.0) {
+    g_heartbeat.enable("jobs", parsed->progress_interval);
   }
-  return static_cast<unsigned>(threads);
+  const bool collect_metrics =
+      !g_metrics_path.empty() || !g_prom_path.empty();
+  const bool collect_profile = !g_profile_path.empty();
+  if (g_trace_sink != nullptr || collect_metrics || collect_profile) {
+    g_recorder = obs::Recorder{g_trace_sink.get(), collect_metrics,
+                               parsed->trace_sample, /*run=*/0,
+                               collect_profile};
+  }
+  return parsed->threads;
 }
 
 const obs::Recorder* driver_recorder() { return &g_recorder; }
+
+obs::Heartbeat* driver_heartbeat() { return &g_heartbeat; }
 
 void absorb_run_metrics(const obs::RunMetrics& metrics) {
   g_metrics_totals.merge(metrics);
@@ -289,6 +370,30 @@ void finish_driver_observability() {
       obs::log(obs::LogLevel::kInfo, "%s",
                g_metrics_totals.summary().c_str());
       obs::log(obs::LogLevel::kInfo, "metrics -> %s", g_metrics_path.c_str());
+    }
+  }
+  if (!g_profile_path.empty()) {
+    std::ofstream out{g_profile_path};
+    if (!out) {
+      obs::log(obs::LogLevel::kError, "warning: cannot write %s",
+               g_profile_path.c_str());
+    } else {
+      out << "{\n  \"profile\": " << g_metrics_totals.profile.to_json()
+          << "\n}\n";
+      obs::log(obs::LogLevel::kInfo, "profile -> %s", g_profile_path.c_str());
+    }
+  }
+  if (!g_prom_path.empty()) {
+    std::ofstream out{g_prom_path};
+    if (!out) {
+      obs::log(obs::LogLevel::kError, "warning: cannot write %s",
+               g_prom_path.c_str());
+    } else {
+      obs::MetricsRegistry registry;
+      registry.populate_from_run(g_metrics_totals);
+      out << registry.to_prometheus();
+      obs::log(obs::LogLevel::kInfo, "prometheus metrics (%zu series) -> %s",
+               registry.size(), g_prom_path.c_str());
     }
   }
 }

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "core/tuner.hpp"
 #include "linarr/problem.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/heartbeat.hpp"
 #include "obs/recorder.hpp"
 #include "util/table.hpp"
 
@@ -106,21 +108,48 @@ std::vector<double> run_method_row(const Method& method,
                                    const std::vector<netlist::Netlist>& instances,
                                    const TableRunConfig& config);
 
+/// The observability configuration shared by every table driver.
+struct DriverOptions {
+  unsigned threads = 1;
+  std::uint64_t trace_sample = 1;
+  std::string trace_path;       ///< --trace FILE (JSONL events)
+  std::string metrics_path;     ///< --metrics-out FILE (--metrics alias)
+  std::string profile_path;     ///< --profile-out FILE (profile-tree JSON)
+  std::string prom_path;        ///< --prom-out FILE (Prometheus text)
+  double progress_interval = 0.0;  ///< --progress [SECS]; 0 = off
+  bool quiet = false;
+  bool verbose = false;
+};
+
+/// Side-effect-free parse of the shared driver flags.  Returns nullopt and
+/// fills `*error` with a one-line message (flag name included) on any
+/// unknown flag, conflicting pair, or non-positive numeric value.
+std::optional<DriverOptions> parse_driver_options(int argc,
+                                                  const char* const* argv,
+                                                  std::string* error);
+
 /// Parses the flags shared by every table driver and returns the worker
 /// thread count:
-///   --threads N        worker threads (default 1, must be >= 1)
-///   --trace FILE       JSONL trace of every run (tools/trace_report.py)
-///   --metrics FILE     per-stage metrics summary as JSON
-///   --trace-sample N   keep every Nth proposal/accept/reject trio
+///   --threads N          worker threads (default 1, must be >= 1)
+///   --trace FILE         JSONL trace of every run (tools/trace_report.py)
+///   --metrics-out FILE   merged metrics summary as JSON (--metrics alias)
+///   --profile-out FILE   hierarchical stage-profile tree as JSON
+///   --prom-out FILE      metrics registry, Prometheus text exposition
+///   --trace-sample N     keep every Nth proposal/accept/reject trio
+///   --progress [SECS]    heartbeat lines, at most one per SECS (default 2)
 ///   --quiet / --verbose  log level (errors only / debug)
-/// Installs the recorder returned by driver_recorder() and sets the
-/// obs::log level.  Rejects unknown flags; exits with status 2 on a bad
-/// command line.
+/// Applies MCOPT_LOG_LEVEL first (explicit flags win), installs the
+/// recorder returned by driver_recorder() and sets the obs::log level.
+/// Rejects unknown flags; exits with status 2 on a bad command line.
 unsigned parse_driver_flags(int argc, const char* const* argv);
 
 /// The process-wide recorder configured by parse_driver_flags(); off (and
 /// free) when no observability flag was given.  Never null.
 const obs::Recorder* driver_recorder();
+
+/// The process-wide progress heartbeat; disabled unless --progress was
+/// given.  Never null.  run_method_row() ticks it once per finished job.
+obs::Heartbeat* driver_heartbeat();
 
 /// Merges one run's metrics into the driver totals reported by
 /// finish_driver_observability().  run_method_row() does this itself; call
@@ -128,9 +157,9 @@ const obs::Recorder* driver_recorder();
 /// of extension_tempering).
 void absorb_run_metrics(const obs::RunMetrics& metrics);
 
-/// Flushes the trace sink, writes the --metrics JSON file, and logs a
-/// one-line telemetry summary.  Call once at the end of a driver's main;
-/// no-op when observability is off.
+/// Flushes the trace sink, writes the --metrics-out / --profile-out /
+/// --prom-out files, and logs a one-line telemetry summary.  Call once at
+/// the end of a driver's main; no-op when observability is off.
 void finish_driver_observability();
 
 /// Sum of the starting densities over the instance set for the given start

@@ -1,45 +1,42 @@
-// Observability overhead — proves the Recorder is free when off.
+// Metrics/profiler overhead — extends the obs_overhead <1% contract to the
+// aggregation layer added for the registry work.
 //
-// The contract (src/obs/recorder.hpp): every event method is an inlined
-// `if (off_) return;` in front of an out-of-line slow path, so compiling
-// the instrumentation into the Figure 1 hot loop must cost <1% in
-// proposals/sec when no recorder is installed.  This bench measures that
-// directly against a hand-stripped copy of the same loop
-// (bench/figure1_stripped.hpp, verified bit-identical in its results),
-// then reports the price of each
-// observability tier when it *is* on: metrics only, ring-buffer trace,
-// and sampled JSONL trace.
+// The new instrumentation (proposal-mix counters, uphill-Δ histograms, the
+// hierarchical profiler's scope stack) rides the same Recorder fast path
+// as the trace layer, so the off-path guarantee must not move: compiling
+// it all into the Figure 1 hot loop still costs <1% in proposals/sec when
+// no recorder is installed, measured against the hand-stripped loop in
+// bench/figure1_stripped.hpp.  The driver then prices each new tier when
+// on (metrics + histograms, and metrics + profiler).
 //
-// It also enforces the cross-cutting acceptance criterion of the telemetry
-// work: a traced 8-thread parallel multistart run must be bit-identical in
-// its final results (aggregate counters, best state, per-restart history)
-// to an untraced single-threaded run.
+// It also enforces the registry determinism criterion directly: the
+// deterministic exports (registry JSON, Prometheus exposition, and the
+// wall-free profile tree) of an 8-thread parallel multistart must be
+// byte-identical to the 1-thread run's.
 //
-// Results land in BENCH_obs.json via bench::write_json_report.  Wall-clock
-// numbers are hardware-dependent; the determinism checks are not.
+// Results land in BENCH_metrics.json via bench::write_json_report.
 //
 // Flags: --budget T   ticks per timed run (default 2'000'000)
 //        --reps N     timed repetitions per config, best-of (default 5)
 //        --gate-pct P max allowed off-vs-baseline regression (default 1.0)
+#include <algorithm>
 #include <cstdio>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
-#include "figure1_stripped.hpp"
 #include "core/figure1.hpp"
 #include "core/gfunction.hpp"
 #include "core/multistart.hpp"
 #include "core/parallel.hpp"
+#include "figure1_stripped.hpp"
 #include "linarr/problem.hpp"
 #include "netlist/generator.hpp"
 #include "obs/log.hpp"
 #include "obs/recorder.hpp"
-#include "obs/trace.hpp"
+#include "obs/registry.hpp"
 #include "util/args.hpp"
 #include "util/budget.hpp"
-#include "util/invariant.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -52,6 +49,23 @@ struct ConfigTiming {
   double proposals_per_sec = 0.0;
   double overhead_pct = 0.0;  // vs the stripped baseline
 };
+
+/// The deterministic export bundle compared across thread counts.
+struct Snapshot {
+  std::string registry_json;
+  std::string prometheus;
+  std::string profile_json;
+};
+
+Snapshot export_snapshot(const obs::RunMetrics& metrics) {
+  obs::MetricsRegistry registry;
+  registry.populate_from_run(metrics);
+  Snapshot snap;
+  snap.registry_json = registry.to_json(/*deterministic_only=*/true);
+  snap.prometheus = registry.to_prometheus(/*deterministic_only=*/true);
+  snap.profile_json = metrics.profile.to_json(/*include_wall=*/false);
+  return snap;
+}
 
 }  // namespace
 
@@ -78,7 +92,7 @@ int main(int argc, char** argv) {
   char gate_buf[32];
   std::snprintf(gate_buf, sizeof gate_buf, "%.2f", gate_pct);
   bench::print_header(
-      "Observability overhead — Recorder cost per tier",
+      "Metrics registry / profiler overhead",
       "Figure 1, six-temperature annealing, GOLA 15/150; best-of-reps "
       "timings; off-path gate <" +
           std::string{gate_buf} + "% vs a hand-stripped loop");
@@ -97,8 +111,6 @@ int main(int argc, char** argv) {
         nl, linarr::Arrangement::random(15, start_rng)};
   };
 
-  // Every timed run replays the same seed, so all configs do identical
-  // work and their results must agree bit-for-bit.
   auto timed_run = [&](const core::Figure1Options& options, bool stripped,
                        core::RunResult* out) {
     auto problem = make_problem();
@@ -115,13 +127,10 @@ int main(int argc, char** argv) {
   core::RunResult reference;
   timed_run(base_options, /*stripped=*/true, &reference);
 
-  obs::RingBufferSink ring{65536};
-  std::ostringstream jsonl_out;
-  obs::JsonlFileSink jsonl{jsonl_out};
-  const obs::Recorder metrics_only{nullptr, /*collect_metrics=*/true};
-  const obs::Recorder ring_traced{&ring, /*collect_metrics=*/true};
-  const obs::Recorder jsonl_sampled{&jsonl, /*collect_metrics=*/true,
-                                    /*trace_sample=*/64};
+  const obs::Recorder metrics_hist{nullptr, /*collect_metrics=*/true};
+  const obs::Recorder metrics_profile{nullptr, /*collect_metrics=*/true,
+                                      /*trace_sample=*/1, /*run=*/0,
+                                      /*collect_profile=*/true};
 
   struct Tier {
     const char* name;
@@ -131,9 +140,8 @@ int main(int argc, char** argv) {
   const std::vector<Tier> tiers{
       {"baseline (stripped loop)", true, nullptr},
       {"off (no recorder)", false, nullptr},
-      {"metrics only", false, &metrics_only},
-      {"ring trace 64k + metrics", false, &ring_traced},
-      {"jsonl 1/64 + metrics", false, &jsonl_sampled},
+      {"metrics + histograms", false, &metrics_hist},
+      {"metrics + profiler", false, &metrics_profile},
   };
 
   std::vector<ConfigTiming> timings;
@@ -185,8 +193,8 @@ int main(int argc, char** argv) {
   const double off_overhead = timings[1].overhead_pct;
   const bool gate_ok = off_overhead < gate_pct;
 
-  // Acceptance criterion: traced 8-thread run == untraced 1-thread run in
-  // every final result the engines report.
+  // Registry determinism: the deterministic exports of a profiled 8-thread
+  // parallel multistart must match the 1-thread run byte for byte.
   core::Runner runner = [&g](core::Problem& p, std::uint64_t slice,
                              util::Rng& r, const obs::Recorder& recorder) {
     core::Figure1Options options;
@@ -196,37 +204,32 @@ int main(int argc, char** argv) {
   };
   const std::uint64_t ms_budget = std::min<std::uint64_t>(budget, 200'000);
 
-  auto untraced_problem = make_problem();
-  core::MultistartOptions seq_options;
-  seq_options.total_budget = ms_budget;
-  seq_options.budget_per_start = ms_budget / 50 == 0 ? 1 : ms_budget / 50;
-  util::Rng seq_rng{bench::kSeed + 21};
-  const auto untraced =
-      core::multistart(untraced_problem, runner, seq_options, seq_rng);
+  auto run_multistart = [&](unsigned threads) {
+    auto problem = make_problem();
+    core::ParallelMultistartOptions options;
+    options.multistart.total_budget = ms_budget;
+    options.multistart.budget_per_start =
+        ms_budget / 50 == 0 ? 1 : ms_budget / 50;
+    options.multistart.recorder = &metrics_profile;
+    options.num_threads = threads;
+    util::Rng rng{bench::kSeed + 21};
+    return core::parallel_multistart(problem, runner, options, rng);
+  };
 
-  auto traced_problem = make_problem();
-  obs::VectorSink events;
-  const obs::Recorder root{&events, /*collect_metrics=*/true,
-                           /*trace_sample=*/16};
-  core::ParallelMultistartOptions par_options;
-  par_options.multistart = seq_options;
-  par_options.multistart.recorder = &root;
-  par_options.num_threads = 8;
-  util::Rng par_rng{bench::kSeed + 21};
-  const auto traced =
-      core::parallel_multistart(traced_problem, runner, par_options, par_rng);
-
-  const bool determinism_ok =
-      untraced.restarts == traced.restarts &&
-      untraced.restart_best_costs == traced.restart_best_costs &&
-      bench::stripped_results_match(untraced.aggregate, traced.aggregate);
-  if (!determinism_ok) {
+  const auto t1 = run_multistart(1);
+  const auto t8 = run_multistart(8);
+  const Snapshot snap1 = export_snapshot(t1.aggregate.metrics);
+  const Snapshot snap8 = export_snapshot(t8.aggregate.metrics);
+  const bool snapshots_identical = snap1.registry_json == snap8.registry_json &&
+                                   snap1.prometheus == snap8.prometheus &&
+                                   snap1.profile_json == snap8.profile_json;
+  if (!snapshots_identical) {
     obs::log(obs::LogLevel::kError,
-             "FATAL: traced 8-thread multistart differs from untraced "
-             "1-thread multistart (determinism violation)");
+             "FATAL: 8-thread registry/profile exports differ from 1-thread "
+             "(determinism violation)");
   }
 
-  std::string json = "{\n  \"bench\": \"obs_overhead\",\n";
+  std::string json = "{\n  \"bench\": \"metrics_overhead\",\n";
   json += "  \"seed\": " + std::to_string(bench::kSeed) + ",\n";
   json += "  \"budget\": " + std::to_string(budget) + ",\n";
   json += "  \"reps\": " + std::to_string(reps) + ",\n";
@@ -234,10 +237,8 @@ int main(int argc, char** argv) {
   json += "  \"off_overhead_pct\": " + std::to_string(off_overhead) + ",\n";
   json += std::string{"  \"gate_ok\": "} + (gate_ok ? "true" : "false") +
           ",\n";
-  json += std::string{"  \"traced_parallel_bit_identical\": "} +
-          (determinism_ok ? "true" : "false") + ",\n";
-  json += "  \"trace_events_in_parallel_check\": " +
-          std::to_string(events.events().size()) + ",\n";
+  json += std::string{"  \"registry_snapshots_identical\": "} +
+          (snapshots_identical ? "true" : "false") + ",\n";
   json += "  \"configs\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const ConfigTiming& timing = timings[i];
@@ -251,14 +252,13 @@ int main(int argc, char** argv) {
     json += buf;
   }
   json += "  ]\n}\n";
-  bench::write_json_report("BENCH_obs", json);
+  bench::write_json_report("BENCH_metrics", json);
 
   std::printf(
       "\nOff-path overhead: %.2f%% (gate: <%.2f%%) — %s.\n"
-      "Traced 8-thread multistart vs untraced 1-thread: %s "
-      "(%zu events captured).\n",
+      "8-thread vs 1-thread deterministic registry exports: %s.\n",
       off_overhead, gate_pct, gate_ok ? "PASS" : "FAIL",
-      determinism_ok ? "bit-identical" : "MISMATCH", events.events().size());
-  if (!gate_ok || !determinism_ok) return 1;
+      snapshots_identical ? "byte-identical" : "MISMATCH");
+  if (!gate_ok || !snapshots_identical) return 1;
   return 0;
 }

@@ -28,6 +28,7 @@ RunResult random_descent(Problem& problem, std::uint64_t budget,
 
   obs::Recorder rec = recorder != nullptr ? *recorder : obs::Recorder{};
   rec.begin_run(&result.metrics, 1);
+  obs::ProfileScope profile_scope{rec, "random_descent"};
   rec.stage_begin(0, 0, result.initial_cost, result.best_cost,
                   obs::StageReason::kStart);
 
@@ -37,12 +38,13 @@ RunResult random_descent(Problem& problem, std::uint64_t budget,
     const double h_j = problem.propose(rng);
     work.charge();
     ++result.proposals;
-    rec.proposal(0, work.spent(), h_j, result.best_cost);
+    const double delta = h_j - h_i;
+    rec.proposal(0, work.spent(), h_j, result.best_cost, delta);
     if (h_j < h_i) {
       problem.accept();
       ++result.accepts;
       h_i = h_j;
-      rec.accept(0, work.spent(), h_j, result.best_cost, false);
+      rec.accept(0, work.spent(), h_j, result.best_cost, delta);
       if (h_i < result.best_cost) {
         result.best_cost = h_i;
         problem.snapshot_into(result.best_state);
@@ -55,6 +57,7 @@ RunResult random_descent(Problem& problem, std::uint64_t budget,
   }
   result.ticks = work.spent();
   result.final_cost = problem.cost();
+  profile_scope.add_ticks(result.ticks);
   rec.end_run();
   return result;
 }

@@ -26,6 +26,7 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
   obs::Recorder rec =
       options.recorder != nullptr ? *options.recorder : obs::Recorder{};
   rec.begin_run(&result.metrics, k);
+  obs::ProfileScope profile_scope{rec, "figure1"};
   if (k > 0) {
     rec.stage_begin(0, 0, result.initial_cost, result.best_cost,
                     obs::StageReason::kStart);
@@ -78,7 +79,8 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
     budget.charge();
     ++result.proposals;
     result.ticks = budget.spent();
-    rec.proposal(temp, result.ticks, h_j, result.best_cost);
+    const double delta = h_j - h_i;
+    rec.proposal(temp, result.ticks, h_j, result.best_cost, delta);
 
     // [KIRK83] equilibrium: enough acceptances at this level.
     auto note_accept = [&]() {
@@ -90,7 +92,6 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
       }
     };
 
-    const double delta = h_j - h_i;
     if (delta < 0.0) {
       // Step 3: strict improvement.
       problem.accept();
@@ -99,7 +100,7 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
       h_i = h_j;
       gate_counter = 0;
       reject_counter = 0;
-      rec.accept(temp, result.ticks, h_j, result.best_cost, false);
+      rec.accept(temp, result.ticks, h_j, result.best_cost, delta);
       if (h_i < result.best_cost) {
         result.best_cost = h_i;
         problem.snapshot_into(result.best_state);
@@ -136,7 +137,7 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
       h_i = h_j;
       if (reject_counter > 0) rec.patience_reset();
       reject_counter = 0;
-      rec.accept(temp, result.ticks, h_j, result.best_cost, delta > 0.0);
+      rec.accept(temp, result.ticks, h_j, result.best_cost, delta);
       note_accept();
     } else {
       problem.reject();
@@ -146,6 +147,7 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
   }
 
   result.final_cost = problem.cost();
+  profile_scope.add_ticks(result.ticks);
   rec.end_run();
   return result;
 }

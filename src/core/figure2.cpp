@@ -19,6 +19,7 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
   obs::Recorder rec =
       options.recorder != nullptr ? *options.recorder : obs::Recorder{};
   rec.begin_run(&result.metrics, k);
+  obs::ProfileScope profile_scope{rec, "figure2"};
   if (k > 0) {
     rec.stage_begin(0, 0, result.initial_cost, result.best_cost,
                     obs::StageReason::kStart);
@@ -50,7 +51,11 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
   while (!done && !budget.exhausted() && k > 0) {
     // Step 2: descend to a local optimum (charges the budget internally).
     const std::uint64_t before = budget.spent();
-    problem.descend(budget);
+    {
+      obs::ProfileScope descent_scope{rec, "descent"};
+      problem.descend(budget);
+      descent_scope.add_ticks(budget.spent() - before);
+    }
     const std::uint64_t descended = budget.spent() - before;
     result.descent_steps += descended;
     rec.descent_ticks(temp, descended);
@@ -79,6 +84,7 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
     // Steps 4-5: kick until one is taken (then descend again) or the level
     // sequence / budget runs out.
     bool kicked = false;
+    obs::ProfileScope kick_scope{rec, "kick"};
     while (!kicked && !budget.exhausted()) {
       while (budget.spent() >= budget.slice_end(k, temp) ||
              (options.equilibrium_kicks > 0 &&
@@ -96,14 +102,16 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
       ++kick_counter;
       const double h_j = problem.propose(rng);
       budget.charge();
+      kick_scope.add_ticks(1);
       ++result.proposals;
-      rec.proposal(temp, budget.spent(), h_j, result.best_cost);
+      const double delta = h_j - h_i;
+      rec.proposal(temp, budget.spent(), h_j, result.best_cost, delta);
 
       if (rng.next_double() < g.probability(temp, h_i, h_j)) {
         problem.accept();
         ++result.accepts;
         if (h_j > h_i) ++result.uphill_accepts;
-        rec.accept(temp, budget.spent(), h_j, result.best_cost, h_j > h_i);
+        rec.accept(temp, budget.spent(), h_j, result.best_cost, delta);
         update_best(h_j, budget.spent());
         kicked = true;  // back to Step 2
       } else {
@@ -115,6 +123,7 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
 
   result.ticks = budget.spent();
   result.final_cost = problem.cost();
+  profile_scope.add_ticks(result.ticks);
   rec.end_run();
   return result;
 }

@@ -87,6 +87,12 @@ MultistartResult multistart(Problem& problem, const Runner& runner,
   }
   if (out.aggregate.metrics.collected) {
     out.aggregate.metrics.restarts = out.restarts;
+    if (!out.aggregate.metrics.profile.empty()) {
+      // Same root name as parallel_multistart(), so the exported tree is
+      // byte-identical across engines and thread counts.
+      out.aggregate.metrics.profile.nest_under("multistart", out.restarts,
+                                               out.aggregate.ticks);
+    }
   }
   return out;
 }

@@ -54,6 +54,9 @@ StartResult run_start(Problem& problem, const Runner& runner,
     rec.restart_begin(problem.cost());
   }
   out.run = runner(problem, slice, rng, rec);
+  // Scheduler observation, not simulation state: like the `worker` stamp on
+  // events, worker_steals is excluded from the determinism contract.
+  if (steal && out.run.metrics.collected) out.run.metrics.worker_steals = 1;
   if constexpr (util::kInvariantsEnabled) {
     problem.check_invariants();
   }
@@ -74,6 +77,7 @@ struct SpeculationQueue {
   std::uint64_t consumed = 0;    // next index the reducer will fold
   std::uint64_t limit = 0;       // indices < limit are full-slice starts
   std::uint64_t window = 0;      // backpressure: claim < consumed + window
+  std::uint64_t peak_ready = 0;  // high-water mark of `ready` (metrics)
   bool shutdown = false;
 };
 
@@ -141,6 +145,9 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
       {
         std::lock_guard<std::mutex> lock{queue.mu};
         queue.ready.emplace(index, std::move(result));
+        if (queue.ready.size() > queue.peak_ready) {
+          queue.peak_ready = queue.ready.size();
+        }
       }
       queue.ready_cv.notify_one();
     }
@@ -241,6 +248,15 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
   for (auto& thread : pool) thread.join();
   if (out.aggregate.metrics.collected) {
     out.aggregate.metrics.restarts = out.restarts;
+    if (queue.peak_ready > out.aggregate.metrics.queue_peak) {
+      out.aggregate.metrics.queue_peak = queue.peak_ready;
+    }
+    if (!out.aggregate.metrics.profile.empty()) {
+      // Same root name as the sequential multistart(), so the deterministic
+      // tree export is byte-identical across engines and thread counts.
+      out.aggregate.metrics.profile.nest_under("multistart", out.restarts,
+                                               out.aggregate.ticks);
+    }
   }
 
   // Leave the caller's problem where the sequential loop would have: at the

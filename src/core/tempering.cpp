@@ -48,6 +48,7 @@ TemperingResult parallel_tempering(
       options.recorder != nullptr ? *options.recorder : obs::Recorder{};
   rec.begin_run(&out.aggregate.metrics, num_replicas,
                 /*stage_walls=*/false);
+  obs::ProfileScope profile_scope{rec, "tempering"};
   for (std::size_t r = 0; r < num_replicas; ++r) {
     rec.stage_begin(static_cast<std::uint32_t>(r), 0, h[r],
                     out.aggregate.best_cost, obs::StageReason::kStart);
@@ -67,26 +68,31 @@ TemperingResult parallel_tempering(
   std::uint64_t next_invariant_check = 0;
   while (!budget.exhausted()) {
     // One proposal per replica, hottest to coldest.
-    for (std::size_t r = 0; r < num_replicas && !budget.exhausted(); ++r) {
-      const double h_j = replicas[r]->propose(rng);
-      budget.charge();
-      ++out.aggregate.proposals;
-      const auto stage = static_cast<std::uint32_t>(r);
-      rec.proposal(stage, budget.spent(), h_j, out.aggregate.best_cost);
-      const double delta = h_j - h[r];
-      const bool take =
-          delta <= 0.0 || rng.next_double() < std::exp(-delta / ys[r]);
-      if (take) {
-        replicas[r]->accept();
-        ++out.aggregate.accepts;
-        if (delta > 0.0) ++out.aggregate.uphill_accepts;
-        rec.accept(stage, budget.spent(), h_j, out.aggregate.best_cost,
-                   delta > 0.0);
-        h[r] = h_j;
-        update_best(r);
-      } else {
-        replicas[r]->reject();
-        rec.reject(stage, budget.spent(), h_j, out.aggregate.best_cost);
+    {
+      obs::ProfileScope sweep_scope{rec, "sweep"};
+      for (std::size_t r = 0; r < num_replicas && !budget.exhausted(); ++r) {
+        const double h_j = replicas[r]->propose(rng);
+        budget.charge();
+        sweep_scope.add_ticks(1);
+        ++out.aggregate.proposals;
+        const auto stage = static_cast<std::uint32_t>(r);
+        const double delta = h_j - h[r];
+        rec.proposal(stage, budget.spent(), h_j, out.aggregate.best_cost,
+                     delta);
+        const bool take =
+            delta <= 0.0 || rng.next_double() < std::exp(-delta / ys[r]);
+        if (take) {
+          replicas[r]->accept();
+          ++out.aggregate.accepts;
+          if (delta > 0.0) ++out.aggregate.uphill_accepts;
+          rec.accept(stage, budget.spent(), h_j, out.aggregate.best_cost,
+                     delta);
+          h[r] = h_j;
+          update_best(r);
+        } else {
+          replicas[r]->reject();
+          rec.reject(stage, budget.spent(), h_j, out.aggregate.best_cost);
+        }
       }
     }
 
@@ -114,6 +120,7 @@ TemperingResult parallel_tempering(
 
     // Swap phase: adjacent pairs, alternating parity per phase so every
     // boundary is exercised.
+    obs::ProfileScope swap_scope{rec, "swap"};
     const std::size_t start = (cycles / options.sweep) % 2;
     for (std::size_t r = start; r + 1 < num_replicas; r += 2) {
       ++out.swap_attempts;
@@ -135,6 +142,7 @@ TemperingResult parallel_tempering(
   }
   out.aggregate.final_cost = h[final_best];
   out.aggregate.ticks = budget.spent();
+  profile_scope.add_ticks(out.aggregate.ticks);
   rec.end_run();
   return out;
 }

@@ -1,0 +1,59 @@
+#include "obs/heartbeat.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/log.hpp"
+
+namespace mcopt::obs {
+
+std::string format_progress_line(std::uint64_t done, std::uint64_t total,
+                                 const char* unit, double best,
+                                 double elapsed_seconds) {
+  const double pct =
+      total == 0 ? 100.0
+                 : 100.0 * static_cast<double>(done) / static_cast<double>(total);
+  char buf[160];
+  int n;
+  if (std::isnan(best)) {
+    n = std::snprintf(buf, sizeof buf, "[progress] %llu/%llu %s (%.1f%%)",
+                      static_cast<unsigned long long>(done),
+                      static_cast<unsigned long long>(total), unit, pct);
+  } else {
+    n = std::snprintf(buf, sizeof buf,
+                      "[progress] %llu/%llu %s (%.1f%%) best=%g",
+                      static_cast<unsigned long long>(done),
+                      static_cast<unsigned long long>(total), unit, pct, best);
+  }
+  std::string out(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+  if (elapsed_seconds > 0.0 && done > 0) {
+    const double rate = static_cast<double>(done) / elapsed_seconds;
+    if (total > done) {
+      const double eta = static_cast<double>(total - done) / rate;
+      n = std::snprintf(buf, sizeof buf, " [%.1f/s, eta %.0fs]", rate, eta);
+    } else {
+      n = std::snprintf(buf, sizeof buf, " [%.1f/s]", rate);
+    }
+    out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+  }
+  return out;
+}
+
+void Heartbeat::tick(std::uint64_t done, std::uint64_t total, double best) {
+  if (!enabled_) return;
+  std::string line;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool final_tick = total != 0 && done >= total;
+    const bool due =
+        !printed_any_ || interval_ <= 0.0 || since_last_.seconds() >= interval_;
+    if (!due && !final_tick) return;
+    printed_any_ = true;
+    since_last_.reset();
+    line = format_progress_line(done, total, unit_, best,
+                                since_start_.seconds());
+  }
+  log(LogLevel::kInfo, "%s", line.c_str());
+}
+
+}  // namespace mcopt::obs

@@ -1,0 +1,66 @@
+// Interval-gated progress heartbeat for long bench runs.
+//
+// Purely cosmetic: a Heartbeat prints "[progress] 37/100 restarts (37.0%)
+// best=60" lines through obs::log at most once per interval, so an
+// 8-thread sweep doesn't scroll thousands of lines.  It never touches the
+// deterministic state — drivers only enable it behind --progress, and the
+// output goes to stderr at kInfo like every other human-facing message.
+//
+// Thread-safety: tick() may be called from pool workers; a mutex guards
+// the interval gate.  The line formatting is a pure free function so tests
+// can pin the format without clocks.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/budget.hpp"
+
+namespace mcopt::obs {
+
+/// "[progress] DONE/TOTAL UNIT (PCT%) best=BEST [RATE/s, eta ETAs]".
+/// `best` is omitted when NaN; the rate/ETA tail needs `elapsed_seconds`
+/// > 0 and `done` > 0 (ETA additionally needs a nonzero total).  Pure —
+/// the caller supplies the clock reading, so tests can pin the format.
+[[nodiscard]] std::string format_progress_line(std::uint64_t done,
+                                               std::uint64_t total,
+                                               const char* unit, double best,
+                                               double elapsed_seconds = 0.0);
+
+class Heartbeat {
+ public:
+  /// Disabled: tick() is a no-op.  (The mutex makes Heartbeat immovable,
+  /// so process-wide instances start disabled and call enable().)
+  Heartbeat() = default;
+
+  /// Emits at most one line per `interval_seconds` (values <= 0 enable
+  /// every tick; useful in tests).
+  explicit Heartbeat(const char* unit, double interval_seconds) {
+    enable(unit, interval_seconds);
+  }
+
+  void enable(const char* unit, double interval_seconds) {
+    unit_ = unit;
+    interval_ = interval_seconds;
+    enabled_ = true;
+    since_start_.reset();
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Reports progress; prints when the interval has elapsed (and always
+  /// for the final tick where done == total).  Safe from any thread.
+  void tick(std::uint64_t done, std::uint64_t total, double best);
+
+ private:
+  bool enabled_ = false;
+  const char* unit_ = "items";
+  double interval_ = 1.0;
+  std::mutex mu_;
+  util::Stopwatch since_last_;
+  util::Stopwatch since_start_;  ///< drives the rate / ETA estimate
+  bool printed_any_ = false;
+};
+
+}  // namespace mcopt::obs

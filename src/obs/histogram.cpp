@@ -1,0 +1,66 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace mcopt::obs {
+
+std::uint64_t LogHistogram::bucket_bound(std::size_t i) noexcept {
+  if (i + 1 >= kNumBuckets) return 0;  // overflow bucket: no finite bound
+  return std::uint64_t{1} << i;
+}
+
+std::size_t LogHistogram::bucket_index(double value) noexcept {
+  if (value < 1.0) return 0;  // negatives and [0,1) share bucket 0
+  // Integer bit-scan keeps the boundaries exact: values in [2^(k-1), 2^k)
+  // have floor(value) with bit width k and land in bucket k.
+  const double capped =
+      value >= 9.007199254740992e15 ? 9.007199254740992e15 : value;
+  const auto floored = static_cast<std::uint64_t>(capped);
+  const auto width = static_cast<std::size_t>(std::bit_width(floored));
+  return width < kNumBuckets - 1 ? width : kNumBuckets - 1;
+}
+
+void LogHistogram::record(double value) noexcept {
+  ++buckets_[bucket_index(value)];
+  ++count_;
+  sum_ += value < 0.0 ? 0.0 : value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t LogHistogram::cumulative(std::size_t i) const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < kNumBuckets; ++b) total += buckets_[b];
+  return total;
+}
+
+void LogHistogram::append_json(std::string& out) const {
+  char buf[64];
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] != 0) last = i;
+  }
+  std::snprintf(buf, sizeof buf, "{\"count\": %llu, \"sum\": %.17g, ",
+                static_cast<unsigned long long>(count_), sum_);
+  out += buf;
+  out += "\"buckets\": [";
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i <= last && i + 1 < kNumBuckets; ++i) {
+    if (count_ == 0) break;
+    running += buckets_[i];
+    std::snprintf(buf, sizeof buf, "{\"le\": %llu, \"count\": %llu}, ",
+                  static_cast<unsigned long long>(bucket_bound(i)),
+                  static_cast<unsigned long long>(running));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "{\"le\": \"+Inf\", \"count\": %llu}]}",
+                static_cast<unsigned long long>(count_));
+  out += buf;
+}
+
+}  // namespace mcopt::obs

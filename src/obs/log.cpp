@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace mcopt::obs {
 
@@ -17,6 +19,21 @@ void set_log_level(LogLevel level) noexcept {
 
 LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool apply_env_log_level() {
+  const char* value = std::getenv("MCOPT_LOG_LEVEL");
+  if (value == nullptr || *value == '\0') return false;
+  if (std::strcmp(value, "error") == 0 || std::strcmp(value, "0") == 0) {
+    set_log_level(LogLevel::kError);
+  } else if (std::strcmp(value, "info") == 0 || std::strcmp(value, "1") == 0) {
+    set_log_level(LogLevel::kInfo);
+  } else if (std::strcmp(value, "debug") == 0 || std::strcmp(value, "2") == 0) {
+    set_log_level(LogLevel::kDebug);
+  } else {
+    return false;
+  }
+  return true;
 }
 
 void vlog(LogLevel level, const char* fmt, std::va_list args) {

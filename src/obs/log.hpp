@@ -21,6 +21,13 @@ enum class LogLevel : int {
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
+/// Applies the MCOPT_LOG_LEVEL environment variable ("error"/"info"/
+/// "debug", or "0"/"1"/"2") to the global threshold.  Returns true when
+/// the variable was present and valid; unset or malformed values leave
+/// the threshold untouched.  The bench drivers call this before parsing
+/// flags, so --quiet/--verbose still win over the environment.
+bool apply_env_log_level();
+
 /// printf-style message to stderr, newline appended.  Dropped (cheaply)
 /// when `level` is above the current threshold.
 #if defined(__GNUC__) || defined(__clang__)

@@ -46,6 +46,9 @@ StageMetrics& StageMetrics::operator+=(const StageMetrics& other) noexcept {
   accepts += other.accepts;
   uphill_accepts += other.uphill_accepts;
   rejects += other.rejects;
+  downhill_proposals += other.downhill_proposals;
+  sideways_proposals += other.sideways_proposals;
+  uphill_proposals += other.uphill_proposals;
   new_bests += other.new_bests;
   patience_fires += other.patience_fires;
   ticks += other.ticks;
@@ -63,6 +66,12 @@ void RunMetrics::merge(const RunMetrics& other) {
   invariant_checks += other.invariant_checks;
   invariant_seconds += other.invariant_seconds;
   wall_seconds += other.wall_seconds;
+  worker_steals += other.worker_steals;
+  // Peak depth is a max, not a sum: shards observe the same shared queue.
+  if (other.queue_peak > queue_peak) queue_peak = other.queue_peak;
+  uphill_delta_proposed.merge(other.uphill_delta_proposed);
+  uphill_delta_accepted.merge(other.uphill_delta_accepted);
+  profile.merge(other.profile);
   if (stages.size() < other.stages.size()) stages.resize(other.stages.size());
   for (std::size_t i = 0; i < other.stages.size(); ++i) {
     stages[i] += other.stages[i];
@@ -81,7 +90,14 @@ std::string RunMetrics::to_json() const {
   append_field("trace_events", trace_events, "  ", out);
   append_field("invariant_checks", invariant_checks, "  ", out);
   append_field("invariant_seconds", invariant_seconds, "  ", out);
+  append_field("worker_steals", worker_steals, "  ", out);
+  append_field("queue_peak", queue_peak, "  ", out);
   append_field("wall_seconds", wall_seconds, "  ", out);
+  out += "  \"uphill_delta_proposed\": ";
+  uphill_delta_proposed.append_json(out);
+  out += ",\n  \"uphill_delta_accepted\": ";
+  uphill_delta_accepted.append_json(out);
+  out += ",\n";
   out += "  \"stages\": [";
   for (std::size_t i = 0; i < stages.size(); ++i) {
     const StageMetrics& s = stages[i];
@@ -92,6 +108,9 @@ std::string RunMetrics::to_json() const {
     append_field("accepts", s.accepts, "      ", out);
     append_field("uphill_accepts", s.uphill_accepts, "      ", out);
     append_field("rejects", s.rejects, "      ", out);
+    append_field("downhill_proposals", s.downhill_proposals, "      ", out);
+    append_field("sideways_proposals", s.sideways_proposals, "      ", out);
+    append_field("uphill_proposals", s.uphill_proposals, "      ", out);
     append_field("new_bests", s.new_bests, "      ", out);
     append_field("patience_fires", s.patience_fires, "      ", out);
     append_field("ticks", s.ticks, "      ", out);
@@ -99,8 +118,10 @@ std::string RunMetrics::to_json() const {
     append_field("wall_seconds", s.wall_seconds, "      ", out, false);
     out += "    }";
   }
-  out += stages.empty() ? "]\n" : "\n  ]\n";
-  out += "}\n";
+  out += stages.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"profile\": ";
+  out += profile.to_json();
+  out += "\n}\n";
   return out;
 }
 

@@ -19,6 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
+
 namespace mcopt::obs {
 
 /// Tallies for one temperature level (one replica, for tempering).
@@ -27,6 +30,9 @@ struct StageMetrics {
   std::uint64_t accepts = 0;         ///< committed
   std::uint64_t uphill_accepts = 0;  ///< committed with a cost increase
   std::uint64_t rejects = 0;         ///< discarded
+  std::uint64_t downhill_proposals = 0;  ///< proposal mix: Δcost < 0
+  std::uint64_t sideways_proposals = 0;  ///< proposal mix: Δcost == 0
+  std::uint64_t uphill_proposals = 0;    ///< proposal mix: Δcost > 0
   std::uint64_t new_bests = 0;       ///< best-so-far improvements
   std::uint64_t patience_fires = 0;  ///< Step 4 counter advanced OUT of here
   std::uint64_t ticks = 0;           ///< budget ticks charged at this level
@@ -53,6 +59,16 @@ struct RunMetrics {
   std::uint64_t invariant_checks = 0; ///< deep verifications timed below
   double invariant_seconds = 0.0;     ///< wall time inside check_invariants()
   double wall_seconds = 0.0;          ///< wall time of the run(s)
+  /// Parallel-engine scheduling behaviour.  Like `worker` stamps on events,
+  /// these are deliberately nondeterministic (they observe the scheduler)
+  /// and are excluded from the registry's deterministic exports.
+  std::uint64_t worker_steals = 0;    ///< restarts claimed by pool workers
+  std::uint64_t queue_peak = 0;       ///< max speculation-queue depth (max-merged)
+  /// Uphill Δcost magnitudes, log-bucketed (obs/histogram.hpp): every
+  /// proposed uphill move, and the subset that was accepted.
+  LogHistogram uphill_delta_proposed;
+  LogHistogram uphill_delta_accepted;
+  ProfileTree profile;                ///< hierarchical stage profile, if on
   std::vector<StageMetrics> stages;   ///< indexed by temperature level
 
   /// Element-wise accumulation; stage vectors of different lengths merge by

@@ -3,9 +3,11 @@
 namespace mcopt::obs {
 
 Recorder::Recorder(TraceSink* sink, bool collect_metrics,
-                   std::uint64_t trace_sample, std::uint64_t run)
-    : off_(sink == nullptr && !collect_metrics),
-      metrics_enabled_(collect_metrics),
+                   std::uint64_t trace_sample, std::uint64_t run,
+                   bool collect_profile)
+    : off_(sink == nullptr && !collect_metrics && !collect_profile),
+      metrics_enabled_(collect_metrics || collect_profile),
+      profile_enabled_(collect_profile),
       sink_(sink),
       sample_(trace_sample == 0 ? 1 : trace_sample),
       run_(run) {}
@@ -15,6 +17,7 @@ Recorder Recorder::for_restart(std::uint64_t restart, std::uint64_t worker,
   Recorder out;
   if (off_) return out;  // an off root derives off recorders, shard or not
   out.metrics_enabled_ = metrics_enabled_;
+  out.profile_enabled_ = profile_enabled_;
   out.sink_ = shard_sink != nullptr ? shard_sink : sink_;
   out.off_ = out.sink_ == nullptr && !out.metrics_enabled_;
   out.sample_ = sample_;
@@ -39,12 +42,17 @@ void Recorder::begin_run(RunMetrics* metrics, std::size_t num_stages,
   stage_walls_ = stage_walls;
   have_stage_ = false;
   cur_stage_ = 0;
+  pstack_.clear();
   stage_watch_.reset();
   run_watch_.reset();
 }
 
 void Recorder::end_run() {
   if (off_) return;
+  // Failsafe: scopes still open when the run ends (a ProfileScope outliving
+  // end_run in the runner's epilogue) are closed here; their destructors
+  // then find an empty stack and no-op.
+  while (!pstack_.empty()) profile_exit();
   close_stage_wall();
   if (metrics_ != nullptr) metrics_->wall_seconds += run_watch_.seconds();
   metrics_ = nullptr;
@@ -95,11 +103,19 @@ void Recorder::stage_begin_impl(std::uint32_t stage, std::uint64_t tick,
 }
 
 void Recorder::proposal_impl(std::uint32_t stage, std::uint64_t tick,
-                             double cost, double best) {
+                             double cost, double best, double delta) {
   if (metrics_ != nullptr) {
     StageMetrics& s = stage_slot(stage);
     ++s.proposals;
     ++s.ticks;
+    if (delta < 0.0) {
+      ++s.downhill_proposals;
+    } else if (delta > 0.0) {
+      ++s.uphill_proposals;
+      metrics_->uphill_delta_proposed.record(delta);
+    } else {
+      ++s.sideways_proposals;
+    }
   }
   ++step_;
   sample_live_ = sample_ <= 1 || step_ % sample_ == 0;
@@ -109,11 +125,14 @@ void Recorder::proposal_impl(std::uint32_t stage, std::uint64_t tick,
 }
 
 void Recorder::accept_impl(std::uint32_t stage, std::uint64_t tick,
-                           double cost, double best, bool uphill) {
+                           double cost, double best, double delta) {
   if (metrics_ != nullptr) {
     StageMetrics& s = stage_slot(stage);
     ++s.accepts;
-    if (uphill) ++s.uphill_accepts;
+    if (delta > 0.0) {
+      ++s.uphill_accepts;
+      metrics_->uphill_delta_accepted.record(delta);
+    }
   }
   if (sample_live_) {
     emit(EventKind::kAccept, StageReason::kNone, stage, tick, cost, best);
@@ -158,6 +177,29 @@ void Recorder::invariant_check_impl(double seconds) {
     ++metrics_->invariant_checks;
     metrics_->invariant_seconds += seconds;
   }
+}
+
+bool Recorder::profile_enter_impl(const char* name) {
+  if (metrics_ == nullptr) return false;  // no run bound
+  const std::int32_t parent = pstack_.empty() ? -1 : pstack_.back().node;
+  const std::int32_t node = metrics_->profile.find_or_add(parent, name);
+  ++metrics_->profile.nodes[static_cast<std::size_t>(node)].calls;
+  pstack_.push_back(OpenScope{node, util::Stopwatch{}});
+  return true;
+}
+
+void Recorder::profile_exit() {
+  if (pstack_.empty() || metrics_ == nullptr) return;
+  const OpenScope& top = pstack_.back();
+  metrics_->profile.nodes[static_cast<std::size_t>(top.node)].wall_ns +=
+      top.watch.nanos();
+  pstack_.pop_back();
+}
+
+void Recorder::profile_add_ticks(std::uint64_t n) {
+  if (pstack_.empty() || metrics_ == nullptr) return;
+  metrics_->profile.nodes[static_cast<std::size_t>(pstack_.back().node)]
+      .ticks += n;
 }
 
 }  // namespace mcopt::obs

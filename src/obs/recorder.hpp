@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "obs/event.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/budget.hpp"
 
@@ -33,15 +35,19 @@ class Recorder {
 
   /// On.  `sink` may be null for metrics-only collection; `trace_sample`
   /// keeps every Nth proposal/accept/reject trio (<=1 keeps all); `run` is
-  /// the caller-chosen run id stamped on every event.
+  /// the caller-chosen run id stamped on every event.  `collect_profile`
+  /// turns on the hierarchical stage profiler (implies metrics collection —
+  /// the tree lives inside RunMetrics).
   explicit Recorder(TraceSink* sink, bool collect_metrics = true,
-                    std::uint64_t trace_sample = 1, std::uint64_t run = 0);
+                    std::uint64_t trace_sample = 1, std::uint64_t run = 0,
+                    bool collect_profile = false);
 
   [[nodiscard]] bool on() const noexcept { return !off_; }
   [[nodiscard]] bool tracing() const noexcept { return sink_ != nullptr; }
   [[nodiscard]] bool collecting_metrics() const noexcept {
     return metrics_enabled_;
   }
+  [[nodiscard]] bool profiling() const noexcept { return profile_enabled_; }
   [[nodiscard]] std::uint64_t run_id() const noexcept { return run_; }
   [[nodiscard]] std::uint64_t restart_id() const noexcept { return restart_; }
   /// The sink events are routed to (null when not tracing).  Exposed so
@@ -82,15 +88,18 @@ class Recorder {
     if (off_) return;
     stage_begin_impl(stage, tick, cost, best, reason);
   }
+  /// `delta` is the candidate's cost change (candidate - current); its sign
+  /// drives the proposal-mix counters and its magnitude the uphill
+  /// histograms.  The trace event schema is unchanged.
   void proposal(std::uint32_t stage, std::uint64_t tick, double cost,
-                double best) {
+                double best, double delta) {
     if (off_) return;
-    proposal_impl(stage, tick, cost, best);
+    proposal_impl(stage, tick, cost, best, delta);
   }
   void accept(std::uint32_t stage, std::uint64_t tick, double cost,
-              double best, bool uphill) {
+              double best, double delta) {
     if (off_) return;
-    accept_impl(stage, tick, cost, best, uphill);
+    accept_impl(stage, tick, cost, best, delta);
   }
   void reject(std::uint32_t stage, std::uint64_t tick, double cost,
               double best) {
@@ -127,14 +136,25 @@ class Recorder {
     if (off_) return;
     invariant_check_impl(seconds);
   }
+  // --- profiler hooks (used via ProfileScope / MCOPT_PROFILE_SCOPE).
+
+  /// Opens scope `name` under the current scope.  Returns false (no-op)
+  /// unless profiling is on and a run is bound.
+  bool profile_enter(const char* name) {
+    if (off_ || !profile_enabled_) return false;
+    return profile_enter_impl(name);
+  }
+  void profile_exit();
+  /// Charges deterministic ticks to the innermost open scope.
+  void profile_add_ticks(std::uint64_t n);
 
  private:
   void stage_begin_impl(std::uint32_t stage, std::uint64_t tick, double cost,
                         double best, StageReason reason);
   void proposal_impl(std::uint32_t stage, std::uint64_t tick, double cost,
-                     double best);
+                     double best, double delta);
   void accept_impl(std::uint32_t stage, std::uint64_t tick, double cost,
-                   double best, bool uphill);
+                   double best, double delta);
   void reject_impl(std::uint32_t stage, std::uint64_t tick, double cost,
                    double best);
   void new_best_impl(std::uint32_t stage, std::uint64_t tick, double best);
@@ -143,6 +163,7 @@ class Recorder {
   void patience_reset_impl();
   void descent_ticks_impl(std::uint32_t stage, std::uint64_t n);
   void invariant_check_impl(double seconds);
+  bool profile_enter_impl(const char* name);
 
   /// stages[stage], growing the vector if a runner visits more levels than
   /// begin_run() was told about.
@@ -153,6 +174,7 @@ class Recorder {
 
   bool off_ = true;
   bool metrics_enabled_ = false;
+  bool profile_enabled_ = false;
   TraceSink* sink_ = nullptr;
   std::uint64_t sample_ = 1;
   std::uint64_t run_ = 0;
@@ -168,6 +190,13 @@ class Recorder {
   std::uint32_t cur_stage_ = 0;  // stage whose wall clock is open
   util::Stopwatch stage_watch_;
   util::Stopwatch run_watch_;
+
+  // Open profile scopes, innermost last; end_run() failsafe-closes.
+  struct OpenScope {
+    std::int32_t node;
+    util::Stopwatch watch;
+  };
+  std::vector<OpenScope> pstack_;
 };
 
 }  // namespace mcopt::obs

@@ -1,0 +1,273 @@
+#include "obs/registry.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace mcopt::obs {
+
+namespace {
+
+/// `family{label="x"}` -> `family`; plain names pass through.
+std::string base_name(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void append_u64(std::uint64_t value, std::string& out) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(value));
+  out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+}
+
+void append_double(double value, std::string& out) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", value);
+  out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+/// Prometheus histogram sample block: family_bucket{le=...} lines plus
+/// family_sum / family_count.  `labels` is the metric's own label part
+/// (with braces) or empty.
+void append_prom_histogram(const std::string& family,
+                           const std::string& labels, const LogHistogram& h,
+                           std::string& out) {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i + 1 < LogHistogram::kNumBuckets; ++i) {
+    if (h.bucket(i) != 0) last = i;
+  }
+  const bool extra = !labels.empty();
+  for (std::size_t i = 0; i <= last && i + 1 < LogHistogram::kNumBuckets;
+       ++i) {
+    if (h.empty()) break;
+    out += family;
+    out += "_bucket{";
+    if (extra) {
+      // labels arrives as `{k="v"}`; splice its body before `le`.
+      out.append(labels, 1, labels.size() - 2);
+      out += ",";
+    }
+    out += "le=\"";
+    append_u64(LogHistogram::bucket_bound(i), out);
+    out += "\"} ";
+    append_u64(h.cumulative(i), out);
+    out += "\n";
+  }
+  out += family;
+  out += "_bucket{";
+  if (extra) {
+    out.append(labels, 1, labels.size() - 2);
+    out += ",";
+  }
+  out += "le=\"+Inf\"} ";
+  append_u64(h.count(), out);
+  out += "\n";
+  out += family;
+  out += "_sum";
+  out += labels;
+  out += " ";
+  append_double(h.sum(), out);
+  out += "\n";
+  out += family;
+  out += "_count";
+  out += labels;
+  out += " ";
+  append_u64(h.count(), out);
+  out += "\n";
+}
+
+}  // namespace
+
+Metric& MetricsRegistry::slot(const std::string& name, MetricKind kind,
+                              const char* help, bool deterministic) {
+  Metric& m = metrics_[name];
+  if (m.help.empty() && help != nullptr) m.help = help;
+  m.kind = kind;
+  m.deterministic = m.deterministic && deterministic;
+  return m;
+}
+
+void MetricsRegistry::counter_add(const std::string& name, const char* help,
+                                  std::uint64_t v, bool deterministic) {
+  slot(name, MetricKind::kCounter, help, deterministic).value += v;
+}
+
+void MetricsRegistry::gauge_max(const std::string& name, const char* help,
+                                double v, bool deterministic) {
+  Metric& m = slot(name, MetricKind::kGauge, help, deterministic);
+  if (v > m.gauge) m.gauge = v;
+}
+
+void MetricsRegistry::histogram_merge(const std::string& name,
+                                      const char* help, const LogHistogram& h,
+                                      bool deterministic) {
+  slot(name, MetricKind::kHistogram, help, deterministic).hist.merge(h);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, m] : other.metrics_) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        counter_add(name, m.help.c_str(), m.value, m.deterministic);
+        break;
+      case MetricKind::kGauge:
+        gauge_max(name, m.help.c_str(), m.gauge, m.deterministic);
+        break;
+      case MetricKind::kHistogram:
+        histogram_merge(name, m.help.c_str(), m.hist, m.deterministic);
+        break;
+    }
+  }
+}
+
+const Metric* MetricsRegistry::find(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::populate_from_run(const RunMetrics& m) {
+  counter_add("mcopt_restarts_total", "Multistart restarts folded in",
+              m.restarts);
+  counter_add("mcopt_new_bests_total", "Best-so-far improvements",
+              m.new_bests);
+  counter_add("mcopt_patience_resets_total",
+              "Step 4 reject counters reset by an accept", m.patience_resets);
+  counter_add("mcopt_trace_events_total", "Trace events emitted post-sampling",
+              m.trace_events);
+  counter_add("mcopt_invariant_checks_total", "Deep invariant verifications",
+              m.invariant_checks);
+  gauge_max("mcopt_invariant_seconds", "Wall time inside check_invariants()",
+            m.invariant_seconds, /*deterministic=*/false);
+  gauge_max("mcopt_wall_seconds", "Wall time of the run(s)", m.wall_seconds,
+            /*deterministic=*/false);
+  counter_add("mcopt_worker_steals_total",
+              "Restarts claimed by pool workers (scheduler-dependent)",
+              m.worker_steals, /*deterministic=*/false);
+  gauge_max("mcopt_queue_peak",
+            "Peak speculation-queue depth (scheduler-dependent)",
+            static_cast<double>(m.queue_peak), /*deterministic=*/false);
+  histogram_merge("mcopt_uphill_delta_proposed",
+                  "Cost increase of proposed uphill moves",
+                  m.uphill_delta_proposed);
+  histogram_merge("mcopt_uphill_delta_accepted",
+                  "Cost increase of accepted uphill moves",
+                  m.uphill_delta_accepted);
+  for (std::size_t i = 0; i < m.stages.size(); ++i) {
+    const StageMetrics& s = m.stages[i];
+    std::string label = "{stage=\"";
+    append_u64(static_cast<std::uint64_t>(i), label);
+    label += "\"}";
+    counter_add("mcopt_stage_proposals_total" + label,
+                "Proposals per temperature level", s.proposals);
+    counter_add("mcopt_stage_accepts_total" + label,
+                "Accepted proposals per temperature level", s.accepts);
+    counter_add("mcopt_stage_uphill_accepts_total" + label,
+                "Accepted cost-increasing proposals per level",
+                s.uphill_accepts);
+    counter_add("mcopt_stage_rejects_total" + label,
+                "Rejected proposals per temperature level", s.rejects);
+    counter_add("mcopt_stage_downhill_proposals_total" + label,
+                "Proposals with negative cost delta", s.downhill_proposals);
+    counter_add("mcopt_stage_sideways_proposals_total" + label,
+                "Proposals with zero cost delta", s.sideways_proposals);
+    counter_add("mcopt_stage_uphill_proposals_total" + label,
+                "Proposals with positive cost delta", s.uphill_proposals);
+    counter_add("mcopt_stage_new_bests_total" + label,
+                "Best-so-far improvements per level", s.new_bests);
+    counter_add("mcopt_stage_patience_fires_total" + label,
+                "Step 4 advances out of this level", s.patience_fires);
+    counter_add("mcopt_stage_ticks_total" + label,
+                "Budget ticks charged per level", s.ticks);
+    gauge_max("mcopt_stage_wall_seconds" + label,
+              "Wall time per level (staged runners only)", s.wall_seconds,
+              /*deterministic=*/false);
+  }
+}
+
+std::string MetricsRegistry::to_prometheus(bool deterministic_only) const {
+  std::string out;
+  std::string last_family;
+  for (const auto& [name, m] : metrics_) {
+    if (deterministic_only && !m.deterministic) continue;
+    const std::string family = base_name(name);
+    const std::size_t brace = name.find('{');
+    const std::string labels =
+        brace == std::string::npos ? std::string() : name.substr(brace);
+    if (family != last_family) {
+      out += "# HELP ";
+      out += family;
+      out += " ";
+      out += m.help;
+      out += "\n# TYPE ";
+      out += family;
+      out += " ";
+      out += kind_name(m.kind);
+      out += "\n";
+      last_family = family;
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += name;
+        out += " ";
+        append_u64(m.value, out);
+        out += "\n";
+        break;
+      case MetricKind::kGauge:
+        out += name;
+        out += " ";
+        append_double(m.gauge, out);
+        out += "\n";
+        break;
+      case MetricKind::kHistogram:
+        append_prom_histogram(family, labels, m.hist, out);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json(bool deterministic_only) const {
+  std::string out = "{\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, m] : metrics_) {
+    if (deterministic_only && !m.deterministic) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += name;
+    out += "\": {\"type\": \"";
+    out += kind_name(m.kind);
+    out += "\", \"deterministic\": ";
+    out += m.deterministic ? "true" : "false";
+    out += ", ";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += "\"value\": ";
+        append_u64(m.value, out);
+        break;
+      case MetricKind::kGauge:
+        out += "\"value\": ";
+        append_double(m.gauge, out);
+        break;
+      case MetricKind::kHistogram:
+        out += "\"value\": ";
+        m.hist.append_json(out);
+        break;
+    }
+    out += "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace mcopt::obs

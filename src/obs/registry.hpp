@@ -1,0 +1,88 @@
+// Aggregated metrics registry with Prometheus and JSON exporters.
+//
+// RunMetrics is the per-run shard that rides the engines' index-ordered
+// merges; MetricsRegistry is the *presentation* layer a driver populates
+// once at the end from the merged RunMetrics (populate_from_run) plus any
+// driver-level extras (counter_add / gauge_max / histogram_merge).  It
+// flattens everything into named metric families:
+//
+//   counter    u64, merges by sum       (deterministic by default)
+//   gauge      double, merges by max    (wall clocks, peaks)
+//   histogram  LogHistogram, bucket sum (commutative, order-invariant)
+//
+// Determinism contract: metrics observing the scheduler or the clock are
+// registered with `deterministic = false` and both exporters can filter
+// them (`deterministic_only = true`), which is what the thread-count
+// invariance tests compare byte-for-byte — the same carve-out the trace
+// layer makes for the `worker` stamp.  Keys live in a sorted std::map, so
+// export order never depends on insertion order.
+//
+// Prometheus naming: per-stage samples encode the label in the key
+// (`mcopt_stage_proposals_total{stage="3"}`); families sharing a base name
+// sort adjacently, so HELP/TYPE headers are emitted once per family as the
+// text exposition format requires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace mcopt::obs {
+
+struct RunMetrics;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+struct Metric {
+  MetricKind kind = MetricKind::kCounter;
+  std::string help;
+  bool deterministic = true;
+  std::uint64_t value = 0;    ///< counters
+  double gauge = 0.0;         ///< gauges
+  LogHistogram hist;          ///< histograms
+};
+
+class MetricsRegistry {
+ public:
+  /// Adds `v` to counter `name`, creating it on first use.  `name` may
+  /// carry a Prometheus label suffix: `family{label="x"}`.
+  void counter_add(const std::string& name, const char* help,
+                   std::uint64_t v, bool deterministic = true);
+
+  /// Raises gauge `name` to `v` if larger (max-merge semantics).
+  void gauge_max(const std::string& name, const char* help, double v,
+                 bool deterministic = true);
+
+  /// Merges `h` into histogram `name` (commutative bucket sums).
+  void histogram_merge(const std::string& name, const char* help,
+                       const LogHistogram& h, bool deterministic = true);
+
+  /// Folds another registry in (sum / max / bucket-sum by kind).
+  void merge(const MetricsRegistry& other);
+
+  /// Flattens a merged RunMetrics into the standard mcopt_* families.
+  void populate_from_run(const RunMetrics& m);
+
+  [[nodiscard]] bool empty() const noexcept { return metrics_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+  [[nodiscard]] const Metric* find(const std::string& name) const;
+
+  /// Prometheus text exposition format (one HELP/TYPE header per family).
+  /// `deterministic_only` drops metrics registered as nondeterministic —
+  /// the form compared byte-for-byte across thread counts.
+  [[nodiscard]] std::string to_prometheus(bool deterministic_only = false) const;
+
+  /// Stable JSON object {"metrics": {name: {...}, ...}} in sorted key
+  /// order, same `deterministic_only` filter as to_prometheus().
+  [[nodiscard]] std::string to_json(bool deterministic_only = false) const;
+
+ private:
+  Metric& slot(const std::string& name, MetricKind kind, const char* help,
+               bool deterministic);
+
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace mcopt::obs

@@ -62,6 +62,13 @@ class Stopwatch {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
 
+  [[nodiscard]] std::uint64_t nanos() const noexcept {
+    const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       clock::now() - start_)
+                       .count();
+    return d < 0 ? 0 : static_cast<std::uint64_t>(d);
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;

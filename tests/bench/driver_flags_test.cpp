@@ -1,0 +1,111 @@
+// Shared bench-driver flag parsing (bench/common): the side-effect-free
+// parse_driver_options path, including the validation satellite — zero or
+// negative numeric flags must be rejected with an error naming the flag.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+
+namespace mcopt::bench {
+namespace {
+
+std::optional<DriverOptions> parse(std::vector<const char*> argv,
+                                   std::string* error) {
+  argv.insert(argv.begin(), "driver");
+  return parse_driver_options(static_cast<int>(argv.size()), argv.data(),
+                              error);
+}
+
+TEST(DriverFlagsTest, DefaultsWhenNoFlagsGiven) {
+  std::string error;
+  const auto opts = parse({}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->threads, 1u);
+  EXPECT_EQ(opts->trace_sample, 1u);
+  EXPECT_TRUE(opts->trace_path.empty());
+  EXPECT_TRUE(opts->metrics_path.empty());
+  EXPECT_TRUE(opts->profile_path.empty());
+  EXPECT_TRUE(opts->prom_path.empty());
+  EXPECT_EQ(opts->progress_interval, 0.0);
+  EXPECT_FALSE(opts->quiet);
+  EXPECT_FALSE(opts->verbose);
+}
+
+TEST(DriverFlagsTest, ParsesEveryObservabilityFlag) {
+  std::string error;
+  const auto opts = parse({"--threads", "4", "--trace", "t.jsonl",
+                           "--metrics-out", "m.json", "--profile-out",
+                           "p.json", "--prom-out", "prom.txt",
+                           "--trace-sample", "16", "--progress", "0.5",
+                           "--verbose"},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->threads, 4u);
+  EXPECT_EQ(opts->trace_path, "t.jsonl");
+  EXPECT_EQ(opts->metrics_path, "m.json");
+  EXPECT_EQ(opts->profile_path, "p.json");
+  EXPECT_EQ(opts->prom_path, "prom.txt");
+  EXPECT_EQ(opts->trace_sample, 16u);
+  EXPECT_DOUBLE_EQ(opts->progress_interval, 0.5);
+  EXPECT_TRUE(opts->verbose);
+}
+
+TEST(DriverFlagsTest, MetricsAliasStillWorks) {
+  std::string error;
+  const auto opts = parse({"--metrics", "m.json"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->metrics_path, "m.json");
+}
+
+TEST(DriverFlagsTest, BareProgressFlagUsesDefaultInterval) {
+  std::string error;
+  const auto opts = parse({"--progress"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_DOUBLE_EQ(opts->progress_interval, 2.0);
+}
+
+TEST(DriverFlagsTest, RejectsZeroAndNegativeNumericFlags) {
+  const std::vector<std::vector<const char*>> bad_cases{
+      {"--trace-sample", "0"},
+      {"--trace-sample", "-4"},
+      {"--threads", "0"},
+      {"--threads", "-1"},
+      {"--progress", "-2"},
+  };
+  for (const auto& flags : bad_cases) {
+    std::string error;
+    const auto opts = parse(flags, &error);
+    EXPECT_FALSE(opts.has_value()) << flags[0] << " " << flags[1];
+    // The error must name the offending flag so the user can fix it.
+    EXPECT_NE(error.find(flags[0]), std::string::npos) << error;
+  }
+}
+
+TEST(DriverFlagsTest, RejectsNonNumericValues) {
+  std::string error;
+  EXPECT_FALSE(parse({"--trace-sample", "lots"}, &error).has_value());
+  EXPECT_NE(error.find("--trace-sample"), std::string::npos) << error;
+  EXPECT_NE(error.find("lots"), std::string::npos) << error;
+}
+
+TEST(DriverFlagsTest, RejectsUnknownFlagsAndPositionals) {
+  std::string error;
+  EXPECT_FALSE(parse({"--frobnicate"}, &error).has_value());
+  EXPECT_NE(error.find("frobnicate"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(parse({"stray"}, &error).has_value());
+  EXPECT_NE(error.find("stray"), std::string::npos) << error;
+}
+
+TEST(DriverFlagsTest, QuietAndVerboseConflict) {
+  std::string error;
+  EXPECT_FALSE(parse({"--quiet", "--verbose"}, &error).has_value());
+  EXPECT_NE(error.find("--quiet"), std::string::npos) << error;
+  EXPECT_NE(error.find("--verbose"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace mcopt::bench

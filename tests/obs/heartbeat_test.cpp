@@ -1,0 +1,97 @@
+// Heartbeat progress lines: pure formatting, interval gating, final tick.
+#include "obs/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/log.hpp"
+
+namespace mcopt::obs {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(HeartbeatTest, FormatsProgressLine) {
+  EXPECT_EQ(format_progress_line(37, 100, "restarts", 60.0),
+            "[progress] 37/100 restarts (37.0%) best=60");
+  EXPECT_EQ(format_progress_line(1, 3, "jobs", std::nan("")),
+            "[progress] 1/3 jobs (33.3%)");
+  EXPECT_EQ(format_progress_line(5, 0, "jobs", std::nan("")),
+            "[progress] 5/0 jobs (100.0%)");
+}
+
+TEST(HeartbeatTest, FormatsRateAndEtaFromElapsedSeconds) {
+  EXPECT_EQ(format_progress_line(25, 100, "jobs", std::nan(""), 5.0),
+            "[progress] 25/100 jobs (25.0%) [5.0/s, eta 15s]");
+  // Finished: rate only, no ETA.
+  EXPECT_EQ(format_progress_line(4, 4, "jobs", 42.0, 2.0),
+            "[progress] 4/4 jobs (100.0%) best=42 [2.0/s]");
+  // No elapsed time (or nothing done yet): no rate tail.
+  EXPECT_EQ(format_progress_line(0, 4, "jobs", std::nan(""), 3.0),
+            "[progress] 0/4 jobs (0.0%)");
+}
+
+TEST(HeartbeatTest, DisabledTicksEmitNothing) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  Heartbeat quiet;
+  EXPECT_FALSE(quiet.enabled());
+  testing::internal::CaptureStderr();
+  quiet.tick(1, 2, 10.0);
+  quiet.tick(2, 2, 10.0);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(HeartbeatTest, ZeroIntervalEmitsEveryTick) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  Heartbeat beat{"jobs", 0.0};
+  EXPECT_TRUE(beat.enabled());
+  testing::internal::CaptureStderr();
+  beat.tick(1, 3, std::nan(""));
+  beat.tick(2, 3, std::nan(""));
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[progress] 1/3 jobs"), std::string::npos);
+  EXPECT_NE(captured.find("[progress] 2/3 jobs"), std::string::npos);
+}
+
+TEST(HeartbeatTest, LongIntervalStillEmitsFirstAndFinalTick) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  Heartbeat beat{"jobs", 3600.0};
+  testing::internal::CaptureStderr();
+  beat.tick(1, 4, std::nan(""));   // first tick always prints
+  beat.tick(2, 4, std::nan(""));   // gated: interval not elapsed
+  beat.tick(3, 4, std::nan(""));   // gated
+  beat.tick(4, 4, 42.0);           // final tick always prints
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[progress] 1/4 jobs"), std::string::npos);
+  EXPECT_EQ(captured.find("[progress] 2/4 jobs"), std::string::npos);
+  EXPECT_EQ(captured.find("[progress] 3/4 jobs"), std::string::npos);
+  EXPECT_NE(captured.find("[progress] 4/4 jobs (100.0%) best=42"),
+            std::string::npos);
+}
+
+TEST(HeartbeatTest, EnableConfiguresADefaultInstance) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  Heartbeat beat;
+  beat.enable("cells", 0.0);
+  EXPECT_TRUE(beat.enabled());
+  testing::internal::CaptureStderr();
+  beat.tick(1, 1, std::nan(""));
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("1/1 cells"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcopt::obs

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 namespace mcopt::obs {
@@ -54,6 +55,66 @@ TEST(LogTest, DebugOnlyAtVerboseLevel) {
   log(LogLevel::kDebug, "loud debug");
   captured = testing::internal::GetCapturedStderr();
   EXPECT_NE(captured.find("loud debug"), std::string::npos);
+}
+
+class EnvVarGuard {
+ public:
+  explicit EnvVarGuard(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+  }
+  ~EnvVarGuard() {
+    if (had_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(LogTest, EnvVarSetsLevelByNameAndNumber) {
+  LogLevelGuard guard;
+  EnvVarGuard env{"MCOPT_LOG_LEVEL"};
+
+  setenv("MCOPT_LOG_LEVEL", "debug", 1);
+  EXPECT_TRUE(apply_env_log_level());
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  setenv("MCOPT_LOG_LEVEL", "error", 1);
+  EXPECT_TRUE(apply_env_log_level());
+  EXPECT_EQ(log_level(), LogLevel::kError);
+
+  setenv("MCOPT_LOG_LEVEL", "1", 1);
+  EXPECT_TRUE(apply_env_log_level());
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+
+  setenv("MCOPT_LOG_LEVEL", "2", 1);
+  EXPECT_TRUE(apply_env_log_level());
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(LogTest, EnvVarUnsetOrMalformedLeavesLevelUntouched) {
+  LogLevelGuard guard;
+  EnvVarGuard env{"MCOPT_LOG_LEVEL"};
+  set_log_level(LogLevel::kError);
+
+  unsetenv("MCOPT_LOG_LEVEL");
+  EXPECT_FALSE(apply_env_log_level());
+  EXPECT_EQ(log_level(), LogLevel::kError);
+
+  setenv("MCOPT_LOG_LEVEL", "loud", 1);
+  EXPECT_FALSE(apply_env_log_level());
+  EXPECT_EQ(log_level(), LogLevel::kError);
+
+  setenv("MCOPT_LOG_LEVEL", "7", 1);
+  EXPECT_FALSE(apply_env_log_level());
+  EXPECT_EQ(log_level(), LogLevel::kError);
 }
 
 TEST(LogTest, FormatsArgumentsAndAppendsNewline) {

@@ -27,8 +27,8 @@ TEST(RecorderTest, DefaultConstructedIsOffAndInert) {
   RunMetrics metrics;
   rec.begin_run(&metrics, 6);
   rec.stage_begin(0, 0, 1.0, 1.0, StageReason::kStart);
-  rec.proposal(0, 1, 2.0, 1.0);
-  rec.accept(0, 1, 2.0, 1.0, true);
+  rec.proposal(0, 1, 2.0, 1.0, 1.0);
+  rec.accept(0, 1, 2.0, 1.0, 1.0);
   rec.new_best(0, 1, 1.0);
   rec.patience_reset();
   rec.invariant_check(1.0);
@@ -46,10 +46,10 @@ TEST(RecorderTest, MetricsOnlyCollectsWithoutSink) {
   RunMetrics metrics;
   rec.begin_run(&metrics, 2);
   rec.stage_begin(0, 0, 10.0, 10.0, StageReason::kStart);
-  rec.proposal(0, 1, 9.0, 10.0);
-  rec.accept(0, 1, 9.0, 10.0, false);
+  rec.proposal(0, 1, 9.0, 10.0, -1.0);
+  rec.accept(0, 1, 9.0, 10.0, -1.0);
   rec.new_best(0, 1, 9.0);
-  rec.proposal(0, 2, 11.0, 9.0);
+  rec.proposal(0, 2, 11.0, 9.0, 2.0);
   rec.reject(0, 2, 11.0, 9.0);
   rec.end_run();
 
@@ -70,8 +70,8 @@ TEST(RecorderTest, TracesTypedEventsInOrder) {
   rec.begin_run(&metrics, 1);
   rec.restart_begin(10.0);
   rec.stage_begin(0, 0, 10.0, 10.0, StageReason::kStart);
-  rec.proposal(0, 1, 9.0, 10.0);
-  rec.accept(0, 1, 9.0, 10.0, false);
+  rec.proposal(0, 1, 9.0, 10.0, -1.0);
+  rec.accept(0, 1, 9.0, 10.0, -1.0);
   rec.new_best(0, 1, 9.0);
   rec.end_run();
 
@@ -89,9 +89,9 @@ TEST(RecorderTest, SamplingKeepsWholeTrios) {
   RunMetrics metrics;
   rec.begin_run(&metrics, 1);
   for (std::uint64_t i = 1; i <= 9; ++i) {
-    rec.proposal(0, i, 5.0, 5.0);
+    rec.proposal(0, i, 5.0, 5.0, 0.0);
     if (i % 2 == 0) {
-      rec.accept(0, i, 5.0, 5.0, false);
+      rec.accept(0, i, 5.0, 5.0, 0.0);
     } else {
       rec.reject(0, i, 5.0, 5.0);
     }
@@ -117,8 +117,8 @@ TEST(RecorderTest, NewBestAlwaysEmittedEvenWhenSampledOut) {
   Recorder rec{&sink, true, /*trace_sample=*/1000};
   RunMetrics metrics;
   rec.begin_run(&metrics, 1);
-  rec.proposal(0, 1, 4.0, 5.0);
-  rec.accept(0, 1, 4.0, 5.0, false);
+  rec.proposal(0, 1, 4.0, 5.0, -1.0);
+  rec.accept(0, 1, 4.0, 5.0, -1.0);
   rec.new_best(0, 1, 4.0);
   rec.end_run();
   EXPECT_EQ(kinds_of(sink.events()),
@@ -137,8 +137,8 @@ TEST(RecorderTest, ForRestartStampsIdentityAndResetsSampling) {
   rec.begin_run(&metrics, 1);
   rec.worker_steal();
   rec.restart_begin(3.0);
-  rec.proposal(0, 1, 2.0, 3.0);  // step 1: sampled out (stride 2)
-  rec.proposal(0, 2, 2.5, 3.0);  // step 2: sampled
+  rec.proposal(0, 1, 2.0, 3.0, -1.0);  // step 1: sampled out (stride 2)
+  rec.proposal(0, 2, 2.5, 3.0, 0.5);   // step 2: sampled
   rec.end_run();
 
   EXPECT_TRUE(parent.events().empty()) << "shard must not leak to parent";
@@ -218,7 +218,7 @@ TEST(RecorderTest, StageVectorGrowsOnDemand) {
   Recorder rec{nullptr, true};
   RunMetrics metrics;
   rec.begin_run(&metrics, 1);
-  rec.proposal(4, 1, 1.0, 1.0);
+  rec.proposal(4, 1, 1.0, 1.0, 0.0);
   rec.end_run();
   ASSERT_EQ(metrics.stages.size(), 5u);
   EXPECT_EQ(metrics.stages[4].proposals, 1u);

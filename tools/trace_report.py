@@ -17,6 +17,16 @@ here:
 * ``--validate``: a strict schema check of every line, used by CI on a
   traced smoke workload.  Exit status 1 on the first malformed file.
 
+Beyond traces, it renders the other observability exports:
+
+* ``--metrics FILE``: the ``--metrics-out`` JSON — summary counters, the
+  per-stage proposal-mix table, and the uphill-Δcost histograms as
+  per-bucket bar charts;
+* ``--profile FILE``: the ``--profile-out`` JSON — the hierarchical stage
+  profile as an indented tree with per-node tick shares;
+* ``--prom FILE``: validates a ``--prom-out`` Prometheus text exposition
+  (HELP/TYPE before samples, contiguous families, parseable samples).
+
 Determinism contract (see src/obs/event.hpp): every field except
 ``worker`` — and ``worker_steal`` events entirely — is a pure function of
 the seed.  Cross-thread-count comparisons must ignore both; ``--validate``
@@ -27,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from collections import defaultdict
 
@@ -190,6 +201,155 @@ def report(path: str, events, buckets: int) -> None:
                     rows)
 
 
+def histogram_rows(hist: dict) -> list[list[str]]:
+    """Per-bucket rows from the cumulative `buckets` array of a LogHistogram."""
+    rows = []
+    prev_cum = 0
+    total = hist.get("count", 0)
+    for bucket in hist.get("buckets", []):
+        cum = bucket["count"]
+        in_bucket = cum - prev_cum
+        prev_cum = cum
+        if bucket["le"] == "+Inf" and in_bucket == 0:
+            continue
+        share = in_bucket / total if total else 0.0
+        bar = "#" * round(share * 40)
+        rows.append([f"<= {bucket['le']}", str(in_bucket),
+                     f"{100.0 * share:.1f}%", bar])
+    return rows
+
+
+def report_metrics(path: str) -> int:
+    with open(path, encoding="utf-8") as handle:
+        metrics = json.load(handle)
+    print(f"{path}: metrics summary")
+    for key in ("restarts", "new_bests", "patience_resets", "trace_events",
+                "invariant_checks", "worker_steals", "queue_peak",
+                "wall_seconds"):
+        if key in metrics:
+            print(f"  {key} = {metrics[key]}")
+    print()
+    stages = metrics.get("stages", [])
+    if stages:
+        print("Per-stage proposal mix:")
+        rows = []
+        for s in stages:
+            rows.append([s["stage"], s["proposals"], s["accepts"],
+                         f"{s.get('acceptance_rate', 0.0):.3f}",
+                         s.get("downhill_proposals", 0),
+                         s.get("sideways_proposals", 0),
+                         s.get("uphill_proposals", 0),
+                         s.get("uphill_accepts", 0)])
+        print_table(["stage", "proposals", "accepts", "rate", "downhill",
+                     "sideways", "uphill", "uphill acc"], rows)
+    for name in ("uphill_delta_proposed", "uphill_delta_accepted"):
+        hist = metrics.get(name)
+        if not hist or not hist.get("count"):
+            continue
+        mean = hist["sum"] / hist["count"]
+        print(f"{name}: n={hist['count']} sum={hist['sum']:g} "
+              f"mean={mean:.2f}")
+        print_table(["Δcost", "count", "share", ""], histogram_rows(hist))
+    return 0
+
+
+def print_profile_tree(nodes, indent: int, parent_ticks) -> None:
+    for node in nodes:
+        ticks = node.get("ticks", 0)
+        share = (f"  ({100.0 * ticks / parent_ticks:.1f}%)"
+                 if parent_ticks else "")
+        wall = node.get("wall_ns")
+        wall_str = f"  wall={wall / 1e9:.3f}s" if wall is not None else ""
+        print(f"{'  ' * indent}{node['name']}: calls={node['calls']} "
+              f"ticks={ticks}{share}{wall_str}")
+        print_profile_tree(node.get("children", []), indent + 1, ticks)
+
+
+def report_profile(path: str) -> int:
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    roots = doc.get("profile", doc) if isinstance(doc, dict) else doc
+    if not isinstance(roots, list):
+        print(f"{path}: no 'profile' array found", file=sys.stderr)
+        return 1
+    print(f"{path}: stage profile")
+    total = sum(node.get("ticks", 0) for node in roots)
+    print_profile_tree(roots, 1, total if len(roots) > 1 else None)
+    return 0
+
+
+PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+PROM_SAMPLE = re.compile(
+    r"^(" + PROM_NAME + r")(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$")
+PROM_HELP = re.compile(r"^# HELP (" + PROM_NAME + r") (.*)$")
+PROM_TYPE = re.compile(
+    r"^# TYPE (" + PROM_NAME + r") (counter|gauge|histogram|summary)$")
+
+
+def validate_prometheus(path: str) -> int:
+    """Checks exposition-format shape: HELP/TYPE precede their samples and
+    every family's lines are contiguous."""
+    errors = []
+    declared: dict[str, str] = {}
+    seen_families: list[str] = []
+
+    def family_of(name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in declared:
+                return name[:-len(suffix)]
+        return name
+
+    samples = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                match = PROM_HELP.match(line)
+                if not match:
+                    errors.append(f"line {lineno}: malformed HELP")
+                continue
+            if line.startswith("# TYPE "):
+                match = PROM_TYPE.match(line)
+                if not match:
+                    errors.append(f"line {lineno}: malformed TYPE")
+                    continue
+                name = match.group(1)
+                if name in declared:
+                    errors.append(f"line {lineno}: duplicate TYPE for "
+                                  f"'{name}' (family not contiguous)")
+                declared[name] = match.group(2)
+                seen_families.append(name)
+                continue
+            if line.startswith("#"):
+                continue
+            match = PROM_SAMPLE.match(line)
+            if not match:
+                errors.append(f"line {lineno}: unparseable sample: {line!r}")
+                continue
+            samples += 1
+            family = family_of(match.group(1))
+            if family not in declared:
+                errors.append(f"line {lineno}: sample '{match.group(1)}' "
+                              f"has no preceding TYPE")
+            elif seen_families and seen_families[-1] != family:
+                errors.append(f"line {lineno}: sample for '{family}' after "
+                              f"family '{seen_families[-1]}' opened "
+                              f"(families must be contiguous)")
+            value = match.group(3)
+            if declared.get(family) == "counter" and value.startswith("-"):
+                errors.append(f"line {lineno}: negative counter value")
+    if errors:
+        for error in errors[:20]:
+            print(f"{path}: {error}", file=sys.stderr)
+        print(f"{path}: INVALID ({len(errors)} violation(s))",
+              file=sys.stderr)
+        return 1
+    print(f"{path}: OK ({samples} samples, {len(declared)} families)")
+    return 0
+
+
 def validate(path: str) -> int:
     errors = []
     lines = 0
@@ -215,15 +375,34 @@ def validate(path: str) -> int:
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("traces", nargs="+", help="JSONL trace file(s)")
+    parser.add_argument("traces", nargs="*", help="JSONL trace file(s)")
     parser.add_argument("--validate", action="store_true",
                         help="strict schema check; exit 1 on any violation")
     parser.add_argument("--buckets", type=int, default=10,
                         help="tick buckets for the cost-vs-tick table")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="render a --metrics-out JSON summary")
+    parser.add_argument("--profile", metavar="FILE",
+                        help="render a --profile-out JSON tree")
+    parser.add_argument("--prom", metavar="FILE",
+                        help="validate a --prom-out Prometheus exposition")
     args = parser.parse_args(argv)
     if args.buckets < 1:
         parser.error("--buckets must be >= 1")
+    if not args.traces and not (args.metrics or args.profile or args.prom):
+        parser.error("nothing to do: give trace file(s) or one of "
+                     "--metrics/--profile/--prom")
     status = 0
+    try:
+        if args.metrics:
+            status = max(status, report_metrics(args.metrics))
+        if args.profile:
+            status = max(status, report_profile(args.profile))
+        if args.prom:
+            status = max(status, validate_prometheus(args.prom))
+    except (OSError, json.JSONDecodeError, KeyError) as err:
+        print(f"observability export: {err}", file=sys.stderr)
+        status = max(status, 2)
     for path in args.traces:
         try:
             if args.validate:
