@@ -1,17 +1,17 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/invariant.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mcopt::core {
 
@@ -67,18 +67,24 @@ StartResult run_start(Problem& problem, const Runner& runner,
 
 /// Shared speculation state.  Workers claim restart indices below `limit`
 /// (and within `window` of the reducer) and deliver full-slice results;
-/// the reducing thread consumes them in index order.
+/// the reducing thread consumes them in index order.  Every field is
+/// guarded by `mu`; the thread-safety build rejects any unlocked touch.
 struct SpeculationQueue {
-  std::mutex mu;
-  std::condition_variable work_cv;   // workers: more indices / shutdown
-  std::condition_variable ready_cv;  // reducer: a result arrived
-  std::map<std::uint64_t, StartResult> ready;
-  std::uint64_t next_index = 0;  // next index a worker may claim
-  std::uint64_t consumed = 0;    // next index the reducer will fold
-  std::uint64_t limit = 0;       // indices < limit are full-slice starts
-  std::uint64_t window = 0;      // backpressure: claim < consumed + window
-  std::uint64_t peak_ready = 0;  // high-water mark of `ready` (metrics)
-  bool shutdown = false;
+  util::Mutex mu;
+  util::CondVar work_cv;   // workers: more indices / shutdown
+  util::CondVar ready_cv;  // reducer: a result arrived
+  std::map<std::uint64_t, StartResult> ready GUARDED_BY(mu);
+  std::uint64_t next_index GUARDED_BY(mu) = 0;  // next claimable index
+  std::uint64_t consumed GUARDED_BY(mu) = 0;    // next index to fold
+  std::uint64_t limit GUARDED_BY(mu) = 0;       // < limit: full-slice starts
+  std::uint64_t window GUARDED_BY(mu) = 0;      // claim < consumed + window
+  std::uint64_t peak_ready GUARDED_BY(mu) = 0;  // high-water mark of `ready`
+  bool shutdown GUARDED_BY(mu) = false;
+
+  /// Is there an index a worker may claim right now?
+  [[nodiscard]] bool claimable_locked() const REQUIRES(mu) {
+    return next_index < limit && next_index < consumed + window;
+  }
 };
 
 }  // namespace
@@ -121,20 +127,23 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
       opts.recorder != nullptr ? *opts.recorder : obs::Recorder{};
 
   SpeculationQueue queue;
-  queue.limit = total / per_start;
-  queue.window = 4ULL * options.num_threads + 4;
+  {
+    // No worker exists yet, but the guarded fields are only writable with
+    // the capability held — the analysis does not model "before spawn".
+    util::MutexLock lock{queue.mu};
+    queue.limit = total / per_start;
+    queue.window = 4ULL * options.num_threads + 4;
+  }
 
   // Worker ids are 1-based (0 = the calling/reducing thread).
   auto worker = [&](Problem& local, std::uint64_t worker_id) {
     while (true) {
       std::uint64_t index;
       {
-        std::unique_lock<std::mutex> lock{queue.mu};
-        queue.work_cv.wait(lock, [&] {
-          return queue.shutdown || (queue.next_index < queue.limit &&
-                                    queue.next_index <
-                                        queue.consumed + queue.window);
-        });
+        util::MutexLock lock{queue.mu};
+        while (!queue.shutdown && !queue.claimable_locked()) {
+          queue.work_cv.wait(queue.mu);
+        }
         if (queue.shutdown) return;
         index = queue.next_index++;
       }
@@ -143,7 +152,7 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
                     index > 0 || opts.randomize_first, master, index,
                     per_start, root, worker_id, /*steal=*/true);
       {
-        std::lock_guard<std::mutex> lock{queue.mu};
+        util::MutexLock lock{queue.mu};
         queue.ready.emplace(index, std::move(result));
         if (queue.ready.size() > queue.peak_ready) {
           queue.peak_ready = queue.ready.size();
@@ -173,9 +182,8 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
       // Every full-slice index is below queue.limit (the limit is re-derived
       // from `spent` after each fold), so a worker claims it eventually:
       // consume the speculative result.
-      std::unique_lock<std::mutex> lock{queue.mu};
-      queue.ready_cv.wait(lock,
-                          [&] { return queue.ready.count(index) != 0; });
+      util::MutexLock lock{queue.mu};
+      while (queue.ready.count(index) == 0) queue.ready_cv.wait(queue.mu);
       auto it = queue.ready.find(index);
       start = std::move(it->second);
       queue.ready.erase(it);
@@ -231,7 +239,7 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
     // Underspending restarts extend the horizon of guaranteed full-slice
     // starts; let the workers speculate into it.
     {
-      std::lock_guard<std::mutex> lock{queue.mu};
+      util::MutexLock lock{queue.mu};
       queue.consumed = index;
       const std::uint64_t guaranteed =
           index + (total > spent ? (total - spent) / per_start : 0);
@@ -241,15 +249,22 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
   }
 
   {
-    std::lock_guard<std::mutex> lock{queue.mu};
+    util::MutexLock lock{queue.mu};
     queue.shutdown = true;
   }
   queue.work_cv.notify_all();
   for (auto& thread : pool) thread.join();
+  std::uint64_t peak_ready = 0;
+  {
+    // All workers are joined; the lock is for the analysis' benefit (and
+    // the acquire ordering it implies costs nothing here).
+    util::MutexLock lock{queue.mu};
+    peak_ready = queue.peak_ready;
+  }
   if (out.aggregate.metrics.collected) {
     out.aggregate.metrics.restarts = out.restarts;
-    if (queue.peak_ready > out.aggregate.metrics.queue_peak) {
-      out.aggregate.metrics.queue_peak = queue.peak_ready;
+    if (peak_ready > out.aggregate.metrics.queue_peak) {
+      out.aggregate.metrics.queue_peak = peak_ready;
     }
     if (!out.aggregate.metrics.profile.empty()) {
       // Same root name as the sequential multistart(), so the deterministic

@@ -28,6 +28,10 @@
 // whose sequential slice differs (the remainder, or after a runner
 // over/under-spends) and re-runs exactly that index with the correct slice
 // — speculation is a throughput optimization, never a semantics change.
+//
+// All cross-thread state lives in one util::Mutex-guarded speculation
+// queue (util/sync.hpp) whose fields carry GUARDED_BY annotations; the
+// `thread-safety` CMake preset makes any unlocked access a compile error.
 #pragma once
 
 #include "core/multistart.hpp"

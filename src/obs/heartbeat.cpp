@@ -39,20 +39,30 @@ std::string format_progress_line(std::uint64_t done, std::uint64_t total,
   return out;
 }
 
+bool Heartbeat::should_print_locked(std::uint64_t done, std::uint64_t total) {
+  const bool final_tick = total != 0 && done >= total;
+  const bool due =
+      !printed_any_ || interval_ <= 0.0 || since_last_.seconds() >= interval_;
+  if (!due && !final_tick) return false;
+  printed_any_ = true;
+  since_last_.reset();
+  return true;
+}
+
 void Heartbeat::tick(std::uint64_t done, std::uint64_t total, double best) {
-  if (!enabled_) return;
   std::string line;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    const bool final_tick = total != 0 && done >= total;
-    const bool due =
-        !printed_any_ || interval_ <= 0.0 || since_last_.seconds() >= interval_;
-    if (!due && !final_tick) return;
-    printed_any_ = true;
-    since_last_.reset();
+    // The enabled test sits inside the lock: enable() may be configuring
+    // unit_/interval_ concurrently, and an unlocked early-out would read
+    // enabled_ racily (the exact defect the thread-safety build flags).
+    util::MutexLock lock{mu_};
+    if (!enabled_) return;
+    if (!should_print_locked(done, total)) return;
     line = format_progress_line(done, total, unit_, best,
                                 since_start_.seconds());
   }
+  // obs::log serializes stderr itself; emitting outside mu_ keeps slow IO
+  // out of the critical section (and keeps the lock graph a tree).
   log(LogLevel::kInfo, "%s", line.c_str());
 }
 

@@ -6,16 +6,20 @@
 // deterministic state — drivers only enable it behind --progress, and the
 // output goes to stderr at kInfo like every other human-facing message.
 //
-// Thread-safety: tick() may be called from pool workers; a mutex guards
-// the interval gate.  The line formatting is a pure free function so tests
-// can pin the format without clocks.
+// Thread-safety: tick() may be called from pool workers while the driver
+// (re)configures the instance with enable(); every field — including the
+// enabled flag, unit, and interval, which earlier revisions read unlocked
+// — is GUARDED_BY(mu_), so the thread-safety build proves the gate
+// race-free.  The line formatting is a pure free function so tests can
+// pin the format without clocks.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "util/budget.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mcopt::obs {
 
@@ -40,27 +44,40 @@ class Heartbeat {
     enable(unit, interval_seconds);
   }
 
-  void enable(const char* unit, double interval_seconds) {
+  void enable(const char* unit, double interval_seconds) EXCLUDES(mu_) {
+    util::MutexLock lock{mu_};
     unit_ = unit;
     interval_ = interval_seconds;
     enabled_ = true;
+    printed_any_ = false;
     since_start_.reset();
   }
 
-  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] bool enabled() const EXCLUDES(mu_) {
+    util::MutexLock lock{mu_};
+    return enabled_;
+  }
 
   /// Reports progress; prints when the interval has elapsed (and always
   /// for the final tick where done == total).  Safe from any thread.
-  void tick(std::uint64_t done, std::uint64_t total, double best);
+  void tick(std::uint64_t done, std::uint64_t total, double best)
+      EXCLUDES(mu_);
 
  private:
-  bool enabled_ = false;
-  const char* unit_ = "items";
-  double interval_ = 1.0;
-  std::mutex mu_;
-  util::Stopwatch since_last_;
-  util::Stopwatch since_start_;  ///< drives the rate / ETA estimate
-  bool printed_any_ = false;
+  /// Interval gate: decides whether this tick prints and, when it does,
+  /// advances the gate state.  Callers hold mu_ (and the signature says
+  /// so), which is what makes concurrent tick()s race-free.
+  [[nodiscard]] bool should_print_locked(std::uint64_t done,
+                                         std::uint64_t total) REQUIRES(mu_);
+
+  mutable util::Mutex mu_;
+  bool enabled_ GUARDED_BY(mu_) = false;
+  const char* unit_ GUARDED_BY(mu_) = "items";
+  double interval_ GUARDED_BY(mu_) = 1.0;
+  util::Stopwatch since_last_ GUARDED_BY(mu_);
+  /// Drives the rate / ETA estimate.
+  util::Stopwatch since_start_ GUARDED_BY(mu_);
+  bool printed_any_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mcopt::obs

@@ -5,11 +5,23 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/sync.hpp"
+
 namespace mcopt::obs {
 
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+// The level gate is a relaxed atomic, not a mutex: it sits on the hot
+// path of every dropped message and a torn read is impossible for an int.
+std::atomic<int> g_level{  // mcopt-lint: allow(raw-atomic) -- level gate
+    static_cast<int>(LogLevel::kInfo)};
+
+// Serializes the (body, '\n') write pair below.  vfprintf alone is
+// atomic per call on POSIX stdio, but the trailing newline is a second
+// call — without the mutex two threads' lines can interleave as
+// "body1body2\n\n".  stderr itself is process-global state this mutex
+// guards by convention; there is no field to hang a GUARDED_BY on.
+util::Mutex g_stderr_mu;
 
 }  // namespace
 
@@ -41,6 +53,7 @@ void vlog(LogLevel level, const char* fmt, std::va_list args) {
     return;
   }
   // The one sanctioned stderr write; everything else routes through here.
+  util::MutexLock lock{g_stderr_mu};
   std::vfprintf(stderr, fmt, args);  // mcopt-lint: allow(raw-stderr)
   std::fputc('\n', stderr);  // mcopt-lint: allow(raw-stderr)
 }

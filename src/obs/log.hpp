@@ -5,6 +5,10 @@
 // determinism lint forbids raw std::cerr / fprintf(stderr, ...) inside
 // src/ to keep it that way.  This is for humans only — structured data
 // belongs in a TraceSink or a RunMetrics block, never in the log.
+//
+// Thread-safety: log() may be called from any thread.  The level gate is
+// a relaxed atomic and the (message, newline) stderr write pair is
+// serialized by a util::Mutex, so concurrent lines never interleave.
 #pragma once
 
 #include <cstdarg>

@@ -11,10 +11,13 @@
 // out-of-line slow path.  bench/obs_overhead.cpp holds this to <1% against
 // a hand-stripped copy of the same loop.
 //
-// Thread-safety: a Recorder (and its sink) is single-writer.  The parallel
-// engine never shares one across threads — each restart gets its own shard
-// recorder via for_restart() pointing at a private VectorSink, and the
-// reducer drains shards in restart-index order.
+// Thread-safety: a Recorder is single-writer (its sampling counter and
+// metrics pointer are unsynchronized by design — each run owns its copy).
+// Sinks are internally locked (obs/trace.hpp), but the parallel engine
+// still never shares a *stream* across threads: each restart gets its own
+// shard recorder via for_restart() pointing at a private VectorSink, and
+// the reducer drains shards in restart-index order so the trace stays
+// deterministic, not merely data-race-free.
 #pragma once
 
 #include <cstdint>

@@ -88,8 +88,8 @@ void append_prom_histogram(const std::string& family,
 
 }  // namespace
 
-Metric& MetricsRegistry::slot(const std::string& name, MetricKind kind,
-                              const char* help, bool deterministic) {
+Metric& MetricsRegistry::slot_locked(const std::string& name, MetricKind kind,
+                                     const char* help, bool deterministic) {
   Metric& m = metrics_[name];
   if (m.help.empty() && help != nullptr) m.help = help;
   m.kind = kind;
@@ -97,104 +97,151 @@ Metric& MetricsRegistry::slot(const std::string& name, MetricKind kind,
   return m;
 }
 
+void MetricsRegistry::counter_add_locked(const std::string& name,
+                                         const char* help, std::uint64_t v,
+                                         bool deterministic) {
+  slot_locked(name, MetricKind::kCounter, help, deterministic).value += v;
+}
+
+void MetricsRegistry::gauge_max_locked(const std::string& name,
+                                       const char* help, double v,
+                                       bool deterministic) {
+  Metric& m = slot_locked(name, MetricKind::kGauge, help, deterministic);
+  if (v > m.gauge) m.gauge = v;
+}
+
+void MetricsRegistry::histogram_merge_locked(const std::string& name,
+                                             const char* help,
+                                             const LogHistogram& h,
+                                             bool deterministic) {
+  slot_locked(name, MetricKind::kHistogram, help, deterministic).hist.merge(h);
+}
+
 void MetricsRegistry::counter_add(const std::string& name, const char* help,
                                   std::uint64_t v, bool deterministic) {
-  slot(name, MetricKind::kCounter, help, deterministic).value += v;
+  util::MutexLock lock{mu_};
+  counter_add_locked(name, help, v, deterministic);
 }
 
 void MetricsRegistry::gauge_max(const std::string& name, const char* help,
                                 double v, bool deterministic) {
-  Metric& m = slot(name, MetricKind::kGauge, help, deterministic);
-  if (v > m.gauge) m.gauge = v;
+  util::MutexLock lock{mu_};
+  gauge_max_locked(name, help, v, deterministic);
 }
 
 void MetricsRegistry::histogram_merge(const std::string& name,
                                       const char* help, const LogHistogram& h,
                                       bool deterministic) {
-  slot(name, MetricKind::kHistogram, help, deterministic).hist.merge(h);
+  util::MutexLock lock{mu_};
+  histogram_merge_locked(name, help, h, deterministic);
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
-  for (const auto& [name, m] : other.metrics_) {
+  // Self-merge would deadlock on mu_ and is semantically a doubling the
+  // callers never want; make it a no-op.
+  if (&other == this) return;
+  std::map<std::string, Metric> theirs;
+  {
+    util::MutexLock lock{other.mu_};
+    theirs = other.metrics_;
+  }
+  util::MutexLock lock{mu_};
+  for (const auto& [name, m] : theirs) {
     switch (m.kind) {
       case MetricKind::kCounter:
-        counter_add(name, m.help.c_str(), m.value, m.deterministic);
+        counter_add_locked(name, m.help.c_str(), m.value, m.deterministic);
         break;
       case MetricKind::kGauge:
-        gauge_max(name, m.help.c_str(), m.gauge, m.deterministic);
+        gauge_max_locked(name, m.help.c_str(), m.gauge, m.deterministic);
         break;
       case MetricKind::kHistogram:
-        histogram_merge(name, m.help.c_str(), m.hist, m.deterministic);
+        histogram_merge_locked(name, m.help.c_str(), m.hist, m.deterministic);
         break;
     }
   }
 }
 
 const Metric* MetricsRegistry::find(const std::string& name) const {
+  util::MutexLock lock{mu_};
   const auto it = metrics_.find(name);
   return it == metrics_.end() ? nullptr : &it->second;
 }
 
 void MetricsRegistry::populate_from_run(const RunMetrics& m) {
-  counter_add("mcopt_restarts_total", "Multistart restarts folded in",
-              m.restarts);
-  counter_add("mcopt_new_bests_total", "Best-so-far improvements",
-              m.new_bests);
-  counter_add("mcopt_patience_resets_total",
-              "Step 4 reject counters reset by an accept", m.patience_resets);
-  counter_add("mcopt_trace_events_total", "Trace events emitted post-sampling",
-              m.trace_events);
-  counter_add("mcopt_invariant_checks_total", "Deep invariant verifications",
-              m.invariant_checks);
-  gauge_max("mcopt_invariant_seconds", "Wall time inside check_invariants()",
-            m.invariant_seconds, /*deterministic=*/false);
-  gauge_max("mcopt_wall_seconds", "Wall time of the run(s)", m.wall_seconds,
-            /*deterministic=*/false);
-  counter_add("mcopt_worker_steals_total",
-              "Restarts claimed by pool workers (scheduler-dependent)",
-              m.worker_steals, /*deterministic=*/false);
-  gauge_max("mcopt_queue_peak",
-            "Peak speculation-queue depth (scheduler-dependent)",
-            static_cast<double>(m.queue_peak), /*deterministic=*/false);
-  histogram_merge("mcopt_uphill_delta_proposed",
-                  "Cost increase of proposed uphill moves",
-                  m.uphill_delta_proposed);
-  histogram_merge("mcopt_uphill_delta_accepted",
-                  "Cost increase of accepted uphill moves",
-                  m.uphill_delta_accepted);
+  util::MutexLock lock{mu_};
+  counter_add_locked("mcopt_restarts_total", "Multistart restarts folded in",
+                     m.restarts, /*deterministic=*/true);
+  counter_add_locked("mcopt_new_bests_total", "Best-so-far improvements",
+                     m.new_bests, /*deterministic=*/true);
+  counter_add_locked("mcopt_patience_resets_total",
+                     "Step 4 reject counters reset by an accept",
+                     m.patience_resets, /*deterministic=*/true);
+  counter_add_locked("mcopt_trace_events_total",
+                     "Trace events emitted post-sampling", m.trace_events,
+                     /*deterministic=*/true);
+  counter_add_locked("mcopt_invariant_checks_total",
+                     "Deep invariant verifications", m.invariant_checks,
+                     /*deterministic=*/true);
+  gauge_max_locked("mcopt_invariant_seconds",
+                   "Wall time inside check_invariants()", m.invariant_seconds,
+                   /*deterministic=*/false);
+  gauge_max_locked("mcopt_wall_seconds", "Wall time of the run(s)",
+                   m.wall_seconds, /*deterministic=*/false);
+  counter_add_locked("mcopt_worker_steals_total",
+                     "Restarts claimed by pool workers (scheduler-dependent)",
+                     m.worker_steals, /*deterministic=*/false);
+  gauge_max_locked("mcopt_queue_peak",
+                   "Peak speculation-queue depth (scheduler-dependent)",
+                   static_cast<double>(m.queue_peak), /*deterministic=*/false);
+  histogram_merge_locked("mcopt_uphill_delta_proposed",
+                         "Cost increase of proposed uphill moves",
+                         m.uphill_delta_proposed, /*deterministic=*/true);
+  histogram_merge_locked("mcopt_uphill_delta_accepted",
+                         "Cost increase of accepted uphill moves",
+                         m.uphill_delta_accepted, /*deterministic=*/true);
   for (std::size_t i = 0; i < m.stages.size(); ++i) {
     const StageMetrics& s = m.stages[i];
     std::string label = "{stage=\"";
     append_u64(static_cast<std::uint64_t>(i), label);
     label += "\"}";
-    counter_add("mcopt_stage_proposals_total" + label,
-                "Proposals per temperature level", s.proposals);
-    counter_add("mcopt_stage_accepts_total" + label,
-                "Accepted proposals per temperature level", s.accepts);
-    counter_add("mcopt_stage_uphill_accepts_total" + label,
-                "Accepted cost-increasing proposals per level",
-                s.uphill_accepts);
-    counter_add("mcopt_stage_rejects_total" + label,
-                "Rejected proposals per temperature level", s.rejects);
-    counter_add("mcopt_stage_downhill_proposals_total" + label,
-                "Proposals with negative cost delta", s.downhill_proposals);
-    counter_add("mcopt_stage_sideways_proposals_total" + label,
-                "Proposals with zero cost delta", s.sideways_proposals);
-    counter_add("mcopt_stage_uphill_proposals_total" + label,
-                "Proposals with positive cost delta", s.uphill_proposals);
-    counter_add("mcopt_stage_new_bests_total" + label,
-                "Best-so-far improvements per level", s.new_bests);
-    counter_add("mcopt_stage_patience_fires_total" + label,
-                "Step 4 advances out of this level", s.patience_fires);
-    counter_add("mcopt_stage_ticks_total" + label,
-                "Budget ticks charged per level", s.ticks);
-    gauge_max("mcopt_stage_wall_seconds" + label,
-              "Wall time per level (staged runners only)", s.wall_seconds,
-              /*deterministic=*/false);
+    counter_add_locked("mcopt_stage_proposals_total" + label,
+                       "Proposals per temperature level", s.proposals,
+                       /*deterministic=*/true);
+    counter_add_locked("mcopt_stage_accepts_total" + label,
+                       "Accepted proposals per temperature level", s.accepts,
+                       /*deterministic=*/true);
+    counter_add_locked("mcopt_stage_uphill_accepts_total" + label,
+                       "Accepted cost-increasing proposals per level",
+                       s.uphill_accepts, /*deterministic=*/true);
+    counter_add_locked("mcopt_stage_rejects_total" + label,
+                       "Rejected proposals per temperature level", s.rejects,
+                       /*deterministic=*/true);
+    counter_add_locked("mcopt_stage_downhill_proposals_total" + label,
+                       "Proposals with negative cost delta",
+                       s.downhill_proposals, /*deterministic=*/true);
+    counter_add_locked("mcopt_stage_sideways_proposals_total" + label,
+                       "Proposals with zero cost delta", s.sideways_proposals,
+                       /*deterministic=*/true);
+    counter_add_locked("mcopt_stage_uphill_proposals_total" + label,
+                       "Proposals with positive cost delta",
+                       s.uphill_proposals, /*deterministic=*/true);
+    counter_add_locked("mcopt_stage_new_bests_total" + label,
+                       "Best-so-far improvements per level", s.new_bests,
+                       /*deterministic=*/true);
+    counter_add_locked("mcopt_stage_patience_fires_total" + label,
+                       "Step 4 advances out of this level", s.patience_fires,
+                       /*deterministic=*/true);
+    counter_add_locked("mcopt_stage_ticks_total" + label,
+                       "Budget ticks charged per level", s.ticks,
+                       /*deterministic=*/true);
+    gauge_max_locked("mcopt_stage_wall_seconds" + label,
+                     "Wall time per level (staged runners only)",
+                     s.wall_seconds, /*deterministic=*/false);
   }
 }
 
 std::string MetricsRegistry::to_prometheus(bool deterministic_only) const {
+  util::MutexLock lock{mu_};
   std::string out;
   std::string last_family;
   for (const auto& [name, m] : metrics_) {
@@ -237,6 +284,7 @@ std::string MetricsRegistry::to_prometheus(bool deterministic_only) const {
 }
 
 std::string MetricsRegistry::to_json(bool deterministic_only) const {
+  util::MutexLock lock{mu_};
   std::string out = "{\n  \"metrics\": {";
   bool first = true;
   for (const auto& [name, m] : metrics_) {

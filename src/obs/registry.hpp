@@ -21,6 +21,15 @@
 // (`mcopt_stage_proposals_total{stage="3"}`); families sharing a base name
 // sort adjacently, so HELP/TYPE headers are emitted once per family as the
 // text exposition format requires.
+//
+// Thread-safety: a registry may be populated and merged from concurrent
+// jobs (the shape the mcopt_serve job queue needs).  All state is guarded
+// by one util::Mutex; the public methods lock once and delegate to
+// REQUIRES-annotated *_locked() helpers, so the locking structure is
+// visible in the signatures and enforced by the thread-safety build.
+// Determinism is unaffected: counters sum, gauges max, and histogram
+// buckets add commutatively, so any interleaving of whole operations
+// yields the same exports.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +37,8 @@
 #include <string>
 
 #include "obs/histogram.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mcopt::obs {
 
@@ -49,40 +60,65 @@ class MetricsRegistry {
   /// Adds `v` to counter `name`, creating it on first use.  `name` may
   /// carry a Prometheus label suffix: `family{label="x"}`.
   void counter_add(const std::string& name, const char* help,
-                   std::uint64_t v, bool deterministic = true);
+                   std::uint64_t v, bool deterministic = true) EXCLUDES(mu_);
 
   /// Raises gauge `name` to `v` if larger (max-merge semantics).
   void gauge_max(const std::string& name, const char* help, double v,
-                 bool deterministic = true);
+                 bool deterministic = true) EXCLUDES(mu_);
 
   /// Merges `h` into histogram `name` (commutative bucket sums).
   void histogram_merge(const std::string& name, const char* help,
-                       const LogHistogram& h, bool deterministic = true);
+                       const LogHistogram& h, bool deterministic = true)
+      EXCLUDES(mu_);
 
-  /// Folds another registry in (sum / max / bucket-sum by kind).
-  void merge(const MetricsRegistry& other);
+  /// Folds another registry in (sum / max / bucket-sum by kind).  Snapshots
+  /// `other` under its own lock first, then folds under ours — two
+  /// registries merging each other concurrently cannot deadlock because
+  /// the locks are never held together.
+  void merge(const MetricsRegistry& other) EXCLUDES(mu_);
 
   /// Flattens a merged RunMetrics into the standard mcopt_* families.
-  void populate_from_run(const RunMetrics& m);
+  /// One lock acquisition for the whole flatten, not one per family.
+  void populate_from_run(const RunMetrics& m) EXCLUDES(mu_);
 
-  [[nodiscard]] bool empty() const noexcept { return metrics_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
-  [[nodiscard]] const Metric* find(const std::string& name) const;
+  [[nodiscard]] bool empty() const EXCLUDES(mu_) {
+    util::MutexLock lock{mu_};
+    return metrics_.empty();
+  }
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_) {
+    util::MutexLock lock{mu_};
+    return metrics_.size();
+  }
+  /// Looks up a metric; the returned pointer stays valid (map nodes are
+  /// stable) but its fields are only stable once concurrent writers are
+  /// done — read results after joining, as the tests and drivers do.
+  [[nodiscard]] const Metric* find(const std::string& name) const
+      EXCLUDES(mu_);
 
   /// Prometheus text exposition format (one HELP/TYPE header per family).
   /// `deterministic_only` drops metrics registered as nondeterministic —
   /// the form compared byte-for-byte across thread counts.
-  [[nodiscard]] std::string to_prometheus(bool deterministic_only = false) const;
+  [[nodiscard]] std::string to_prometheus(bool deterministic_only = false) const
+      EXCLUDES(mu_);
 
   /// Stable JSON object {"metrics": {name: {...}, ...}} in sorted key
   /// order, same `deterministic_only` filter as to_prometheus().
-  [[nodiscard]] std::string to_json(bool deterministic_only = false) const;
+  [[nodiscard]] std::string to_json(bool deterministic_only = false) const
+      EXCLUDES(mu_);
 
  private:
-  Metric& slot(const std::string& name, MetricKind kind, const char* help,
-               bool deterministic);
+  Metric& slot_locked(const std::string& name, MetricKind kind,
+                      const char* help, bool deterministic) REQUIRES(mu_);
+  void counter_add_locked(const std::string& name, const char* help,
+                          std::uint64_t v, bool deterministic) REQUIRES(mu_);
+  void gauge_max_locked(const std::string& name, const char* help, double v,
+                        bool deterministic) REQUIRES(mu_);
+  void histogram_merge_locked(const std::string& name, const char* help,
+                              const LogHistogram& h, bool deterministic)
+      REQUIRES(mu_);
 
-  std::map<std::string, Metric> metrics_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Metric> metrics_ GUARDED_BY(mu_);
 };
 
 }  // namespace mcopt::obs

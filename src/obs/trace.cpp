@@ -76,15 +76,16 @@ void append_jsonl(const Event& event, std::string& out) {
   out += "}\n";
 }
 
-RingBufferSink::RingBufferSink(std::size_t capacity)
-    : buffer_(), capacity_(capacity) {
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("RingBufferSink: capacity must be >= 1");
   }
+  util::MutexLock lock{mu_};
   buffer_.reserve(capacity);
 }
 
 void RingBufferSink::write(const Event& event) {
+  util::MutexLock lock{mu_};
   if (!full_) {
     buffer_.push_back(event);
     if (buffer_.size() == capacity_) full_ = true;  // next_ stays 0: oldest
@@ -95,9 +96,9 @@ void RingBufferSink::write(const Event& event) {
   ++dropped_;
 }
 
-std::vector<Event> RingBufferSink::snapshot() const {
+std::vector<Event> RingBufferSink::snapshot_locked() const {
   std::vector<Event> out;
-  out.reserve(size());
+  out.reserve(buffer_.size());
   if (!full_) {
     out.assign(buffer_.begin(), buffer_.end());
     return out;
@@ -108,27 +109,58 @@ std::vector<Event> RingBufferSink::snapshot() const {
   return out;
 }
 
+std::vector<Event> RingBufferSink::snapshot() const {
+  util::MutexLock lock{mu_};
+  return snapshot_locked();
+}
+
+std::size_t RingBufferSink::size() const {
+  util::MutexLock lock{mu_};
+  return buffer_.size();
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  util::MutexLock lock{mu_};
+  return dropped_;
+}
+
 JsonlFileSink::JsonlFileSink(const std::string& path)
     : file_(path), out_(&file_) {
   if (!file_) {
     throw std::invalid_argument("JsonlFileSink: cannot open " + path);
   }
+  util::MutexLock lock{mu_};
   buffer_.reserve(kJsonlBufferBytes + 256);
 }
 
 JsonlFileSink::JsonlFileSink(std::ostream& out) : out_(&out) {
+  util::MutexLock lock{mu_};
   buffer_.reserve(kJsonlBufferBytes + 256);
 }
 
-JsonlFileSink::~JsonlFileSink() { flush(); }
+JsonlFileSink::~JsonlFileSink() {
+  util::MutexLock lock{mu_};
+  flush_locked();
+}
 
 void JsonlFileSink::write(const Event& event) {
+  util::MutexLock lock{mu_};
   append_jsonl(event, buffer_);
   ++written_;
-  if (buffer_.size() >= kJsonlBufferBytes) flush();
+  if (buffer_.size() >= kJsonlBufferBytes) flush_locked();
 }
 
 void JsonlFileSink::flush() {
+  util::MutexLock lock{mu_};
+  flush_locked();
+}
+
+std::uint64_t JsonlFileSink::written() const {
+  util::MutexLock lock{mu_};
+  return written_;
+}
+
+void JsonlFileSink::flush_locked() {
   if (!buffer_.empty()) {
     out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
     buffer_.clear();

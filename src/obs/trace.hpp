@@ -1,13 +1,17 @@
 // Trace sinks: where Event streams go.
 //
-// A TraceSink is a single-writer consumer of Events.  The runners never
-// write to a sink from two threads: the parallel multistart engine buffers
-// each restart's events in a private VectorSink shard (one per restart, on
-// the worker that ran it) and the reducing thread drains the shards into
-// the caller's sink strictly in restart-index order.  That makes a traced
-// parallel run produce the same stream as the sequential loop — the
-// project's bit-reproducibility contract extends to traces, except for the
-// `worker` field and kWorkerSteal events (see obs/event.hpp).
+// Every sink is internally synchronized (a util::Mutex guards its buffer
+// state, enforced by the thread-safety build), so a sink may be shared —
+// the job-queue/server work stacked on this library hands one
+// RingBufferSink to many concurrent jobs.  Determinism of the *order* of
+// a stream is still the writers' contract, not the sink's: the parallel
+// multistart engine buffers each restart's events in a private VectorSink
+// shard (one per restart, on the worker that ran it) and the reducing
+// thread drains the shards into the caller's sink strictly in
+// restart-index order.  That makes a traced parallel run produce the same
+// stream as the sequential loop — the project's bit-reproducibility
+// contract extends to traces, except for the `worker` field and
+// kWorkerSteal events (see obs/event.hpp).
 //
 // Three sinks cover the intended uses:
 //   * JsonlFileSink — one JSON object per line, the on-disk interchange
@@ -26,12 +30,15 @@
 #include <vector>
 
 #include "obs/event.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mcopt::obs {
 
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
+  /// Safe to call from any thread; implementations lock internally.
   virtual void write(const Event& event) = 0;
   /// Push any buffered output to the underlying medium.  No-op by default.
   virtual void flush() {}
@@ -40,19 +47,29 @@ class TraceSink {
 /// Unbounded in-memory buffer; the shard sink of the multistart engines.
 class VectorSink final : public TraceSink {
  public:
-  void write(const Event& event) override { events_.push_back(event); }
+  void write(const Event& event) override EXCLUDES(mu_) {
+    util::MutexLock lock{mu_};
+    events_.push_back(event);
+  }
 
-  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+  /// A copy of the buffered events (a reference would escape mu_).
+  [[nodiscard]] std::vector<Event> events() const EXCLUDES(mu_) {
+    util::MutexLock lock{mu_};
     return events_;
   }
   /// Moves the buffered events out, leaving the sink empty.
-  [[nodiscard]] std::vector<Event> take() noexcept {
+  [[nodiscard]] std::vector<Event> take() EXCLUDES(mu_) {
+    util::MutexLock lock{mu_};
     return std::exchange(events_, {});
   }
-  void clear() noexcept { events_.clear(); }
+  void clear() EXCLUDES(mu_) {
+    util::MutexLock lock{mu_};
+    events_.clear();
+  }
 
  private:
-  std::vector<Event> events_;
+  mutable util::Mutex mu_;
+  std::vector<Event> events_ GUARDED_BY(mu_);
 };
 
 /// Bounded buffer keeping the most recent `capacity` events.
@@ -61,25 +78,31 @@ class RingBufferSink final : public TraceSink {
   /// Capacity must be >= 1; throws std::invalid_argument otherwise.
   explicit RingBufferSink(std::size_t capacity);
 
-  void write(const Event& event) override;
+  void write(const Event& event) override EXCLUDES(mu_);
 
   /// Buffered events, oldest first.
-  [[nodiscard]] std::vector<Event> snapshot() const;
+  [[nodiscard]] std::vector<Event> snapshot() const EXCLUDES(mu_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_);
   /// Events overwritten because the buffer was full.
-  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t dropped() const EXCLUDES(mu_);
 
  private:
-  std::vector<Event> buffer_;
-  std::size_t capacity_;
-  std::size_t next_ = 0;
-  bool full_ = false;
-  std::uint64_t dropped_ = 0;
+  /// Shared by snapshot() and the (locked) parts of write.
+  [[nodiscard]] std::vector<Event> snapshot_locked() const REQUIRES(mu_);
+
+  const std::size_t capacity_;  // immutable after construction: no guard
+  mutable util::Mutex mu_;
+  std::vector<Event> buffer_ GUARDED_BY(mu_);
+  std::size_t next_ GUARDED_BY(mu_) = 0;
+  bool full_ GUARDED_BY(mu_) = false;
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 /// JSONL writer (see obs/event.hpp append_jsonl for the schema).  Output is
-/// buffered and flushed on flush() and destruction.
+/// buffered and flushed on flush() and destruction.  Lines are appended
+/// atomically under the sink's mutex, so concurrent writers interleave per
+/// event, never mid-line.
 class JsonlFileSink final : public TraceSink {
  public:
   /// Opens `path` for writing; throws std::invalid_argument on failure.
@@ -88,17 +111,22 @@ class JsonlFileSink final : public TraceSink {
   explicit JsonlFileSink(std::ostream& out);
   ~JsonlFileSink() override;
 
-  void write(const Event& event) override;
-  void flush() override;
+  void write(const Event& event) override EXCLUDES(mu_);
+  void flush() override EXCLUDES(mu_);
 
   /// Events written so far (buffered or not).
-  [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+  [[nodiscard]] std::uint64_t written() const EXCLUDES(mu_);
 
  private:
-  std::ofstream file_;    // used by the path constructor
-  std::ostream* out_;     // always valid; aliases file_ or the caller's stream
-  std::string buffer_;
-  std::uint64_t written_ = 0;
+  void flush_locked() REQUIRES(mu_);
+
+  std::ofstream file_;  // used by the path constructor
+  mutable util::Mutex mu_;
+  /// Always valid; aliases file_ or the caller's stream.  The stream is
+  /// only touched with mu_ held.
+  std::ostream* out_ PT_GUARDED_BY(mu_);
+  std::string buffer_ GUARDED_BY(mu_);
+  std::uint64_t written_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mcopt::obs

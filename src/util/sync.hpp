@@ -1,0 +1,96 @@
+// The project's annotated synchronization layer.
+//
+// Every mutex in mcopt is a util::Mutex and every critical section a
+// util::MutexLock, never the std primitives directly — the determinism
+// lint (tools/lint_determinism.py, rule `raw-sync-primitive`) enforces
+// this file as the only home of std::mutex and friends.  The point of the
+// wrapper is the CAPABILITY annotation: a util::Mutex is a capability the
+// Clang Thread Safety Analysis can track, so a field declared
+// `GUARDED_BY(mu_)` cannot be compiled if any code path touches it
+// without holding mu_ (see util/thread_annotations.hpp and the
+// `thread-safety` CMake preset).  A bare std::mutex carries no such
+// contract — which is exactly why this wraps rather than aliases it
+// (DESIGN.md, "Concurrency contract").
+//
+// Determinism note: the layer offers *untimed* waits only.  Timed waits
+// (wait_for / wait_until) make control flow a function of the scheduler
+// and are banned alongside sleep_for by the determinism lint; code that
+// wants to give up waiting must encode that as guarded state another
+// thread sets.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace mcopt::util {
+
+/// A standard mutex, visible to thread-safety analysis as a capability.
+/// Non-recursive, non-timed, not copyable or movable (fields annotated
+/// GUARDED_BY(mu) must name a mutex with a stable identity).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::wait needs the native handle
+  std::mutex mu_;
+};
+
+/// RAII critical section over a util::Mutex; the only sanctioned way to
+/// hold one.  Scoped-capability-annotated, so analysis knows the guarded
+/// region is exactly this object's lifetime.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with util::Mutex.  wait() REQUIRES the mutex,
+/// so a caller that has not locked it is a compile error — the class of
+/// bug std::condition_variable only reveals as UB at runtime.
+///
+/// The usual pattern (the predicate re-check loop is the caller's, which
+/// keeps every guarded read visibly inside the MutexLock scope):
+///
+///   util::MutexLock lock{mu};
+///   while (!ready) cv.wait(mu);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks until notified; `mu` is held
+  /// again on return.  Spurious wakeups happen: always wait in a loop
+  /// over the guarded predicate.
+  void wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() hands ownership back so the MutexLock destructor stays
+    // the one true unlock.
+    std::unique_lock<std::mutex> native{mu.mu_, std::adopt_lock};
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mcopt::util

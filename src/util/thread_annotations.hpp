@@ -1,0 +1,58 @@
+// Clang Thread Safety Analysis attribute shim.
+//
+// These macros expand to Clang's `capability`-family attributes so the
+// compiler can prove, at compile time, that every access to a shared
+// field happens with its guarding mutex held (-Wthread-safety; the
+// `thread-safety` CMake preset promotes violations to errors).  On
+// compilers without the attributes (GCC, MSVC) every macro expands to
+// nothing — the annotations are contracts, never code.
+//
+// Vocabulary (matching the Clang documentation, so its diagnostics read
+// 1:1 against our sources):
+//   CAPABILITY("mutex")    on a class: instances are lockable capabilities
+//   SCOPED_CAPABILITY      on a class: RAII object acquiring/releasing one
+//   GUARDED_BY(mu)         on a field: reads/writes require holding mu
+//   PT_GUARDED_BY(mu)      on a pointer field: the pointee requires mu
+//   REQUIRES(mu)           on a function: caller must hold mu (the
+//                          signature convention for *_locked() helpers)
+//   ACQUIRE(mu)/RELEASE(mu) on a function: it takes / drops mu
+//   TRY_ACQUIRE(true, mu)  on a function: takes mu iff it returns true
+//   EXCLUDES(mu)           on a function: caller must NOT hold mu
+//                          (catches self-deadlock through public APIs)
+//   ASSERT_CAPABILITY(mu)  on a function: runtime-checks mu is held
+//   RETURN_CAPABILITY(mu)  on a function: returns a reference to mu
+//   NO_THREAD_SAFETY_ANALYSIS  escape hatch; needs a comment justifying it
+//
+// Only src/util/sync.hpp should apply the ACQUIRE/RELEASE family to real
+// lock implementations; everything else annotates data (GUARDED_BY) and
+// call contracts (REQUIRES/EXCLUDES) against util::Mutex.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define MCOPT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MCOPT_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) MCOPT_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY MCOPT_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) MCOPT_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) MCOPT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) MCOPT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) MCOPT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) MCOPT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MCOPT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) MCOPT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  MCOPT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) MCOPT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  MCOPT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  MCOPT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) MCOPT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) MCOPT_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) MCOPT_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MCOPT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,301 @@
+// Contention stress for the annotated sync layer (util/sync.hpp) and every
+// component it guards: obs::log, a shared RingBufferSink, the Heartbeat,
+// the MetricsRegistry, and the parallel multistart engine, all hammered
+// from many threads at once.  The test names carry the SyncStress prefix
+// so CI's ThreadSanitizer job selects this suite with its -R filter; under
+// TSan the hammering proves data-race freedom, and the assertions below
+// prove the determinism half of the contract — the engine's index-ordered
+// reduction stays bit-identical to the sequential loop while everything
+// around it is contended.
+//
+// The start gate is built from util::Mutex/util::CondVar on purpose: the
+// suite guards the annotated layer, so its own synchronization should be
+// the layer under test (a std::atomic would also be invisible to the
+// thread-safety analysis and is banned by the determinism lint).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/annealer.hpp"
+#include "core/multistart.hpp"
+#include "core/parallel.hpp"
+#include "obs/event.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/log.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "support/toy_problem.hpp"
+#include "util/rng.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace mcopt::core {
+namespace {
+
+using mcopt::testing::ToyProblem;
+
+// One-shot start barrier so every hammer thread begins its loop at once
+// (maximizing overlap with the engine run instead of finishing during
+// thread spawn).
+class StartGate {
+ public:
+  void release() EXCLUDES(mu_) {
+    {
+      util::MutexLock lock{mu_};
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void wait() EXCLUDES(mu_) {
+    util::MutexLock lock{mu_};
+    while (!released_) cv_.wait(mu_);
+  }
+
+ private:
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool released_ GUARDED_BY(mu_) = false;
+};
+
+// Drops log output for the test's lifetime: the hammer loops push
+// thousands of lines through obs::log to contend the level gate and the
+// heartbeat, and every one of them should be gated away, not printed.
+class QuietLog {
+ public:
+  QuietLog() : saved_(obs::log_level()) {
+    obs::set_log_level(obs::LogLevel::kError);
+  }
+  ~QuietLog() { obs::set_log_level(saved_); }
+
+ private:
+  obs::LogLevel saved_;
+};
+
+Runner descent_runner() {
+  return [](Problem& problem, std::uint64_t budget, util::Rng& rng,
+            const obs::Recorder& recorder) {
+    return random_descent(problem, budget, rng, &recorder);
+  };
+}
+
+void expect_identical(const MultistartResult& a, const MultistartResult& b) {
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.restart_best_costs, b.restart_best_costs);
+  EXPECT_EQ(a.aggregate.initial_cost, b.aggregate.initial_cost);
+  EXPECT_EQ(a.aggregate.final_cost, b.aggregate.final_cost);
+  EXPECT_EQ(a.aggregate.best_cost, b.aggregate.best_cost);
+  EXPECT_EQ(a.aggregate.best_state, b.aggregate.best_state);
+  EXPECT_EQ(a.aggregate.proposals, b.aggregate.proposals);
+  EXPECT_EQ(a.aggregate.accepts, b.aggregate.accepts);
+  EXPECT_EQ(a.aggregate.uphill_accepts, b.aggregate.uphill_accepts);
+  EXPECT_EQ(a.aggregate.descent_steps, b.aggregate.descent_steps);
+  EXPECT_EQ(a.aggregate.ticks, b.aggregate.ticks);
+  EXPECT_EQ(a.aggregate.invariants.executed, b.aggregate.invariants.executed);
+}
+
+// The headline test: run the parallel engine (tracing into a shared ring
+// buffer) while hammer threads spam obs::log, the same ring buffer, and a
+// Heartbeat.  The reduction must match the uncontended sequential run
+// bit-for-bit at every thread count.
+TEST(SyncStressTest, ParallelReductionBitIdenticalUnderContention) {
+  QuietLog quiet;
+
+  const std::vector<double> landscape{6, 3, 5, 2, 6, 4, 7, 1, 5, 0, 6, 3};
+  MultistartOptions opts;
+  opts.total_budget = 3'000;
+  opts.budget_per_start = 250;
+
+  ToyProblem sequential_problem{landscape, 0};
+  util::Rng sequential_rng{42};
+  const MultistartResult sequential =
+      multistart(sequential_problem, descent_runner(), opts, sequential_rng);
+
+  obs::RingBufferSink shared_sink{256};
+  obs::Recorder root{&shared_sink};
+  obs::Heartbeat heartbeat{"events", 0.0};
+
+  constexpr int kHammers = 4;
+  constexpr std::uint64_t kIters = 2'000;
+  StartGate gate;
+  std::vector<std::thread> hammers;
+  hammers.reserve(kHammers);
+  for (int t = 0; t < kHammers; ++t) {
+    hammers.emplace_back([&shared_sink, &heartbeat, &gate, t] {
+      gate.wait();
+      obs::Event noise;
+      noise.kind = obs::EventKind::kWorkerSteal;
+      noise.worker = static_cast<std::uint64_t>(t) + 100;
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        obs::log(obs::LogLevel::kDebug, "[stress] hammer %d iter %llu", t,
+                 static_cast<unsigned long long>(i));
+        noise.tick = i;
+        shared_sink.write(noise);
+        heartbeat.tick(i + 1, kIters, std::nan(""));
+      }
+    });
+  }
+
+  gate.release();
+  for (const unsigned threads : {2u, 8u}) {
+    ToyProblem problem{landscape, 0};
+    util::Rng rng{42};
+    ParallelMultistartOptions options;
+    options.multistart = opts;
+    options.multistart.recorder = &root;
+    options.num_threads = threads;
+    const MultistartResult parallel =
+        parallel_multistart(problem, descent_runner(), options, rng);
+    expect_identical(sequential, parallel);
+  }
+  for (auto& hammer : hammers) hammer.join();
+
+  // The shared sink absorbed both the engine's drained shards and the
+  // hammer noise; its accounting must balance regardless of interleaving.
+  EXPECT_EQ(shared_sink.size(), shared_sink.capacity());
+  EXPECT_GE(shared_sink.dropped() + shared_sink.size(),
+            static_cast<std::uint64_t>(kHammers) * kIters);
+}
+
+TEST(SyncStressTest, RingBufferSinkKeepsExactAccountsUnderContention) {
+  constexpr std::uint64_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5'000;
+  obs::RingBufferSink sink{64};
+
+  StartGate gate;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sink, &gate, t] {
+      gate.wait();
+      obs::Event event;
+      event.worker = t + 1;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        event.tick = i;
+        sink.write(event);
+      }
+    });
+  }
+  gate.release();
+  for (auto& writer : writers) writer.join();
+
+  EXPECT_EQ(sink.size(), sink.capacity());
+  EXPECT_EQ(sink.dropped() + sink.size(), kThreads * kPerThread);
+  EXPECT_EQ(sink.snapshot().size(), sink.capacity());
+}
+
+TEST(SyncStressTest, VectorSinkNeverLosesEventsAcrossConcurrentTakes) {
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10'000;
+  obs::VectorSink sink;
+
+  StartGate gate;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sink, &gate] {
+      gate.wait();
+      obs::Event event;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        event.tick = i;
+        sink.write(event);
+      }
+    });
+  }
+  // A harvester repeatedly drains the sink while the writers run; every
+  // event must land in exactly one take() batch.
+  std::uint64_t harvested = 0;
+  std::thread harvester([&sink, &gate, &harvested] {
+    gate.wait();
+    for (int round = 0; round < 1'000; ++round) {
+      harvested += sink.take().size();
+    }
+  });
+
+  gate.release();
+  for (auto& writer : writers) writer.join();
+  harvester.join();
+  harvested += sink.take().size();
+  EXPECT_EQ(harvested, kThreads * kPerThread);
+}
+
+TEST(SyncStressTest, MetricsRegistryMergesDeterministicallyUnderContention) {
+  constexpr std::uint64_t kThreads = 8;
+  constexpr std::uint64_t kAdds = 2'000;
+  obs::MetricsRegistry shared;
+
+  StartGate gate;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, &gate] {
+      gate.wait();
+      obs::MetricsRegistry local;
+      for (std::uint64_t i = 0; i < kAdds; ++i) {
+        shared.counter_add("stress_direct_total", "direct adds", 1);
+        local.counter_add("stress_merged_total", "merged adds", 1);
+        local.gauge_max("stress_peak", "max merge", static_cast<double>(i));
+      }
+      shared.merge(local);
+    });
+  }
+  gate.release();
+  for (auto& thread : threads) thread.join();
+
+  const obs::Metric* direct = shared.find("stress_direct_total");
+  ASSERT_NE(direct, nullptr);
+  EXPECT_EQ(direct->value, kThreads * kAdds);
+  const obs::Metric* merged = shared.find("stress_merged_total");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->value, kThreads * kAdds);
+  const obs::Metric* peak = shared.find("stress_peak");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_EQ(peak->gauge, static_cast<double>(kAdds - 1));
+
+  // Counters sum and gauges max commutatively, so the contended registry
+  // must export byte-identically to one built sequentially.
+  obs::MetricsRegistry expected;
+  expected.counter_add("stress_direct_total", "direct adds",
+                       kThreads * kAdds);
+  expected.counter_add("stress_merged_total", "merged adds",
+                       kThreads * kAdds);
+  expected.gauge_max("stress_peak", "max merge",
+                     static_cast<double>(kAdds - 1));
+  EXPECT_EQ(shared.to_json(), expected.to_json());
+  EXPECT_EQ(shared.to_prometheus(), expected.to_prometheus());
+}
+
+// The heartbeat race fix (interval/unit/enabled all under mu_): ticks from
+// worker threads while the driver thread reconfigures must stay coherent.
+TEST(SyncStressTest, HeartbeatSurvivesConcurrentTicksAndReconfiguration) {
+  QuietLog quiet;
+  obs::Heartbeat heartbeat;
+
+  constexpr std::uint64_t kTicks = 5'000;
+  StartGate gate;
+  std::vector<std::thread> tickers;
+  tickers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    tickers.emplace_back([&heartbeat, &gate] {
+      gate.wait();
+      for (std::uint64_t i = 0; i < kTicks; ++i) {
+        heartbeat.tick(i + 1, kTicks, 1.0);
+      }
+    });
+  }
+  gate.release();
+  for (int i = 0; i < 200; ++i) {
+    heartbeat.enable("items", 0.0);
+    heartbeat.enable("restarts", 1'000.0);
+  }
+  for (auto& ticker : tickers) ticker.join();
+  EXPECT_TRUE(heartbeat.enabled());
+}
+
+}  // namespace
+}  // namespace mcopt::core

@@ -1,0 +1,22 @@
+// Negative-compile fixture: reads a GUARDED_BY field without holding its
+// mutex.  tests/negative/CMakeLists.txt try_compiles this twice — once
+// plain (must succeed: the fixture is otherwise valid C++) and once under
+// -Werror=thread-safety (must fail: the unlocked read below is exactly
+// the bug class the annotations exist to stop).  Either expectation
+// breaking fails the negative_compile_thread_safety ctest.
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  mcopt::util::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.value;  // unlocked read of a guarded field
+}

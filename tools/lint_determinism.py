@@ -22,9 +22,22 @@ tool rejects source constructs that silently break that contract:
   * thread_local ... Rng                - per-OS-thread randomness depends on
     scheduling; derive per-work-item streams with util::Rng::split
 
+Concurrency rules (the compile-time contract rides on util/sync.hpp —
+these keep every lock a Clang-analyzable util::Mutex):
+
+  * std::mutex / lock_guard / scoped_lock / unique_lock /
+    condition_variable et al.           - raw sync primitives carry no
+    CAPABILITY annotation, so -Wthread-safety cannot see them; only
+    src/util/sync.hpp (the annotated wrapper) may touch them
+  * .detach()                           - detached threads outlive every
+    join point and race with static destruction; pools must join
+  * std::atomic                         - lock-free shared state dodges
+    GUARDED_BY checking; each use needs an explicit allow with a reason
+
 Comments and string literals are stripped before matching, so *discussing*
 a banned construct is fine.  A genuine exception can be allowlisted by
-putting `mcopt-lint: allow(<rule>)` in a comment on the same line.
+putting `mcopt-lint: allow(<rule>)` in a comment on the same line; whole
+files implementing a sanctioned wrapper are listed in EXEMPT_FILES.
 
 Exit status: 0 when clean, 1 when violations are found, 2 on usage errors.
 Run `tools/lint_determinism.py --self-test` to verify the linter catches
@@ -117,11 +130,40 @@ RULES = {
         "raw stderr writes in src/ bypass the obs::log level control; route "
         "diagnostics through obs::log (obs/log.hpp)",
     ),
+    "raw-sync-primitive": (
+        re.compile(
+            r"\bstd\s*::\s*(?:mutex|timed_mutex|recursive_mutex|"
+            r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+            r"lock_guard|scoped_lock|unique_lock|shared_lock|"
+            r"condition_variable(?:_any)?)\b"
+        ),
+        "raw std sync primitives carry no CAPABILITY annotation, so "
+        "-Wthread-safety cannot check them; use util::Mutex / util::MutexLock "
+        "/ util::CondVar (util/sync.hpp)",
+    ),
+    "thread-detach": (
+        re.compile(r"\.\s*detach\s*\("),
+        "detached threads outlive every join point and race static "
+        "destruction; keep threads joinable and join them",
+    ),
+    "raw-atomic": (
+        re.compile(r"\bstd\s*::\s*atomic(?:_\w+)?\b"),
+        "std::atomic state is invisible to GUARDED_BY analysis; guard shared "
+        "state with util::Mutex, or allowlist the line with a stated reason",
+    ),
 }
 
 # Rules that only apply under these top-level directories (library code must
 # log through obs::log; drivers and tests may still print directly).
 SCOPED_RULES = {"raw-stderr": {"src"}}
+
+# rule name -> repo-relative POSIX path suffixes where the rule is void: the
+# one sanctioned implementation of the construct it bans.  util/sync.hpp is
+# the annotated wrapper that the raw-sync-primitive rule funnels everyone
+# toward, so it is the only file allowed to touch the std primitives.
+EXEMPT_FILES = {
+    "raw-sync-primitive": {"src/util/sync.hpp"},
+}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -207,6 +249,15 @@ def allowed_rules(original_line: str) -> set[str]:
     return {rule.strip() for rule in match.group(1).split(",")}
 
 
+def exempt_rules(path: pathlib.Path) -> set[str]:
+    posix = path.as_posix()
+    return {
+        rule
+        for rule, suffixes in EXEMPT_FILES.items()
+        if any(posix.endswith(suffix) for suffix in suffixes)
+    }
+
+
 def lint_file(path: pathlib.Path) -> list[str]:
     try:
         text = path.read_text(encoding="utf-8")
@@ -214,6 +265,7 @@ def lint_file(path: pathlib.Path) -> list[str]:
         return [f"{path}: unreadable: {err}"]
     stripped = strip_comments_and_strings(text)
     original_lines = text.splitlines()
+    exempt = exempt_rules(path)
     violations = []
     for lineno, line in enumerate(stripped.splitlines(), start=1):
         original = (
@@ -221,7 +273,7 @@ def lint_file(path: pathlib.Path) -> list[str]:
         )
         allows = allowed_rules(original)
         for rule, (pattern, explanation) in RULES.items():
-            if rule in allows:
+            if rule in allows or rule in exempt:
                 continue
             scope = SCOPED_RULES.get(rule)
             if scope is not None and scope.isdisjoint(path.parts):
@@ -281,6 +333,9 @@ SELF_TEST_SNIPPETS = {
     "std-async": "auto f = std::async(work);",
     "thread-local-rng": "thread_local util::Rng rng{42};",
     "raw-stderr": 'std::cerr << "chatter";',
+    "raw-sync-primitive": "std::mutex mu;",
+    "thread-detach": "worker.detach();",
+    "raw-atomic": "std::atomic<int> ready{0};",
 }
 
 SELF_TEST_CLEAN = """\
@@ -316,6 +371,21 @@ def self_test() -> int:
                         f"scoped rule '{rule}' fired outside {sorted(scope)}"
                     )
                 outside.unlink()
+        # Rules with exempt files must stay silent inside the sanctioned
+        # wrapper (and nowhere else -- the generic loop above already proved
+        # they fire on the same snippet in an ordinary location).
+        for rule, suffixes in EXEMPT_FILES.items():
+            for suffix in sorted(suffixes):
+                exempt_path = tmpdir / suffix
+                exempt_path.parent.mkdir(parents=True, exist_ok=True)
+                exempt_path.write_text(
+                    SELF_TEST_SNIPPETS[rule] + "\n", encoding="utf-8"
+                )
+                if any(f"[{rule}]" in v for v in lint_file(exempt_path)):
+                    failures.append(
+                        f"rule '{rule}' fired in exempt file {suffix}"
+                    )
+                exempt_path.unlink()
         clean = tmpdir / "clean.cpp"
         clean.write_text(SELF_TEST_CLEAN, encoding="utf-8")
         violations = lint_file(clean)
