@@ -9,6 +9,7 @@
 // about, very large thresholds reduce to pure descent, and the paper's 18
 // sits in the productive middle.
 #include <cstdio>
+#include <vector>
 
 #include "common.hpp"
 #include "core/figure1.hpp"

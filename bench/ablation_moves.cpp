@@ -7,6 +7,7 @@
 // Figure 2 strategy.  This ablation crosses move kind x strategy x start
 // for the recommended g = 1 and the [COHO83a] g.
 #include <cstdio>
+#include <vector>
 
 #include "common.hpp"
 #include "core/gfunction.hpp"

@@ -6,7 +6,10 @@
 // set under schedules of k = 1 / 2 / 6 / 12 / 25 levels, both geometric
 // and uniform, all sharing the tuned starting temperature and the same
 // total budget (split into k equal slices, the paper's rule).
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "core/figure1.hpp"

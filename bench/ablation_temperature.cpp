@@ -6,6 +6,7 @@
 // 10; a large spread across the row demonstrates the sensitivity, while
 // the g = 1 and two-level rows are flat by construction.
 #include <cstdio>
+#include <vector>
 
 #include "common.hpp"
 #include "core/gfunction.hpp"

@@ -15,6 +15,7 @@
 // budgets.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>

@@ -7,7 +7,10 @@
 // construction dominates at small budgets, the Monte Carlo methods cross
 // it, and the g classes converge toward a common ceiling (§4.2.5
 // conclusion 4).  Output doubles as CSV-ready series (comma-separated).
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "core/gfunction.hpp"

@@ -4,7 +4,11 @@
 // machinery did not beat g = 1 in 1985; does replica exchange (parallel
 // tempering), the schedule machinery's modern successor, fare better on
 // the same workloads under the same equal-tick discipline?
+#include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common.hpp"
 #include "core/figure1.hpp"

@@ -20,6 +20,7 @@
 //        --reps N     timed repetitions per config, best-of (default 5)
 //        --gate-pct P max allowed off-vs-baseline regression (default 1.0)
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>

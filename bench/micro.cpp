@@ -2,6 +2,7 @@
 // if one method's "tick" were much more expensive than another's, the
 // equal-tick tables would not correspond to equal time.  google-benchmark.
 #include <benchmark/benchmark.h>
+#include <cstddef>
 
 #include "core/figure1.hpp"
 #include "core/gfunction.hpp"

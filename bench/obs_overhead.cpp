@@ -21,6 +21,8 @@
 // Flags: --budget T   ticks per timed run (default 2'000'000)
 //        --reps N     timed repetitions per config, best-of (default 5)
 //        --gate-pct P max allowed off-vs-baseline regression (default 1.0)
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 #include <string>

@@ -15,6 +15,7 @@
 //
 // Flags: --max-threads N (default 8) caps the thread sweep;
 //        --budget T (default 400'000) total ticks per configuration.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>

@@ -6,7 +6,9 @@
 // x0.9, k = 6), the paper's recommended g = 1, and pure random descent.
 // Monte Carlo methods get a budget equal to a multiple of KL's own
 // pair-evaluation count so the comparison stays equal-work.
+#include <cstdint>
 #include <cstdio>
+#include <utility>
 
 #include "common.hpp"
 #include "core/annealer.hpp"

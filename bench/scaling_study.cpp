@@ -7,7 +7,9 @@
 // Methods: the Table 4.1 leaders (six-temperature annealing, g = 1, cubic
 // difference), the Goto construction, the threshold-accepting extension,
 // and [WHIT84]-auto-calibrated annealing.
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "common.hpp"
 #include "core/calibration.hpp"

@@ -7,8 +7,10 @@
 // the random starts.  Paper values are printed alongside for shape
 // comparison (ours use different random instances and RNG, so only
 // relative ordering is expected to match).
+#include <array>
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "common.hpp"
 #include "core/gfunction.hpp"

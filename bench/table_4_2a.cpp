@@ -5,8 +5,10 @@
 // the cost magnitude at a near-optimal start differs from a random start.
 // The paper observes the best improvement is under 5% of the Goto starting
 // total (1993).
+#include <array>
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "common.hpp"
 #include "core/gfunction.hpp"

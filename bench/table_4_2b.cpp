@@ -6,8 +6,11 @@
 // comfortable multiple of the descent cost; the same holds here).  The
 // published observations: 9 of 13 classes improve under Figure 2, and with
 // the better strategy per class the spread between classes is at most ~6%.
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "common.hpp"
 #include "core/gfunction.hpp"

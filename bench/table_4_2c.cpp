@@ -7,8 +7,10 @@
 // Published shape: total improvements a little under 10% of the 4254
 // starting total; g = 1 is the only class beating Goto and is ~30% ahead
 // of six-temperature annealing.
+#include <array>
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "common.hpp"
 #include "core/gfunction.hpp"

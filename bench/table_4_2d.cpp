@@ -6,8 +6,10 @@
 // digits to low tens; exponential difference is called the "stellar
 // performer", outdoing its nearest rivals (six-temperature annealing and
 // g = 1) by about 2x.
+#include <array>
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "common.hpp"
 #include "core/gfunction.hpp"

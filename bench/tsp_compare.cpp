@@ -12,7 +12,10 @@
 // Equal-work accounting: every tour-move evaluation is one tick, for SA
 // proposals, 2-opt descents, insertion-position scans and Or-opt scans
 // alike.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "common.hpp"

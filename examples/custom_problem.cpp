@@ -7,8 +7,10 @@
 //
 //   $ ./custom_problem
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "core/annealer.hpp"

@@ -14,9 +14,15 @@
 // METHOD is any of: goto (constructive only), anneal, white (annealing with
 // a [WHIT84] auto-calibrated schedule), g1, metropolis, cohoon, or a g class
 // id 1..22 from core/gfunction.hpp.  (*KL runs only on two-pin netlists.)
+#include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <fstream>
 #include <iostream>
-#include <sstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "core/annealer.hpp"
 #include "core/calibration.hpp"

@@ -2,6 +2,7 @@
 // annealing, then with the paper's recommended g = 1 rule, in ~40 lines.
 //
 //   $ ./quickstart [seed]
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 

@@ -2,6 +2,7 @@
 // simulated annealing vs restarted 2-opt vs a constructive heuristic.
 //
 //   $ ./tsp_tour [n] [budget_ticks]
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 

@@ -1,5 +1,7 @@
 #include "core/annealer.hpp"
 
+#include <utility>
+
 #include "core/figure1.hpp"
 #include "core/gfunction.hpp"
 #include "core/schedule.hpp"

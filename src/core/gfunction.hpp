@@ -28,6 +28,7 @@
 // Metropolis.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,8 +1,9 @@
 #include "core/tempering.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
 
 #include "core/schedule.hpp"
 #include "util/budget.hpp"

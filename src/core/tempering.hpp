@@ -19,6 +19,7 @@
 // evaluations).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>

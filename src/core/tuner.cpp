@@ -1,6 +1,8 @@
 #include "core/tuner.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <iterator>
 #include <stdexcept>
 
 #include "core/figure1.hpp"

@@ -14,9 +14,11 @@
 // tuner serves linear arrangement, TSP and partitioning.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/gfunction.hpp"

@@ -1,8 +1,10 @@
 #include "linarr/bounds.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <numeric>
 #include <stdexcept>
+#include <vector>
 
 #include "linarr/density.hpp"
 

@@ -14,6 +14,8 @@
 //    gap reporting on small instances.
 #pragma once
 
+#include <cstddef>
+
 #include "linarr/arrangement.hpp"
 #include "netlist/netlist.hpp"
 

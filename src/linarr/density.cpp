@@ -1,7 +1,9 @@
 #include "linarr/density.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
 
 #include "util/invariant.hpp"
 

@@ -17,7 +17,7 @@
 // never diverge; `verify()` recomputes everything from scratch for tests.
 #pragma once
 
-#include <cstdint>
+#include <cstddef>
 #include <vector>
 
 #include "linarr/arrangement.hpp"

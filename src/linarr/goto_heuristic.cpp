@@ -1,6 +1,8 @@
 #include "linarr/goto_heuristic.hpp"
 
+#include <cstddef>
 #include <limits>
+#include <utility>
 #include <vector>
 
 namespace mcopt::linarr {

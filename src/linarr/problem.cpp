@@ -1,6 +1,10 @@
 #include "linarr/problem.hpp"
 
+#include <cstddef>
+#include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/invariant.hpp"
 

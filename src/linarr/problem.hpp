@@ -9,7 +9,8 @@
 // optimal with respect to the perturbation strategy").
 #pragma once
 
-#include <cstdint>
+#include <cstddef>
+#include <memory>
 
 #include "core/problem.hpp"
 #include "linarr/density.hpp"

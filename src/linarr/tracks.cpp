@@ -1,7 +1,9 @@
 #include "linarr/tracks.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <ostream>
+#include <string>
 
 #include "linarr/density.hpp"
 

@@ -11,7 +11,9 @@
 // methods do) is minimizing the routed channel's height.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <ostream>
 #include <vector>
 
 #include "linarr/arrangement.hpp"

@@ -1,7 +1,9 @@
 #include "netlist/generator.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
 
 namespace mcopt::netlist {
 

@@ -3,6 +3,7 @@
 // GOLA and multi-pin nets for NOLA.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,6 +1,9 @@
 #include "netlist/io.hpp"
 
+#include <cstddef>
+#include <istream>
 #include <optional>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <iosfwd>
+#include <istream>
+#include <ostream>
 #include <string>
 
 #include "netlist/netlist.hpp"

@@ -1,7 +1,10 @@
 #include "netlist/netlist.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <initializer_list>
 #include <stdexcept>
+#include <utility>
 
 namespace mcopt::netlist {
 

@@ -7,9 +7,10 @@
 // where every net has exactly two pins.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <span>
-#include <string>
 #include <vector>
 
 namespace mcopt::netlist {

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <ostream>
 #include <vector>
 
 #include "netlist/netlist.hpp"

@@ -1,8 +1,10 @@
 #include "obs/profiler.hpp"
 
+#include <cstddef>
 #include <cstdio>
-
-#include "obs/recorder.hpp"
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace mcopt::obs {
 
@@ -98,17 +100,6 @@ std::string ProfileTree::to_json(bool include_wall) const {
   }
   out += "]";
   return out;
-}
-
-ProfileScope::ProfileScope(Recorder& recorder, const char* name)
-    : recorder_(recorder.profile_enter(name) ? &recorder : nullptr) {}
-
-ProfileScope::~ProfileScope() {
-  if (recorder_ != nullptr) recorder_->profile_exit();
-}
-
-void ProfileScope::add_ticks(std::uint64_t n) {
-  if (recorder_ != nullptr) recorder_->profile_add_ticks(n);
 }
 
 }  // namespace mcopt::obs

@@ -1,5 +1,7 @@
 #include "obs/recorder.hpp"
 
+#include <cstddef>
+
 namespace mcopt::obs {
 
 Recorder::Recorder(TraceSink* sink, bool collect_metrics,

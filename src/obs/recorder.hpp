@@ -20,6 +20,7 @@
 // deterministic, not merely data-race-free.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -201,5 +202,20 @@ class Recorder {
   };
   std::vector<OpenScope> pstack_;
 };
+
+// ProfileScope's members live here, not in profiler.cpp: profiler.hpp is
+// included above before Recorder exists, and keeping these inline makes a
+// scope on an off/non-profiling recorder a single predicted branch with no
+// call — the property bench/metrics_overhead gates.
+inline ProfileScope::ProfileScope(Recorder& recorder, const char* name)
+    : recorder_(recorder.profile_enter(name) ? &recorder : nullptr) {}
+
+inline ProfileScope::~ProfileScope() {
+  if (recorder_ != nullptr) recorder_->profile_exit();
+}
+
+inline void ProfileScope::add_ticks(std::uint64_t n) {
+  if (recorder_ != nullptr) recorder_->profile_add_ticks(n);
+}
 
 }  // namespace mcopt::obs

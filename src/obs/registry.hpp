@@ -32,6 +32,7 @@
 // yields the same exports.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

@@ -1,7 +1,9 @@
 #include "partition/fm.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
 
 namespace mcopt::partition {
 

@@ -11,6 +11,7 @@
 // omitting.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,7 +1,9 @@
 #include "partition/kl.hpp"
 
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace mcopt::partition {
 

@@ -1,6 +1,8 @@
 #include "partition/partition.hpp"
 
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
 
 #include "util/invariant.hpp"
 

@@ -9,6 +9,7 @@
 // flips and cross-side swaps.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

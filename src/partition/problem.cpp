@@ -1,6 +1,11 @@
 #include "partition/problem.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/invariant.hpp"
 

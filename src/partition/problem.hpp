@@ -8,6 +8,8 @@
 // arrangement problem.
 #pragma once
 
+#include <memory>
+
 #include "core/problem.hpp"
 #include "partition/partition.hpp"
 

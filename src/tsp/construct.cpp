@@ -1,8 +1,10 @@
 #include "tsp/construct.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace mcopt::tsp {
 

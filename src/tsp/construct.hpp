@@ -10,6 +10,9 @@
 //   deterministic constructor.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "tsp/tour.hpp"
 
 namespace mcopt::tsp {

@@ -1,7 +1,9 @@
 #include "tsp/instance.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <utility>
 
 namespace mcopt::tsp {
 

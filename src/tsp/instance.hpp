@@ -6,6 +6,7 @@
 // Euclidean instances, the standard workload of that literature.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

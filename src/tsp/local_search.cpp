@@ -1,5 +1,8 @@
 #include "tsp/local_search.hpp"
 
+#include <cstddef>
+#include <utility>
+
 namespace mcopt::tsp {
 
 namespace {

@@ -6,7 +6,9 @@
 // tests to stay under 1e-6 relative).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "core/problem.hpp"
 #include "tsp/local_search.hpp"

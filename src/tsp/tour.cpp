@@ -1,6 +1,7 @@
 #include "tsp/tour.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <numeric>
 #include <stdexcept>
 

@@ -10,6 +10,7 @@
 // Deltas are O(1) (2-opt) / O(len) (Or-opt) from the distance matrix.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "tsp/instance.hpp"

@@ -1,6 +1,8 @@
 #include "util/args.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <exception>
 #include <stdexcept>
 
 namespace mcopt::util {

@@ -1,5 +1,7 @@
 #include "util/csv.hpp"
 
+#include <cstddef>
+
 namespace mcopt::util {
 
 std::string CsvWriter::escape(std::string_view field) {

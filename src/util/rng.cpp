@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
-#include <cmath>
+#include <cstddef>
+#include <utility>
 
 namespace mcopt::util {
 

@@ -9,8 +9,9 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <utility>
 
 namespace mcopt::util {
 

@@ -2,7 +2,7 @@
 //
 // Every mutex in mcopt is a util::Mutex and every critical section a
 // util::MutexLock, never the std primitives directly — the determinism
-// lint (tools/lint_determinism.py, rule `raw-sync-primitive`) enforces
+// lint (tools/mcoptlint, rule `raw-sync-primitive`) enforces
 // this file as the only home of std::mutex and friends.  The point of the
 // wrapper is the CAPABILITY annotation: a util::Mutex is a capability the
 // Clang Thread Safety Analysis can track, so a field declared

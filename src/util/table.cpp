@@ -1,7 +1,9 @@
 #include "util/table.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <utility>
 
 namespace mcopt::util {
 

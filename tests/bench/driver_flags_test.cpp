@@ -1,6 +1,7 @@
 // Shared bench-driver flag parsing (bench/common): the side-effect-free
 // parse_driver_options path, including the validation satellite — zero or
 // negative numeric flags must be rejected with an error naming the flag.
+#include <optional>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #include "core/annealer.hpp"
 
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <stdexcept>
 

@@ -1,6 +1,8 @@
 #include "core/calibration.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <cmath>
 #include <stdexcept>

@@ -1,6 +1,10 @@
 #include "core/figure1.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <stdexcept>
+#include <string>
 
 #include <vector>
 

@@ -1,6 +1,9 @@
 #include "core/figure2.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <string>
 
 #include <vector>
 

@@ -1,6 +1,7 @@
 #include "core/gfunction.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 #include <cmath>
 #include <stdexcept>

@@ -1,6 +1,8 @@
 #include "core/multistart.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <algorithm>
 #include <stdexcept>

@@ -1,7 +1,11 @@
 // Observability must be a pure observer: attaching a Recorder to any runner
 // cannot change a single bit of its results, and what it records must agree
 // with the counters the runners already report.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
 
 #include <vector>
 

@@ -1,6 +1,7 @@
 #include "core/result.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 namespace mcopt::core {
 namespace {

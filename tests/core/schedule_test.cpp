@@ -1,5 +1,6 @@
 #include "core/schedule.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <stdexcept>

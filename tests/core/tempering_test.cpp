@@ -1,6 +1,10 @@
 #include "core/tempering.hpp"
 
+#include <cstddef>
+#include <functional>
 #include <gtest/gtest.h>
+#include <memory>
+#include <vector>
 
 #include <stdexcept>
 

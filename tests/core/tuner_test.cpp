@@ -1,6 +1,9 @@
 #include "core/tuner.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <memory>
 #include <stdexcept>

@@ -2,6 +2,7 @@
 // fixed seeds, so the entire pipeline — generators, starts, runners, every g
 // class — must be bit-deterministic.
 #include <gtest/gtest.h>
+#include <string>
 
 #include "core/figure1.hpp"
 #include "core/figure2.hpp"

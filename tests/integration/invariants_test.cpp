@@ -3,6 +3,8 @@
 // runners perform (and count) periodic verification, and the counts
 // propagate through aggregation — so a checked CI run can prove the checks
 // executed rather than silently compiling to nothing.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <memory>

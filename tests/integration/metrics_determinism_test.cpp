@@ -5,6 +5,8 @@
 // parallel run.  The exported registry snapshots (JSON and Prometheus,
 // deterministic_only form) are compared byte for byte, which is exactly
 // what bench/metrics_overhead gates in CI.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <string>

@@ -1,7 +1,11 @@
 // Cross-module integration: miniature versions of the paper's experiments
 // exercising netlist generation -> Goto/random starts -> Figure 1/2 runners
 // -> result aggregation, all through the public API.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <vector>
 
 #include "core/figure1.hpp"
 #include "core/figure2.hpp"

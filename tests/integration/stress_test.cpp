@@ -1,6 +1,11 @@
 // Stress and cross-component equivalence tests: larger instances than the
 // paper's, fuzz-style round-trips, and identities between API layers.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <stdexcept>
+#include <string>
 
 #include "core/annealer.hpp"
 #include "core/figure1.hpp"

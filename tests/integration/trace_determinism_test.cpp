@@ -2,6 +2,8 @@
 // multistart must emit the same event stream as the sequential loop — the
 // only allowed differences are the `worker` stamps and kWorkerSteal events
 // (obs/event.hpp) — and attaching tracing must not perturb the results.
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <algorithm>

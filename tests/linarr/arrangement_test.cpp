@@ -1,6 +1,9 @@
 #include "linarr/arrangement.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <stdexcept>
 

@@ -1,5 +1,7 @@
 #include "linarr/bounds.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <stdexcept>

@@ -1,5 +1,6 @@
 #include "linarr/cohoon.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "linarr/goto_heuristic.hpp"

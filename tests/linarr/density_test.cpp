@@ -1,5 +1,8 @@
 #include "linarr/density.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <stdexcept>

@@ -1,5 +1,7 @@
 #include "linarr/goto_heuristic.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "linarr/density.hpp"

@@ -1,5 +1,6 @@
 #include "linarr/problem.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <stdexcept>

@@ -1,6 +1,9 @@
 #include "linarr/tracks.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <string>
 
 #include <sstream>
 #include <tuple>

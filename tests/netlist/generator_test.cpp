@@ -1,5 +1,6 @@
 #include "netlist/generator.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <stdexcept>

@@ -1,8 +1,8 @@
 #include "netlist/io.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
-#include <sstream>
 #include <stdexcept>
 
 #include "netlist/generator.hpp"

@@ -1,10 +1,10 @@
 #include "netlist/netlist.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <stdexcept>
-#include <vector>
 
 namespace mcopt::netlist {
 namespace {

@@ -1,6 +1,8 @@
 #include "netlist/stats.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <string>
 
 #include <numeric>
 #include <sstream>

@@ -1,10 +1,10 @@
 // LogHistogram: exact power-of-two bucketing and order-invariant merges.
 #include "obs/histogram.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cstdint>
 #include <numeric>
 #include <string>
 #include <vector>

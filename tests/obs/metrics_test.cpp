@@ -2,6 +2,7 @@
 #include "obs/metrics.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 namespace mcopt::obs {
 namespace {

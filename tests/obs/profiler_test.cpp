@@ -2,6 +2,7 @@
 // path through a Recorder.
 #include "obs/profiler.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <cstdint>

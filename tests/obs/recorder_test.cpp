@@ -2,6 +2,8 @@
 // derivation, and the metrics it tallies.
 #include "obs/recorder.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <vector>

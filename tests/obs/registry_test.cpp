@@ -2,6 +2,7 @@
 // exporters (Prometheus text exposition, stable JSON).
 #include "obs/registry.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <string>

@@ -4,7 +4,10 @@
 // commit.
 #include "obs/trace.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <string>
 
 #include <sstream>
 #include <stdexcept>

@@ -1,5 +1,7 @@
 #include "partition/fm.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <stdexcept>

@@ -1,5 +1,6 @@
 #include "partition/kl.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <stdexcept>

@@ -1,5 +1,6 @@
 #include "partition/partition.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <stdexcept>

@@ -1,6 +1,9 @@
 #include "tsp/construct.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <algorithm>
 #include <stdexcept>

@@ -1,8 +1,8 @@
 #include "tsp/instance.hpp"
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <stdexcept>
 
 namespace mcopt::tsp {

@@ -1,6 +1,8 @@
 #include "tsp/local_search.hpp"
 
+#include <algorithm>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <cmath>
 

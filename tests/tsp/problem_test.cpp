@@ -2,7 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <stdexcept>
 
 #include "core/annealer.hpp"

@@ -1,5 +1,7 @@
 #include "tsp/tour.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include <stdexcept>

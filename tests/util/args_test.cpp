@@ -1,6 +1,8 @@
 #include "util/args.hpp"
 
 #include <gtest/gtest.h>
+#include <initializer_list>
+#include <vector>
 
 #include <stdexcept>
 

@@ -1,6 +1,7 @@
 #include "util/invariant.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 namespace mcopt::util {
 namespace {

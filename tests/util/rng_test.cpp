@@ -1,6 +1,9 @@
 #include "util/rng.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <utility>
 
 #include <algorithm>
 #include <array>

@@ -1,6 +1,7 @@
 #include "util/stats.hpp"
 
 #include <gtest/gtest.h>
+#include <vector>
 
 #include <cmath>
 

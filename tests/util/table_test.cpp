@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 #include <sstream>
 #include <vector>

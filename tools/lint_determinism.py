@@ -1,435 +1,25 @@
 #!/usr/bin/env python3
-"""Determinism lint for the mcopt source tree.
+"""Compatibility shim: the determinism linter is now tools/mcoptlint.
 
-Bit-exact reproducibility of the EXPERIMENTS.md tables is a hard project
-contract: every stochastic component must draw from util::Rng (xoshiro256++
-seeded via splitmix64), and cost arithmetic must be double-precision.  This
-tool rejects source constructs that silently break that contract:
-
-  * std::rand / srand / rand()          - C PRNG, global state, libc-specific
-  * std::random_device                  - nondeterministic by design
-  * std::uniform_*_distribution et al.  - unspecified algorithm; streams
-    differ between standard libraries even for equal seeds
-  * std::mt19937 / minstd / ranlux ...  - engine construction outside
-    util::Rng (default-constructed engines are unseeded; even seeded ones
-    bypass the project's stream-derivation scheme)
-  * time(...) / clock() / system_clock  - wall-clock seeding or wall-clock
-    dependent logic (steady_clock is allowed: it only measures durations)
-  * float in cost arithmetic            - all costs are double; float
-    narrows differently across FPUs and vector units
-  * sleep_for / sleep_until, std::async - scheduler-dependent timing or
-    launch policy; parallel code uses the explicit pool in core/parallel.cpp
-  * thread_local ... Rng                - per-OS-thread randomness depends on
-    scheduling; derive per-work-item streams with util::Rng::split
-
-Concurrency rules (the compile-time contract rides on util/sync.hpp —
-these keep every lock a Clang-analyzable util::Mutex):
-
-  * std::mutex / lock_guard / scoped_lock / unique_lock /
-    condition_variable et al.           - raw sync primitives carry no
-    CAPABILITY annotation, so -Wthread-safety cannot see them; only
-    src/util/sync.hpp (the annotated wrapper) may touch them
-  * .detach()                           - detached threads outlive every
-    join point and race with static destruction; pools must join
-  * std::atomic                         - lock-free shared state dodges
-    GUARDED_BY checking; each use needs an explicit allow with a reason
-
-Comments and string literals are stripped before matching, so *discussing*
-a banned construct is fine.  A genuine exception can be allowlisted by
-putting `mcopt-lint: allow(<rule>)` in a comment on the same line; whole
-files implementing a sanctioned wrapper are listed in EXEMPT_FILES.
-
-Exit status: 0 when clean, 1 when violations are found, 2 on usage errors.
-Run `tools/lint_determinism.py --self-test` to verify the linter catches
-every rule (used by CI to prove the lint is live).
+Every rule this script used to implement (c-rand, random-device,
+std-distribution, std-engine, wall-clock, float-arithmetic, shuffle-std,
+thread-sleep, std-async, thread-local-rng, raw-stderr, raw-sync-primitive,
+thread-detach, raw-atomic) lives on in tools/mcoptlint/rules.py with the
+same names, the same `mcopt-lint: allow(rule)` escape hatch, the same
+exempt-file table, and the same 0/1/2 exit-code contract -- plus the
+semantic rules regex could not express.  This wrapper keeps old
+invocations (CI scripts, editor hooks, muscle memory) working; new wiring
+should call `python3 tools/mcoptlint` directly.
 """
 
-from __future__ import annotations
-
-import argparse
 import pathlib
-import re
 import sys
-import tempfile
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_DIRS = ["src", "bench", "examples", "tests", "tools"]
-SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-ALLOW_RE = re.compile(r"mcopt-lint:\s*allow\(([a-z0-9_\-, ]+)\)")
-
-# rule name -> (regex on comment/string-stripped code, human explanation)
-RULES = {
-    "c-rand": (
-        re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("),
-        "C rand()/srand(): global-state PRNG, not reproducible across libcs; "
-        "use util::Rng",
-    ),
-    "random-device": (
-        re.compile(r"\bstd\s*::\s*random_device\b"),
-        "std::random_device is nondeterministic; seed util::Rng explicitly",
-    ),
-    "std-distribution": (
-        re.compile(
-            r"\bstd\s*::\s*(?:uniform_int_distribution|"
-            r"uniform_real_distribution|normal_distribution|"
-            r"bernoulli_distribution|discrete_distribution|"
-            r"exponential_distribution|poisson_distribution|"
-            r"geometric_distribution|binomial_distribution)\b"
-        ),
-        "std distributions have unspecified algorithms (streams differ across "
-        "standard libraries); use util::Rng helpers",
-    ),
-    "std-engine": (
-        re.compile(
-            r"\bstd\s*::\s*(?:mt19937(?:_64)?|minstd_rand0?|ranlux\w+|"
-            r"knuth_b|default_random_engine)\b"
-        ),
-        "std random engine construction bypasses util::Rng and the project's "
-        "seed-derivation scheme",
-    ),
-    "wall-clock": (
-        re.compile(
-            r"(?:\btime\s*\(|\bclock\s*\(|"
-            r"\bstd\s*::\s*chrono\s*::\s*(?:system_clock|"
-            r"high_resolution_clock)\b|\bgettimeofday\s*\()"
-        ),
-        "wall-clock access: seeds or logic derived from it are not "
-        "reproducible (steady_clock durations via util::Stopwatch are fine)",
-    ),
-    "float-arithmetic": (
-        re.compile(r"\bfloat\b"),
-        "float narrows cost arithmetic differently across FPUs; the project "
-        "contract is double everywhere",
-    ),
-    "shuffle-std": (
-        re.compile(r"\bstd\s*::\s*(?:shuffle|random_shuffle)\b"),
-        "std::shuffle's use of the URBG is unspecified; use util::Rng::shuffle",
-    ),
-    "thread-sleep": (
-        re.compile(r"\bstd\s*::\s*this_thread\s*::\s*sleep_(?:for|until)\b"),
-        "sleeping makes behaviour depend on the scheduler; parallel code must "
-        "synchronize with condition variables / joins, never timed waits",
-    ),
-    "std-async": (
-        re.compile(r"\bstd\s*::\s*async\b"),
-        "std::async launch policy and thread reuse are implementation-defined; "
-        "use the explicit std::thread pool in core/parallel.cpp",
-    ),
-    "thread-local-rng": (
-        re.compile(r"\bthread_local\b[^;{]*\bRng\b"),
-        "thread_local Rng state is seeded per OS thread, so results depend on "
-        "thread scheduling; derive per-work-item streams with util::Rng::split",
-    ),
-    "raw-stderr": (
-        re.compile(
-            r"\bstd\s*::\s*cerr\b|"
-            r"\b(?:std\s*::\s*)?v?fprintf\s*\(\s*stderr\b|"
-            r"\b(?:std\s*::\s*)?fput[sc]\s*\([^;)]*\bstderr\b"
-        ),
-        "raw stderr writes in src/ bypass the obs::log level control; route "
-        "diagnostics through obs::log (obs/log.hpp)",
-    ),
-    "raw-sync-primitive": (
-        re.compile(
-            r"\bstd\s*::\s*(?:mutex|timed_mutex|recursive_mutex|"
-            r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
-            r"lock_guard|scoped_lock|unique_lock|shared_lock|"
-            r"condition_variable(?:_any)?)\b"
-        ),
-        "raw std sync primitives carry no CAPABILITY annotation, so "
-        "-Wthread-safety cannot check them; use util::Mutex / util::MutexLock "
-        "/ util::CondVar (util/sync.hpp)",
-    ),
-    "thread-detach": (
-        re.compile(r"\.\s*detach\s*\("),
-        "detached threads outlive every join point and race static "
-        "destruction; keep threads joinable and join them",
-    ),
-    "raw-atomic": (
-        re.compile(r"\bstd\s*::\s*atomic(?:_\w+)?\b"),
-        "std::atomic state is invisible to GUARDED_BY analysis; guard shared "
-        "state with util::Mutex, or allowlist the line with a stated reason",
-    ),
-}
-
-# Rules that only apply under these top-level directories (library code must
-# log through obs::log; drivers and tests may still print directly).
-SCOPED_RULES = {"raw-stderr": {"src"}}
-
-# rule name -> repo-relative POSIX path suffixes where the rule is void: the
-# one sanctioned implementation of the construct it bans.  util/sync.hpp is
-# the annotated wrapper that the raw-sync-primitive rule funnels everyone
-# toward, so it is the only file allowed to touch the std primitives.
-EXEMPT_FILES = {
-    "raw-sync-primitive": {"src/util/sync.hpp"},
-}
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks out comments, string literals, and char literals, preserving
-    line structure so reported line numbers match the original file."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char | raw
-    raw_terminator = ""
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "R" and nxt == '"':
-                match = re.match(r'R"([^()\\ ]*)\(', text[i:])
-                if match:
-                    raw_terminator = ")" + match.group(1) + '"'
-                    state = "raw"
-                    out.append(" " * len(match.group(0)))
-                    i += len(match.group(0))
-                    continue
-            if c == '"':
-                state = "string"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-            i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-            i += 1
-        elif state == "raw":
-            if text.startswith(raw_terminator, i):
-                state = "code"
-                out.append(" " * len(raw_terminator))
-                i += len(raw_terminator)
-                continue
-            out.append(c if c == "\n" else " ")
-            i += 1
-        elif state in ("string", "char"):
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if (state == "string" and c == '"') or (state == "char" and c == "'"):
-                state = "code"
-            out.append(" " if c != "\n" else c)
-            i += 1
-    return "".join(out)
-
-
-def allowed_rules(original_line: str) -> set[str]:
-    match = ALLOW_RE.search(original_line)
-    if not match:
-        return set()
-    return {rule.strip() for rule in match.group(1).split(",")}
-
-
-def exempt_rules(path: pathlib.Path) -> set[str]:
-    posix = path.as_posix()
-    return {
-        rule
-        for rule, suffixes in EXEMPT_FILES.items()
-        if any(posix.endswith(suffix) for suffix in suffixes)
-    }
-
-
-def lint_file(path: pathlib.Path) -> list[str]:
-    try:
-        text = path.read_text(encoding="utf-8")
-    except (OSError, UnicodeDecodeError) as err:
-        return [f"{path}: unreadable: {err}"]
-    stripped = strip_comments_and_strings(text)
-    original_lines = text.splitlines()
-    exempt = exempt_rules(path)
-    violations = []
-    for lineno, line in enumerate(stripped.splitlines(), start=1):
-        original = (
-            original_lines[lineno - 1] if lineno <= len(original_lines) else ""
-        )
-        allows = allowed_rules(original)
-        for rule, (pattern, explanation) in RULES.items():
-            if rule in allows or rule in exempt:
-                continue
-            scope = SCOPED_RULES.get(rule)
-            if scope is not None and scope.isdisjoint(path.parts):
-                continue
-            if pattern.search(line):
-                violations.append(
-                    f"{path}:{lineno}: [{rule}] {explanation}\n"
-                    f"    {original.strip()}"
-                )
-    return violations
-
-
-def collect_files(roots: list[pathlib.Path]) -> list[pathlib.Path]:
-    files = []
-    for root in roots:
-        if root.is_file():
-            files.append(root)
-            continue
-        files.extend(
-            p
-            for p in sorted(root.rglob("*"))
-            if p.suffix in SOURCE_SUFFIXES and p.is_file()
-        )
-    return files
-
-
-def run_lint(roots: list[pathlib.Path]) -> int:
-    files = collect_files(roots)
-    if not files:
-        print("lint_determinism: no source files found", file=sys.stderr)
-        return 2
-    all_violations = []
-    for path in files:
-        all_violations.extend(lint_file(path))
-    for violation in all_violations:
-        print(violation)
-    if all_violations:
-        print(
-            f"lint_determinism: {len(all_violations)} violation(s) "
-            f"in {len(files)} file(s)",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"lint_determinism: OK ({len(files)} files clean)")
-    return 0
-
-
-SELF_TEST_SNIPPETS = {
-    "c-rand": "int x = std::rand();",
-    "random-device": "std::random_device rd;",
-    "std-distribution": "std::uniform_int_distribution<int> d(0, 9);",
-    "std-engine": "std::mt19937 gen(42);",
-    "wall-clock": "auto t0 = time(nullptr);",
-    "float-arithmetic": "float cost = 0.0f;",
-    "shuffle-std": "std::shuffle(v.begin(), v.end(), gen);",
-    "thread-sleep": "std::this_thread::sleep_for(std::chrono::seconds(1));",
-    "std-async": "auto f = std::async(work);",
-    "thread-local-rng": "thread_local util::Rng rng{42};",
-    "raw-stderr": 'std::cerr << "chatter";',
-    "raw-sync-primitive": "std::mutex mu;",
-    "thread-detach": "worker.detach();",
-    "raw-atomic": "std::atomic<int> ready{0};",
-}
-
-SELF_TEST_CLEAN = """\
-// std::rand() in a comment is fine; so is "std::random_device" in a string.
-#include "util/rng.hpp"
-const char* banner = "seeded by std::mt19937? never.";
-double run(mcopt::util::Rng& rng) { return rng.next_double(); }
-int narrow = 3;  // float would be flagged, double is the contract
-std::uint64_t stamp();  // mcopt-lint: allow(wall-clock) -- not actually used
-"""
-
-
-def self_test() -> int:
-    failures = []
-    with tempfile.TemporaryDirectory() as tmp:
-        tmpdir = pathlib.Path(tmp)
-        for rule, snippet in SELF_TEST_SNIPPETS.items():
-            scope = SCOPED_RULES.get(rule)
-            rule_dir = tmpdir / sorted(scope)[0] if scope else tmpdir
-            rule_dir.mkdir(exist_ok=True)
-            path = rule_dir / f"{rule}.cpp"
-            path.write_text(snippet + "\n", encoding="utf-8")
-            violations = lint_file(path)
-            if not any(f"[{rule}]" in v for v in violations):
-                failures.append(f"rule '{rule}' missed: {snippet!r}")
-            path.unlink()
-            if scope:
-                # The same construct outside the scoped directories is legal.
-                outside = tmpdir / f"{rule}-outside.cpp"
-                outside.write_text(snippet + "\n", encoding="utf-8")
-                if any(f"[{rule}]" in v for v in lint_file(outside)):
-                    failures.append(
-                        f"scoped rule '{rule}' fired outside {sorted(scope)}"
-                    )
-                outside.unlink()
-        # Rules with exempt files must stay silent inside the sanctioned
-        # wrapper (and nowhere else -- the generic loop above already proved
-        # they fire on the same snippet in an ordinary location).
-        for rule, suffixes in EXEMPT_FILES.items():
-            for suffix in sorted(suffixes):
-                exempt_path = tmpdir / suffix
-                exempt_path.parent.mkdir(parents=True, exist_ok=True)
-                exempt_path.write_text(
-                    SELF_TEST_SNIPPETS[rule] + "\n", encoding="utf-8"
-                )
-                if any(f"[{rule}]" in v for v in lint_file(exempt_path)):
-                    failures.append(
-                        f"rule '{rule}' fired in exempt file {suffix}"
-                    )
-                exempt_path.unlink()
-        clean = tmpdir / "clean.cpp"
-        clean.write_text(SELF_TEST_CLEAN, encoding="utf-8")
-        violations = lint_file(clean)
-        if violations:
-            failures.append(
-                "false positives on comment/string/allowlisted code:\n  "
-                + "\n  ".join(violations)
-            )
-    if failures:
-        print("lint_determinism --self-test FAILED:", file=sys.stderr)
-        for failure in failures:
-            print(f"  {failure}", file=sys.stderr)
-        return 1
-    print(f"lint_determinism --self-test OK ({len(SELF_TEST_SNIPPETS)} rules)")
-    return 0
-
-
-def main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "paths",
-        nargs="*",
-        help=f"files or directories to lint (default: {' '.join(DEFAULT_DIRS)} "
-        "relative to the repo root)",
-    )
-    parser.add_argument(
-        "--self-test",
-        action="store_true",
-        help="verify every rule fires on a planted violation, then exit",
-    )
-    args = parser.parse_args(argv)
-    if args.self_test:
-        return self_test()
-    if args.paths:
-        roots = [pathlib.Path(p) for p in args.paths]
-    else:
-        roots = [REPO_ROOT / d for d in DEFAULT_DIRS if (REPO_ROOT / d).is_dir()]
-    missing = [str(r) for r in roots if not r.exists()]
-    if missing:
-        print(f"lint_determinism: no such path: {', '.join(missing)}",
-              file=sys.stderr)
-        return 2
-    return run_lint(roots)
-
+from mcoptlint import cli  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    print("note: lint_determinism.py is now a shim for tools/mcoptlint",
+          file=sys.stderr)
+    sys.exit(cli.main(sys.argv[1:]))

@@ -1,0 +1,29 @@
+"""mcoptlint: semantic static analysis for the mcopt source tree.
+
+The package graduates tools/lint_determinism.py (PR 1) from token/regex
+matching to a small semantic engine:
+
+  lexer      comment/string/raw-string/line-splice-aware C++ lexing that
+             preserves line structure, so findings point at real lines
+  cppmodel   a lightweight declaration/scope parser: includes, variable
+             declarations with initializers, function declarations with
+             return types and attributes, range-for statements
+  rules      the rule framework plus every shipped rule -- the absorbed
+             determinism/concurrency regex rules and the semantic rules
+             (rng-provenance, unordered-iteration, nodiscard-contract,
+             include-hygiene)
+  selftest   proves every rule fires on its committed known-bad fixture
+             (tools/mcoptlint/fixtures/) and stays silent on clean code
+
+Findings are reported as `file:line: [rule] explanation` text or as JSON
+(--format json).  A genuine exception is allowlisted with a
+`mcopt-lint: allow(<rule>)` comment on the offending line; whole files
+implementing a sanctioned wrapper are listed per rule in
+rules.EXEMPT_FILES.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+__version__ = "1.0.0"
+
+from mcoptlint.engine import Finding, lint_file, lint_paths  # noqa: F401

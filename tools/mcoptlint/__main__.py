@@ -1,0 +1,17 @@
+"""Entry point: `python3 tools/mcoptlint [...]`.
+
+Executing the package *directory* puts the directory itself (not its
+parent) on sys.path, so absolute `mcoptlint.*` imports need the parent
+prepended before anything else is imported.
+"""
+
+import pathlib
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from mcoptlint import cli  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cli.main(sys.argv[1:]))

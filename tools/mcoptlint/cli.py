@@ -1,0 +1,91 @@
+"""mcoptlint command line.
+
+    python3 tools/mcoptlint [paths...]        lint (default: the repo tree)
+    python3 tools/mcoptlint --self-test       prove every rule fires
+    python3 tools/mcoptlint --format json     machine-readable findings
+    python3 tools/mcoptlint --json-out F      also write JSON to F (CI)
+    python3 tools/mcoptlint --list-rules      one line per rule
+
+Exit status: 0 clean, 1 findings, 2 usage error -- identical to the
+lint_determinism.py contract so ctest/CI wiring carries over.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from mcoptlint import engine, rules, selftest
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcoptlint",
+        description="semantic static analysis for the mcopt source tree",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: "
+        f"{' '.join(engine.DEFAULT_DIRS)} relative to the repo root)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify every rule fires on its known-bad fixture, then exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format (default: text)",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="additionally write the JSON findings report to FILE",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="mechanically fix include-hygiene findings in place",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return selftest.self_test()
+    if args.list_rules:
+        for rule in rules.default_rules():
+            scope = ",".join(sorted(rule.scope)) if rule.scope else "tree"
+            print(f"{rule.name:22s} [{scope}] {rule.explanation}")
+        return 0
+
+    if args.paths:
+        roots = [pathlib.Path(p) for p in args.paths]
+    else:
+        roots = [
+            engine.REPO_ROOT / d
+            for d in engine.DEFAULT_DIRS
+            if (engine.REPO_ROOT / d).is_dir()
+        ]
+    missing = [str(r) for r in roots if not r.exists()]
+    if missing:
+        print(f"mcoptlint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    if args.fix:
+        from mcoptlint import fixer
+
+        applied, remaining = fixer.apply_fixes(roots)
+        print(f"mcoptlint: applied {applied} include fix(es), "
+              f"{remaining} finding(s) remain", file=sys.stderr)
+        return 0 if remaining == 0 else 1
+    findings, num_files = engine.lint_paths(roots)
+    return engine.report(findings, num_files, fmt=args.format,
+                         json_out=args.json_out)

@@ -1,0 +1,332 @@
+"""Lightweight C++ declaration/scope model.
+
+This is deliberately not a compiler front end: it extracts exactly the
+shapes the semantic rules need from lexer-stripped text, using balanced
+bracket scanning instead of a grammar.
+
+  includes()        #include directives with line numbers (parsed from the
+                    *original* text -- the stripper blanks quoted forms)
+  var_decls(re)     variable/member declarations whose type matches a
+                    pattern, with the initializer expression and kind
+                    (brace / paren / equals / default)
+  func_decls()      function declarations/definitions: return type,
+                    name, attribute text before the return type, whether
+                    the return type is a reference/pointer
+  range_fors()      range-based for statements (decl, range expression)
+  iter_fors()       classic for statements whose init calls .begin() /
+                    .cbegin() on some expression
+
+Line numbers are 1-based and always refer to the original file.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass
+
+INCLUDE_RE = re.compile(
+    r'^\s*#\s*include\s*(?:<(?P<angle>[^>]+)>|"(?P<quote>[^"]+)")',
+)
+
+# Specifiers that may legally sit between an attribute and the return type
+# (or before a variable's type) without changing what is declared.
+_SPECIFIERS = (
+    "static", "inline", "constexpr", "consteval", "virtual", "explicit",
+    "friend", "extern", "mutable", "const", "typename",
+)
+
+
+@dataclass(frozen=True)
+class Include:
+    line: int
+    angled: bool
+    path: str
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    line: int
+    type_text: str
+    name: str
+    init_kind: str  # "brace" | "paren" | "equals" | "default"
+    init_text: str
+
+
+@dataclass(frozen=True)
+class FuncDecl:
+    line: int
+    return_type: str
+    name: str
+    attributes: str  # the raw [[...]] text seen before the declaration
+    is_value_return: bool
+
+
+@dataclass(frozen=True)
+class RangeFor:
+    line: int
+    decl_text: str
+    expr_text: str
+
+
+@dataclass(frozen=True)
+class IterFor:
+    line: int
+    expr_text: str  # the expression .begin()/.cbegin() was called on
+
+
+class CppModel:
+    def __init__(self, raw_text: str, stripped_text: str) -> None:
+        self._raw = raw_text
+        self._stripped = stripped_text
+        self._line_starts = [0]
+        for i, ch in enumerate(stripped_text):
+            if ch == "\n":
+                self._line_starts.append(i + 1)
+
+    def line_at(self, offset: int) -> int:
+        return bisect.bisect_right(self._line_starts, offset)
+
+    # ----------------------------------------------------------------- includes
+    def includes(self) -> list[Include]:
+        out = []
+        for lineno, line in enumerate(self._raw.splitlines(), start=1):
+            match = INCLUDE_RE.match(line)
+            if match:
+                angled = match.group("angle") is not None
+                out.append(
+                    Include(lineno, angled,
+                            match.group("angle" if angled else "quote"))
+                )
+        return out
+
+    # ------------------------------------------------------------ balanced scan
+    def _matching(self, open_pos: int) -> int:
+        """Offset one past the bracket matching stripped[open_pos] (one of
+        ( [ { <).  For '<' the scan fails (returns open_pos) when the
+        contents cannot be template arguments -- a comparison, not a list."""
+        pairs = {"(": ")", "[": "]", "{": "}", "<": ">"}
+        opener = self._stripped[open_pos]
+        closer = pairs[opener]
+        depth = 0
+        i = open_pos
+        n = len(self._stripped)
+        while i < n:
+            c = self._stripped[i]
+            if c == opener:
+                depth += 1
+            elif c == closer:
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            elif opener == "<" and c in ";{}":
+                return open_pos  # statement ended: was a comparison
+            i += 1
+        return open_pos
+
+    def _consume_type_suffix(self, pos: int) -> int:
+        """From `pos` (just after a type name), consumes a template argument
+        list and any trailing ::nested-name, returning the new offset."""
+        i = _skip_ws(self._stripped, pos)
+        if i < len(self._stripped) and self._stripped[i] == "<":
+            end = self._matching(i)
+            if end > i:
+                i = _skip_ws(self._stripped, end)
+                while self._stripped.startswith("::", i):
+                    match = re.compile(r"::\s*\w+").match(self._stripped, i)
+                    if not match:
+                        break
+                    i = match.end()
+        return i
+
+    # ---------------------------------------------------------------- var decls
+    def var_decls(self, type_pattern: str,
+                  include_refs: bool = False) -> list[VarDecl]:
+        """Declarations `T name;`, `T name{...};`, `T name(...);`,
+        `T name = ...;` where T matches `type_pattern` (which must not
+        contain capturing groups).  Function declarations are filtered by
+        initializer shape: empty parens, or parens whose top-level
+        comma-separated items look like parameter declarations.
+
+        `include_refs` also yields `T& name` / `T* name` declarators and
+        parameter-style declarations (terminated by `,` or `)`), with
+        init_kind "param" -- rules about *using* a T want those; rules
+        about *creating* a T do not."""
+        out = []
+        decl_re = re.compile(
+            r"(?:^|[;{}(,]|\)\s*)\s*"          # statement-ish boundary
+            r"(?:(?:" + "|".join(_SPECIFIERS) + r")\s+)*"
+            r"(?P<type>" + type_pattern + r")"
+            r"(?P<tmpl>\s*<)?",
+        )
+        for match in decl_re.finditer(self._stripped):
+            pos = match.end("type")
+            if match.group("tmpl"):
+                pos = self._consume_type_suffix(pos)
+            else:
+                pos = _skip_ws(self._stripped, pos)
+            # The declared name (references/pointers excluded unless
+            # include_refs: those alias an existing generator/container,
+            # they do not create one).
+            if include_refs:
+                ref_match = re.compile(r"[&*\s]+").match(self._stripped, pos)
+                if ref_match:
+                    pos = ref_match.end()
+            name_match = re.compile(r"(\w+)\s*").match(self._stripped, pos)
+            if not name_match:
+                continue
+            name = name_match.group(1)
+            if name in _SPECIFIERS or name in ("operator", "return", "new"):
+                continue
+            i = name_match.end()
+            c = self._stripped[i] if i < len(self._stripped) else ""
+            line = self.line_at(match.start("type"))
+            if c == ";":
+                out.append(VarDecl(line, match.group("type"), name,
+                                   "default", ""))
+            elif include_refs and c in ",)":
+                out.append(VarDecl(line, match.group("type"), name,
+                                   "param", ""))
+            elif c == "{":
+                end = self._matching(i)
+                out.append(VarDecl(line, match.group("type"), name, "brace",
+                                   self._stripped[i + 1:end - 1].strip()))
+            elif c == "=":
+                end = self._stripped.find(";", i)
+                if end < 0:
+                    continue
+                out.append(VarDecl(line, match.group("type"), name, "equals",
+                                   self._stripped[i + 1:end].strip()))
+            elif c == "(":
+                end = self._matching(i)
+                inner = self._stripped[i + 1:end - 1].strip()
+                if _looks_like_parameter_list(inner):
+                    continue  # function declaration, not a variable
+                out.append(VarDecl(line, match.group("type"), name, "paren",
+                                   inner))
+        return out
+
+    # --------------------------------------------------------------- func decls
+    def func_decls(self, type_names: set[str]) -> list[FuncDecl]:
+        """Function declarations/definitions whose return type is one of
+        `type_names` (matched on the last :: component, templates and
+        namespace qualifiers allowed)."""
+        out = []
+        names = "|".join(sorted(type_names))
+        decl_re = re.compile(
+            r"(?:^|[;{}])\s*"
+            r"(?P<attrs>(?:\[\[[^\]]*\]\]\s*)*)"
+            r"(?:(?:static|inline|constexpr|virtual|explicit|friend)\s+)*"
+            r"(?P<rtype>(?:\w+\s*::\s*)*(?:" + names + r"))"
+            r"(?P<suffix>\s*[&*]\s*|\s+)"
+            r"(?P<name>\w+)\s*\(",
+        )
+        for match in decl_re.finditer(self._stripped):
+            name = match.group("name")
+            rtype = re.sub(r"\s+", "", match.group("rtype"))
+            if name == rtype.split("::")[-1]:
+                continue  # constructor
+            paren = self._stripped.index("(", match.end("name"))
+            inner = self._stripped[paren + 1:self._matching(paren) - 1]
+            # `T name(args);` with non-parameter args is a variable, which
+            # var_decls() owns; only keep plausible function declarations.
+            if inner.strip() and not _looks_like_parameter_list(inner):
+                continue
+            out.append(FuncDecl(
+                self.line_at(match.start("rtype")),
+                rtype,
+                name,
+                match.group("attrs"),
+                match.group("suffix").strip() not in ("&", "*"),
+            ))
+        return out
+
+    # --------------------------------------------------------------- loop forms
+    def range_fors(self) -> list[RangeFor]:
+        out = []
+        for match in re.finditer(r"\bfor\s*\(", self._stripped):
+            open_pos = match.end() - 1
+            end = self._matching(open_pos)
+            head = self._stripped[open_pos + 1:end - 1]
+            colon = _top_level_colon(head)
+            if colon < 0:
+                continue
+            out.append(RangeFor(
+                self.line_at(match.start()),
+                head[:colon].strip(),
+                head[colon + 1:].strip(),
+            ))
+        return out
+
+    def iter_fors(self) -> list[IterFor]:
+        out = []
+        for match in re.finditer(r"\bfor\s*\(", self._stripped):
+            open_pos = match.end() - 1
+            end = self._matching(open_pos)
+            head = self._stripped[open_pos + 1:end - 1]
+            if _top_level_colon(head) >= 0:
+                continue
+            begin = re.search(r"([\w.\->\[\]()]+?)\s*\.\s*c?begin\s*\(", head)
+            if begin:
+                out.append(IterFor(self.line_at(match.start()),
+                                   begin.group(1)))
+        return out
+
+
+def _skip_ws(text: str, i: int) -> int:
+    while i < len(text) and text[i].isspace():
+        i += 1
+    return i
+
+
+def _looks_like_parameter_list(inner: str) -> bool:
+    """True when the parenthesised text reads as a parameter list rather
+    than constructor arguments: empty, `void`, or every top-level item
+    containing a type-ish shape (two adjacent identifiers, a qualifier
+    keyword, or a reference/pointer declarator after a name)."""
+    inner = inner.strip()
+    if not inner or inner == "void":
+        return True
+    for item in _split_top_level(inner, ","):
+        item = item.strip()
+        if re.search(r"\b(?:const|unsigned|signed|struct|class)\b", item):
+            continue
+        if re.search(r"[\w>]\s*[&*]+\s*\w+$", item):
+            continue  # `T& name`, `T* name`
+        if re.search(r"[\w>]\s+\w+(?:\s*=[^,]*)?$", item):
+            continue  # `T name` or `T name = default`
+        if re.fullmatch(r"(?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*"
+                        r"(?:\s*<.*>)?\s*(?:[&*]\s*)*(?:\.\.\.)?", item):
+            continue  # unnamed parameter `T`, `T&&...` (not a literal)
+        return False
+    return True
+
+
+def _split_top_level(text: str, sep: str) -> list[str]:
+    parts = []
+    depth = 0
+    start = 0
+    for i, c in enumerate(text):
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == sep and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return parts
+
+
+def _top_level_colon(head: str) -> int:
+    depth = 0
+    for i, c in enumerate(head):
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if head[i - 1:i] == ":" or head[i + 1:i + 2] == ":":
+                continue  # part of ::
+            return i
+    return -1

@@ -1,0 +1,202 @@
+"""mcoptlint engine: file contexts, allowlisting, rule dispatch, output.
+
+The engine walks source files, builds a FileContext per file (raw text,
+stripped text, lazy CppModel), and runs every registered rule over it.
+Line-level `mcopt-lint: allow(rule)` comments and per-rule file
+exemptions are honoured here so individual rules never re-implement
+allowlisting.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import pathlib
+import re
+import sys
+from dataclasses import dataclass, field
+
+from mcoptlint import lexer
+from mcoptlint.cppmodel import CppModel
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+DEFAULT_DIRS = ["src", "bench", "examples", "tests", "tools"]
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+ALLOW_RE = re.compile(r"mcopt-lint:\s*allow\(([a-z0-9_\-, ]+)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+    snippet: str = ""
+
+    def text(self) -> str:
+        out = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.snippet:
+            out += f"\n    {self.snippet}"
+        return out
+
+    def as_json(self) -> dict:
+        return {
+            "file": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class FileContext:
+    """Everything a rule may want to know about one file."""
+
+    def __init__(self, path: pathlib.Path, text: str) -> None:
+        self.path = path
+        self.raw_text = text
+        self.raw_lines = text.splitlines()
+        self.stripped_text = lexer.strip(text)
+        self.stripped_lines = self.stripped_text.splitlines()
+
+    @functools.cached_property
+    def model(self) -> CppModel:
+        return CppModel(self.raw_text, self.stripped_text)
+
+    def raw_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.raw_lines):
+            return self.raw_lines[lineno - 1]
+        return ""
+
+    def allowed_rules(self, lineno: int) -> set[str]:
+        match = ALLOW_RE.search(self.raw_line(lineno))
+        if not match:
+            return set()
+        return {rule.strip() for rule in match.group(1).split(",")}
+
+    def in_scope(self, scope: set[str] | None) -> bool:
+        """Whether this file falls under the given top-level directories
+        (None = everywhere).  Matches on path components, so self-test
+        fixtures staged under /tmp/.../src/ scope correctly too."""
+        return scope is None or not scope.isdisjoint(self.path.parts)
+
+    def finding(self, lineno: int, rule: str, message: str) -> Finding:
+        return Finding(str(self.path), lineno, rule, message,
+                       self.raw_line(lineno).strip())
+
+
+@dataclass
+class Rule:
+    name: str
+    explanation: str
+    scope: set[str] | None = None  # top-level dirs, None = everywhere
+
+    def check(self, ctx: FileContext) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class RegexRule(Rule):
+    """A rule that fires when a pattern matches a stripped source line --
+    the PR 1 rule shape, carried over verbatim."""
+
+    pattern: re.Pattern[str] = field(default_factory=lambda: re.compile("$^"))
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        out = []
+        for lineno, line in enumerate(ctx.stripped_lines, start=1):
+            if self.pattern.search(line):
+                out.append(ctx.finding(lineno, self.name, self.explanation))
+        return out
+
+
+def lint_file(path: pathlib.Path, rules=None,
+              exempt_files=None) -> list[Finding]:
+    from mcoptlint import rules as rules_mod  # late: rules import engine
+
+    if rules is None:
+        rules = rules_mod.default_rules()
+    if exempt_files is None:
+        exempt_files = rules_mod.EXEMPT_FILES
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [Finding(str(path), 0, "unreadable", str(err))]
+    ctx = FileContext(path, text)
+    posix = path.as_posix()
+    findings: list[Finding] = []
+    for rule in rules:
+        if not ctx.in_scope(rule.scope):
+            continue
+        if any(posix.endswith(suffix)
+               for suffix in exempt_files.get(rule.name, ())):
+            continue
+        for finding in rule.check(ctx):
+            if rule.name not in ctx.allowed_rules(finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def collect_files(roots: list[pathlib.Path]) -> list[pathlib.Path]:
+    files = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+            continue
+        files.extend(
+            p for p in sorted(root.rglob("*"))
+            if p.suffix in SOURCE_SUFFIXES and p.is_file()
+        )
+    return files
+
+
+def lint_paths(roots: list[pathlib.Path],
+               rules=None) -> tuple[list[Finding], int]:
+    from mcoptlint import rules as rules_mod
+
+    if rules is None:
+        rules = rules_mod.default_rules()
+    files = collect_files(roots)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, rules=rules))
+    return findings, len(files)
+
+
+def report(findings: list[Finding], num_files: int, fmt: str = "text",
+           json_out: str | None = None) -> int:
+    """Prints findings and returns the process exit code.  `json_out`
+    additionally writes the JSON report to a file (CI artifact)."""
+    if fmt == "json":
+        print(to_json(findings, num_files))
+    else:
+        for finding in findings:
+            print(finding.text())
+    if json_out:
+        pathlib.Path(json_out).write_text(
+            to_json(findings, num_files) + "\n", encoding="utf-8")
+    if num_files == 0:
+        print("mcoptlint: no source files found", file=sys.stderr)
+        return 2
+    if findings:
+        print(
+            f"mcoptlint: {len(findings)} finding(s) in {num_files} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if fmt != "json":
+        print(f"mcoptlint: OK ({num_files} files clean)")
+    return 0
+
+
+def to_json(findings: list[Finding], num_files: int) -> str:
+    return json.dumps(
+        {
+            "tool": "mcoptlint",
+            "files_scanned": num_files,
+            "findings": [f.as_json() for f in findings],
+        },
+        indent=2,
+    )

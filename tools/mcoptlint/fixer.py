@@ -1,0 +1,113 @@
+"""Mechanical fixes for include-hygiene findings (mcoptlint --fix).
+
+Only the include-hygiene rule has a safe mechanical remedy: insert the
+named header into the file's angled-include block (alphabetically, the
+project style clang-format enforces) or delete an include no symbol
+references.  All other rules require judgement -- a seed lineage, a
+sorted snapshot, an API attribute -- so --fix leaves their findings
+alone and reports them unchanged.
+
+The fixer loops lint -> apply -> lint until the tree is stable (adding
+<cstddef> can expose that <cstdio> no longer has any referencing symbol)
+with a small iteration cap as a safety net against oscillation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from mcoptlint import engine
+
+_ADD_RE = re.compile(r"used without directly including <([^>]+)>")
+_DROP_RE = re.compile(r"<([^>]+)> is included but no symbol")
+
+_MAX_PASSES = 4
+
+
+def apply_fixes(roots: list[pathlib.Path]) -> tuple[int, int]:
+    """Returns (num_fixes_applied, num_findings_remaining)."""
+    applied = 0
+    for _ in range(_MAX_PASSES):
+        findings, _num_files = engine.lint_paths(roots)
+        by_file: dict[str, tuple[set[str], set[int]]] = {}
+        for finding in findings:
+            if finding.rule != "include-hygiene":
+                continue
+            add = _ADD_RE.search(finding.message)
+            drop = _DROP_RE.search(finding.message)
+            adds, drops = by_file.setdefault(finding.path, (set(), set()))
+            if add:
+                adds.add(add.group(1))
+            elif drop:
+                drops.add(finding.line)
+        if not by_file:
+            break
+        for path, (adds, drop_lines) in sorted(by_file.items()):
+            applied += _fix_file(pathlib.Path(path), adds, drop_lines)
+    findings, _num_files = engine.lint_paths(roots)
+    return applied, len(findings)
+
+
+def _fix_file(path: pathlib.Path, adds: set[str],
+              drop_lines: set[int]) -> int:
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    changed = 0
+
+    # Deletions first, by line number from the bottom so indices hold.
+    for lineno in sorted(drop_lines, reverse=True):
+        if 1 <= lineno <= len(lines):
+            del lines[lineno - 1]
+            changed += 1
+
+    for header in sorted(adds, reverse=True):
+        directive = f"#include <{header}>\n"
+        if _insert_angled(lines, directive):
+            changed += 1
+
+    if changed:
+        path.write_text("".join(lines), encoding="utf-8")
+    return changed
+
+
+def _insert_angled(lines: list[str], directive: str) -> bool:
+    """Inserts an angled include into the first angled-include block in
+    alphabetical order, creating the block before the first include (or
+    after a #pragma once / include guard) when there is none."""
+    angled = [i for i, line in enumerate(lines)
+              if re.match(r"\s*#\s*include\s*<", line)]
+    if directive in lines:
+        return False
+    if angled:
+        # First consecutive run of angled includes.
+        block = [angled[0]]
+        for i in angled[1:]:
+            if i == block[-1] + 1:
+                block.append(i)
+            else:
+                break
+        pos = block[-1] + 1  # default: end of the block
+        for i in block:
+            if lines[i] > directive:
+                pos = i
+                break
+        lines.insert(pos, directive)
+        return True
+    quoted = [i for i, line in enumerate(lines)
+              if re.match(r"\s*#\s*include\s*\"", line)]
+    if quoted:
+        # Project style puts a .cpp's paired header first, so a fresh
+        # angled block goes after it, not above it.
+        pos = quoted[0] + 1
+        lines.insert(pos, directive)
+        lines.insert(pos, "\n")
+        if pos + 2 < len(lines) and lines[pos + 2].strip():
+            lines.insert(pos + 2, "\n")
+        return True
+    for i, line in enumerate(lines):
+        if re.match(r"\s*#\s*pragma\s+once", line):
+            lines.insert(i + 1, directive)
+            lines.insert(i + 1, "\n")
+            return True
+    lines.insert(0, directive)
+    return True

@@ -1,0 +1,157 @@
+"""Comment/string/raw-string-aware C++ lexing.
+
+The regex rules and the declaration parser both run over *stripped* text:
+comments, string literals, and character literals blanked out with the
+line structure preserved, so a reported line number always matches the
+original file.  Compared to the PR 1 stripper this one also understands:
+
+  * line splices: a backslash-newline inside a // comment continues the
+    comment onto the next physical line (and a splice inside a string
+    literal does not terminate it)
+  * raw strings with arbitrary delimiters, R"delim(...)delim"
+  * digit separators and suffixes are left alone -- they are code
+
+strip() is the load-bearing entry point; tokenize() provides a simple
+identifier/number/punctuation stream over the stripped text for the
+declaration parser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_RAW_OPEN_RE = re.compile(r'R"([^()\\ \t\n]*)\(')
+
+
+def _is_digit_separator(text: str, i: int) -> bool:
+    """Whether the apostrophe at `text[i]` is a C++14 digit separator
+    (2'000'000, 0xdead'beef) rather than the start of a char literal.  A
+    separator sits between alphanumerics inside a token that started with
+    a digit -- which also keeps L'a' / u8'x' prefixed literals out."""
+    if i + 1 >= len(text) or not text[i + 1].isalnum():
+        return False
+    j = i - 1
+    while j >= 0 and (text[j].isalnum() or text[j] in "_."):
+        j -= 1
+    start = text[j + 1:i]
+    return bool(start) and (start[0].isdigit() or (
+        start[0] == "." and len(start) > 1 and start[1].isdigit()))
+
+
+def strip(text: str) -> str:
+    """Blanks comments, string literals, and char literals, preserving
+    newlines so line numbers in the result match the input."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                match = _RAW_OPEN_RE.match(text, i)
+                if match:
+                    raw_terminator = ")" + match.group(1) + '"'
+                    state = "raw"
+                    out.append(" " * (match.end() - i))
+                    i = match.end()
+                    continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                if _is_digit_separator(text, i):
+                    out.append(c)
+                    i += 1
+                    continue
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\\" and nxt == "\n":
+                # Line splice: the comment continues on the next line.
+                out.append(" \n")
+                i += 2
+                continue
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+        elif state == "raw":
+            if text.startswith(raw_terminator, i):
+                state = "code"
+                out.append(" " * len(raw_terminator))
+                i += len(raw_terminator)
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+        else:  # string | char
+            if c == "\\":
+                # Escapes, including the \<newline> splice: keep the line
+                # count right by preserving a spliced newline verbatim.
+                out.append("  " if nxt != "\n" else " \n")
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (state == "char" and c == "'"):
+                state = "code"
+            out.append(" " if c != "\n" else c)
+            i += 1
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "number" | "punct"
+    text: str
+    line: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<number>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<punct>::|->|\[\[|\]\]|&&|\|\||<<|>>|[{}()\[\];,<>=&|*+\-/!~^%?.:#])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(stripped: str) -> list[Token]:
+    """Tokenizes stripped text into identifiers, numbers, and punctuation.
+    Whitespace (and the blanks left by strip()) separates tokens; line
+    numbers are 1-based."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    for match in _TOKEN_RE.finditer(stripped):
+        line += stripped.count("\n", pos, match.start())
+        pos = match.start()
+        tokens.append(Token(str(match.lastgroup), match.group(), line))
+    return tokens

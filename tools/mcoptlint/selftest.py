@@ -1,0 +1,98 @@
+"""mcoptlint --self-test: prove every rule is alive.
+
+For each registered rule there is a committed known-bad fixture at
+tools/mcoptlint/fixtures/<rule>.cc.txt (the .txt suffix keeps compilers
+and tree-wide lint scans away from it).  The self-test stages each
+fixture into a temporary directory -- under the rule's scope directory
+when it has one -- and requires the rule to fire; scoped rules must
+additionally stay silent outside their scope, and exempt files must
+silence exactly their rule.  A clean fixture (comments, strings,
+allowlisted lines, correct includes) must produce zero findings.
+
+This mirrors the PR 6 negative-check pattern: a lint that cannot flag
+its own planted violation is treated as broken, so CI cannot silently
+run a defanged linter.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+from mcoptlint import engine, rules
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+def _stage(tmpdir: pathlib.Path, relpath: str, text: str) -> pathlib.Path:
+    path = tmpdir / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def _fires(path: pathlib.Path, rule_name: str) -> bool:
+    return any(f.rule == rule_name for f in engine.lint_file(path))
+
+
+def self_test() -> int:
+    failures: list[str] = []
+    all_rules = rules.default_rules()
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = pathlib.Path(tmp)
+        for rule in all_rules:
+            fixture = FIXTURE_DIR / f"{rule.name}.cc.txt"
+            if not fixture.is_file():
+                failures.append(f"rule '{rule.name}' has no known-bad "
+                                f"fixture at {fixture}")
+                continue
+            text = fixture.read_text(encoding="utf-8")
+            scope_dir = sorted(rule.scope)[0] if rule.scope else "anywhere"
+            # Headers-only rules (nodiscard-contract) key off the suffix.
+            suffix = ".hpp" if rule.name == "nodiscard-contract" else ".cpp"
+            staged = _stage(tmpdir, f"{scope_dir}/{rule.name}{suffix}", text)
+            if not _fires(staged, rule.name):
+                failures.append(
+                    f"rule '{rule.name}' missed its known-bad fixture")
+            staged.unlink()
+            if rule.scope:
+                outside = _stage(tmpdir, f"elsewhere/{rule.name}{suffix}",
+                                 text)
+                if _fires(outside, rule.name):
+                    failures.append(
+                        f"scoped rule '{rule.name}' fired outside "
+                        f"{sorted(rule.scope)}")
+                outside.unlink()
+
+        # Exempt files must silence exactly their rule (the generic loop
+        # above already proved the same construct fires elsewhere).
+        for rule_name, suffixes in rules.EXEMPT_FILES.items():
+            fixture = FIXTURE_DIR / f"{rule_name}.cc.txt"
+            for suffix in sorted(suffixes):
+                staged = _stage(tmpdir, suffix,
+                                fixture.read_text(encoding="utf-8"))
+                if _fires(staged, rule_name):
+                    failures.append(
+                        f"rule '{rule_name}' fired in exempt file {suffix}")
+                staged.unlink()
+
+        # The clean fixture: everything in it is legal, so any finding is
+        # a false positive.  Staged under src/ so scoped rules run too.
+        clean = FIXTURE_DIR / "clean.cc.txt"
+        staged = _stage(tmpdir, "src/clean.cpp",
+                        clean.read_text(encoding="utf-8"))
+        false_positives = engine.lint_file(staged)
+        if false_positives:
+            failures.append(
+                "false positives on the clean fixture:\n  "
+                + "\n  ".join(f.text() for f in false_positives))
+
+    if failures:
+        print("mcoptlint --self-test FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"mcoptlint --self-test OK ({len(all_rules)} rules, "
+          "known-bad fixtures all trip)")
+    return 0

@@ -1,0 +1,104 @@
+"""Engine semantics: allowlist precedence, per-file exemptions, scoping,
+and the zero-findings contract on the real tree."""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent.parent))
+
+from mcoptlint import engine, rules  # noqa: E402
+
+
+def _lint_text(relpath: str, text: str) -> list:
+    """Lints `text` staged at `relpath` under a temp root."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return engine.lint_file(path)
+
+
+class AllowlistTest(unittest.TestCase):
+    def test_allow_suppresses_named_rule(self):
+        findings = _lint_text(
+            "src/a.cpp",
+            "auto t = time(nullptr);  // mcopt-lint: allow(wall-clock)\n")
+        self.assertEqual([f for f in findings if f.rule == "wall-clock"], [])
+
+    def test_allow_is_per_rule(self):
+        # An allow for one rule must not silence a different rule on the
+        # same line.
+        findings = _lint_text(
+            "src/a.cpp",
+            "float t = time(0);  // mcopt-lint: allow(wall-clock)\n")
+        self.assertEqual({f.rule for f in findings} & {"float-arithmetic"},
+                         {"float-arithmetic"})
+
+    def test_allow_is_per_line(self):
+        findings = _lint_text(
+            "src/a.cpp",
+            "// mcopt-lint: allow(wall-clock)\nauto t = time(nullptr);\n")
+        self.assertEqual({f.rule for f in findings} & {"wall-clock"},
+                        {"wall-clock"})
+
+    def test_allow_list_of_rules(self):
+        findings = _lint_text(
+            "src/a.cpp",
+            "float t = time(0);  "
+            "// mcopt-lint: allow(wall-clock, float-arithmetic)\n")
+        self.assertEqual(findings, [])
+
+
+class ExemptAndScopeTest(unittest.TestCase):
+    def test_exempt_file_is_silent_for_its_rule(self):
+        findings = _lint_text("src/util/sync.hpp", "std::mutex m_;\n")
+        self.assertEqual(
+            [f for f in findings if f.rule == "raw-sync-primitive"], [])
+
+    def test_same_code_elsewhere_trips(self):
+        findings = _lint_text("src/util/other.hpp", "std::mutex m_;\n")
+        self.assertEqual(
+            {f.rule for f in findings} & {"raw-sync-primitive"},
+            {"raw-sync-primitive"})
+
+    def test_scoped_rule_ignores_out_of_scope_files(self):
+        # raw-stderr is scoped to src/: the same line in tools of the
+        # staged tree must pass.
+        body = "#include <iostream>\nvoid f() { std::cerr << 1; }\n"
+        in_src = _lint_text("src/a.cpp", body)
+        in_tests = _lint_text("tests/a.cpp", body)
+        self.assertIn("raw-stderr", {f.rule for f in in_src})
+        self.assertNotIn("raw-stderr", {f.rule for f in in_tests})
+
+
+class FindingFormatTest(unittest.TestCase):
+    def test_text_format(self):
+        finding = engine.Finding("src/a.cpp", 3, "wall-clock", "msg", "code")
+        self.assertEqual(finding.text(),
+                         "src/a.cpp:3: [wall-clock] msg\n    code")
+
+    def test_json_roundtrip(self):
+        finding = engine.Finding("a.cpp", 1, "r", "m")
+        self.assertEqual(finding.as_json()["rule"], "r")
+
+
+class CleanTreeTest(unittest.TestCase):
+    def test_repo_tree_has_zero_findings(self):
+        roots = [engine.REPO_ROOT / d for d in engine.DEFAULT_DIRS
+                 if (engine.REPO_ROOT / d).is_dir()]
+        findings, num_files = engine.lint_paths(roots)
+        self.assertGreater(num_files, 0)
+        self.assertEqual([f.text() for f in findings], [])
+
+    def test_every_rule_has_a_fixture(self):
+        fixture_dir = engine.REPO_ROOT / "tools" / "mcoptlint" / "fixtures"
+        for rule in rules.default_rules():
+            self.assertTrue(
+                (fixture_dir / f"{rule.name}.cc.txt").is_file(),
+                f"missing known-bad fixture for {rule.name}")
+
+
+if __name__ == "__main__":
+    unittest.main()

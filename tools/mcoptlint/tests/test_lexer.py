@@ -1,0 +1,90 @@
+"""Lexer edge cases: the stripper must blank exactly the non-code bytes
+while keeping every newline, or every downstream line number is wrong."""
+
+import pathlib
+import sys
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent.parent))
+
+from mcoptlint import lexer  # noqa: E402
+
+
+class StripTest(unittest.TestCase):
+    def test_preserves_line_count(self):
+        text = 'int a; // c\n/* b\nb */ int c;\nauto s = "x\\ny";\n'
+        self.assertEqual(lexer.strip(text).count("\n"), text.count("\n"))
+
+    def test_line_comment_blanked(self):
+        self.assertNotIn("std::rand", lexer.strip("// std::rand()\nint a;"))
+
+    def test_block_comment_blanked(self):
+        stripped = lexer.strip("/* std::rand() */ int keep;")
+        self.assertNotIn("rand", stripped)
+        self.assertIn("int keep;", stripped)
+
+    def test_string_blanked_code_kept(self):
+        stripped = lexer.strip('call("std::rand()");')
+        self.assertNotIn("rand", stripped)
+        self.assertIn("call(", stripped)
+
+    def test_escaped_quote_does_not_end_string(self):
+        stripped = lexer.strip('a("\\"rand\\"");b();')
+        self.assertNotIn("rand", stripped)
+        self.assertIn("b();", stripped)
+
+    def test_raw_string_with_delimiter(self):
+        text = 'auto j = R"x(no "escape" std::rand() here)x"; next();'
+        stripped = lexer.strip(text)
+        self.assertNotIn("rand", stripped)
+        self.assertIn("next();", stripped)
+
+    def test_raw_string_multiline_keeps_lines(self):
+        text = 'auto j = R"(line1\nline2\n)"; tail();'
+        stripped = lexer.strip(text)
+        self.assertEqual(stripped.count("\n"), 2)
+        self.assertIn("tail();", stripped)
+
+    def test_line_splice_continues_comment(self):
+        # The backslash-newline splices the second line into the comment.
+        text = "// comment \\\nstd::rand();\nint keep;"
+        stripped = lexer.strip(text)
+        self.assertNotIn("rand", stripped)
+        self.assertIn("int keep;", stripped)
+
+    def test_digit_separator_is_not_char_literal(self):
+        # 4'800: the apostrophe must not open a char literal and swallow
+        # the rest of the file (a real bug found while linting bench/).
+        text = "int n = 4'800;\nstd::printf(\"x\");\n"
+        stripped = lexer.strip(text)
+        self.assertIn("printf", stripped)
+        self.assertIn("4'800", stripped)
+
+    def test_hex_digit_separator(self):
+        stripped = lexer.strip("auto m = 0xdead'beef; keep();")
+        self.assertIn("keep();", stripped)
+
+    def test_char_literal_still_blanked(self):
+        stripped = lexer.strip("char c = 'x'; keep();")
+        self.assertNotIn("x", stripped.split(";")[0].split("=")[1])
+        self.assertIn("keep();", stripped)
+
+    def test_prefixed_char_literal(self):
+        stripped = lexer.strip("auto c = L'a'; keep();")
+        self.assertIn("keep();", stripped)
+
+
+class TokenizeTest(unittest.TestCase):
+    def test_line_numbers(self):
+        tokens = lexer.tokenize("int a;\n\nfoo();\n")
+        by_text = {t.text: t.line for t in tokens}
+        self.assertEqual(by_text["a"], 1)
+        self.assertEqual(by_text["foo"], 3)
+
+    def test_scope_operator_single_token(self):
+        kinds = [(t.kind, t.text) for t in lexer.tokenize("std::vector")]
+        self.assertIn(("punct", "::"), kinds)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,125 @@
+"""Semantic-rule behaviour beyond what --self-test proves: each rule's
+negative space (code that must NOT trip) and the hygiene rule's two
+directions."""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent.parent))
+
+from mcoptlint import engine  # noqa: E402
+
+
+def _lint(relpath: str, text: str) -> set:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        return {(f.rule, f.line) for f in engine.lint_file(path)}
+
+
+class RngProvenanceTest(unittest.TestCase):
+    def test_split_is_fine(self):
+        rules = {r for r, _ in _lint(
+            "src/a.cpp", "util::Rng rng = master.split(3);\n")}
+        self.assertNotIn("rng-provenance", rules)
+
+    def test_seed_parameter_is_fine(self):
+        rules = {r for r, _ in _lint(
+            "src/a.cpp", "util::Rng rng(opts.seed);\n")}
+        self.assertNotIn("rng-provenance", rules)
+
+    def test_literal_seed_trips(self):
+        rules = {r for r, _ in _lint("src/a.cpp", "util::Rng rng(42);\n")}
+        self.assertIn("rng-provenance", rules)
+
+    def test_default_init_trips(self):
+        rules = {r for r, _ in _lint("src/a.cpp", "util::Rng rng;\n")}
+        self.assertIn("rng-provenance", rules)
+
+
+class UnorderedIterationTest(unittest.TestCase):
+    def test_lookup_only_is_fine(self):
+        body = ("#include <string>\n#include <unordered_map>\n"
+                "int f(const std::unordered_map<int,int>& m) {"
+                " return m.at(1); }\n")
+        rules = {r for r, _ in _lint("src/a.cpp", body)}
+        self.assertNotIn("unordered-iteration", rules)
+
+    def test_range_for_trips(self):
+        body = ("#include <unordered_map>\n"
+                "void f(const std::unordered_map<int,int>& m) {\n"
+                "  for (const auto& kv : m) { (void)kv; }\n}\n")
+        self.assertIn(("unordered-iteration", 3), _lint("src/a.cpp", body))
+
+    def test_alias_tracked(self):
+        body = ("#include <unordered_map>\n"
+                "using Index = std::unordered_map<int, int>;\n"
+                "void f(const Index& idx) {\n"
+                "  for (const auto& kv : idx) { (void)kv; }\n}\n")
+        self.assertIn(("unordered-iteration", 4), _lint("src/a.cpp", body))
+
+
+class NodiscardContractTest(unittest.TestCase):
+    def test_plain_value_return_trips(self):
+        body = "struct RunResult {};\nRunResult run();\n"
+        self.assertIn(("nodiscard-contract", 2), _lint("src/a.hpp", body))
+
+    def test_attributed_is_fine(self):
+        body = "struct RunResult {};\n[[nodiscard]] RunResult run();\n"
+        rules = {r for r, _ in _lint("src/a.hpp", body)}
+        self.assertNotIn("nodiscard-contract", rules)
+
+    def test_reference_return_is_fine(self):
+        body = "struct RunResult {};\nconst RunResult& peek();\n"
+        rules = {r for r, _ in _lint("src/a.hpp", body)}
+        self.assertNotIn("nodiscard-contract", rules)
+
+    def test_cpp_files_are_not_checked(self):
+        # Definitions must not repeat the attribute, so .cpp is out of
+        # scope by design.
+        body = "struct RunResult {};\nRunResult run() { return {}; }\n"
+        rules = {r for r, _ in _lint("src/a.cpp", body)}
+        self.assertNotIn("nodiscard-contract", rules)
+
+
+class IncludeHygieneTest(unittest.TestCase):
+    def test_missing_include_trips(self):
+        body = "void f() { std::vector<int> v; (void)v; }\n"
+        rules = {r for r, _ in _lint("src/a.cpp", body)}
+        self.assertIn("include-hygiene", rules)
+
+    def test_direct_include_is_fine(self):
+        body = "#include <vector>\nvoid f() { std::vector<int> v; (void)v; }\n"
+        rules = {r for r, _ in _lint("src/a.cpp", body)}
+        self.assertNotIn("include-hygiene", rules)
+
+    def test_unused_include_trips(self):
+        body = "#include <vector>\nint f() { return 1; }\n"
+        self.assertIn(("include-hygiene", 1), _lint("src/a.cpp", body))
+
+    def test_any_provider_satisfies(self):
+        # std::size_t is provided by several headers; <cstring> counts.
+        body = "#include <cstring>\nstd::size_t n = std::strlen(\"x\");\n"
+        rules = {r for r, _ in _lint("src/a.cpp", body)}
+        self.assertNotIn("include-hygiene", rules)
+
+    def test_paired_header_inherited(self):
+        # a.cpp inherits its paired header's angled includes.
+        with tempfile.TemporaryDirectory() as tmp:
+            src = pathlib.Path(tmp) / "src"
+            src.mkdir()
+            (src / "a.hpp").write_text(
+                "#pragma once\n#include <vector>\n"
+                "std::vector<int> make();\n", encoding="utf-8")
+            (src / "a.cpp").write_text(
+                '#include "a.hpp"\n'
+                "std::vector<int> make() { return {}; }\n", encoding="utf-8")
+            rules = {f.rule for f in engine.lint_file(src / "a.cpp")}
+        self.assertNotIn("include-hygiene", rules)
+
+
+if __name__ == "__main__":
+    unittest.main()
