@@ -15,6 +15,10 @@
 // its final results (aggregate counters, best state, per-restart history)
 // to an untraced single-threaded run.
 //
+// Methodology: one untimed warmup pass over all tiers, then best-of-reps
+// with reps interleaved across tiers (not tier-by-tier) so machine drift
+// cannot skew the comparison.
+//
 // Results land in BENCH_obs.json via bench::write_json_report.  Wall-clock
 // numbers are hardware-dependent; the determinism checks are not.
 //
@@ -42,6 +46,7 @@
 #include "util/args.hpp"
 #include "util/budget.hpp"
 #include "util/invariant.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -138,18 +143,33 @@ int main(int argc, char** argv) {
       {"jsonl 1/64 + metrics", false, &jsonl_sampled},
   };
 
-  std::vector<ConfigTiming> timings;
-  double baseline_best = 0.0;
-  for (const Tier& tier : tiers) {
-    core::Figure1Options options = base_options;
-    options.recorder = tier.recorder;
-    ConfigTiming timing;
-    timing.name = tier.name;
-    timing.best_seconds = 1e300;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
+  // Rep 0 is an untimed warmup of every tier (first-touch allocation,
+  // i-cache, frequency ramp); timed reps then interleave across tiers so
+  // slow machine drift lands evenly on all configs instead of biasing
+  // whichever tier happens to run last.  The old per-tier outer loop made
+  // the stripped baseline absorb all the cold-start cost and could report
+  // *negative* overhead for the instrumented tiers.  Overheads are the
+  // minimum over reps of the *paired* per-rep ratio against the baseline
+  // run of the same rep: temporally adjacent runs share machine
+  // conditions, so drift cancels out of the ratio instead of landing in
+  // whichever tier a global minimum happens to favour.  The median ratio
+  // is the reported overhead: unlike a minimum it is not biased low when
+  // a baseline rep eats a noise spike, and unlike a mean it shrugs off a
+  // single bad rep of the measured tier.
+  std::vector<ConfigTiming> timings(tiers.size());
+  std::vector<std::vector<double>> rep_seconds(
+      tiers.size(), std::vector<double>(reps, 0.0));
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    timings[i].name = tiers[i].name;
+  }
+  for (std::size_t rep = 0; rep < reps + 1; ++rep) {
+    const bool warmup = rep == 0;
+    for (std::size_t i = 0; i < tiers.size(); ++i) {
+      const Tier& tier = tiers[i];
+      core::Figure1Options options = base_options;
+      options.recorder = tier.recorder;
       core::RunResult result;
       const double seconds = timed_run(options, tier.stripped, &result);
-      timing.best_seconds = std::min(timing.best_seconds, seconds);
       if (!bench::stripped_results_match(reference, result)) {
         obs::log(obs::LogLevel::kError,
                  "FATAL: '%s' changed the optimization results "
@@ -157,17 +177,23 @@ int main(int argc, char** argv) {
                  tier.name);
         return 1;
       }
+      if (!warmup) rep_seconds[i][rep - 1] = seconds;
     }
-    timing.proposals_per_sec =
-        timing.best_seconds > 0.0
-            ? static_cast<double>(reference.proposals) / timing.best_seconds
-            : 0.0;
-    if (tier.stripped) baseline_best = timing.best_seconds;
-    timing.overhead_pct =
-        baseline_best > 0.0
-            ? 100.0 * (timing.best_seconds - baseline_best) / baseline_best
-            : 0.0;
-    timings.push_back(timing);
+  }
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    double best = 1e300;
+    std::vector<double> ratios;
+    ratios.reserve(reps);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      best = std::min(best, rep_seconds[i][rep]);
+      if (rep_seconds[0][rep] > 0.0) {
+        ratios.push_back(rep_seconds[i][rep] / rep_seconds[0][rep]);
+      }
+    }
+    timings[i].best_seconds = best;
+    timings[i].proposals_per_sec =
+        best > 0.0 ? static_cast<double>(reference.proposals) / best : 0.0;
+    timings[i].overhead_pct = 100.0 * (util::median(ratios) - 1.0);
   }
 
   util::Table table;

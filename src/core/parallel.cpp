@@ -1,6 +1,7 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -70,11 +71,14 @@ StartResult run_start(Problem& problem, const Runner& runner,
 /// (and within `window` of the reducer) and deliver full-slice results;
 /// the reducing thread consumes them in index order.  Every field is
 /// guarded by `mu`; the thread-safety build rejects any unlocked touch.
+/// The mutex, each condvar, and the guarded data sit on their own cache
+/// lines so a worker spinning through wait/notify on one primitive never
+/// bounces the line holding another.
 struct SpeculationQueue {
-  util::Mutex mu;
-  util::CondVar work_cv;   // workers: more indices / shutdown
-  util::CondVar ready_cv;  // reducer: a result arrived
-  std::map<std::uint64_t, StartResult> ready GUARDED_BY(mu);
+  alignas(64) util::Mutex mu;
+  alignas(64) util::CondVar work_cv;   // workers: more indices / shutdown
+  alignas(64) util::CondVar ready_cv;  // reducer: a result arrived
+  alignas(64) std::map<std::uint64_t, StartResult> ready GUARDED_BY(mu);
   std::uint64_t next_index GUARDED_BY(mu) = 0;  // next claimable index
   std::uint64_t consumed GUARDED_BY(mu) = 0;    // next index to fold
   std::uint64_t limit GUARDED_BY(mu) = 0;       // < limit: full-slice starts
@@ -86,6 +90,15 @@ struct SpeculationQueue {
   [[nodiscard]] bool claimable_locked() const REQUIRES(mu) {
     return next_index < limit && next_index < consumed + window;
   }
+};
+
+/// Per-worker slot, one cache line each: a worker's hot bookkeeping never
+/// false-shares with a neighbouring worker's.  `starts` is written only by
+/// the owning worker while it runs and read only after join().
+struct alignas(64) WorkerSlot {
+  Problem* problem = nullptr;
+  std::uint64_t id = 0;      // 1-based (0 = the calling/reducing thread)
+  std::uint64_t starts = 0;  // restarts this worker completed
 };
 
 }  // namespace
@@ -136,8 +149,13 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
     queue.window = 4ULL * options.num_threads + 4;
   }
 
-  // Worker ids are 1-based (0 = the calling/reducing thread).
-  auto worker = [&](Problem& local, std::uint64_t worker_id) {
+  std::vector<WorkerSlot> slots(options.num_threads);
+  for (unsigned t = 0; t < options.num_threads; ++t) {
+    slots[t].problem = clones[t].get();
+    slots[t].id = static_cast<std::uint64_t>(t) + 1;
+  }
+
+  auto worker = [&](WorkerSlot& slot) {
     while (true) {
       std::uint64_t index;
       {
@@ -149,9 +167,10 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
         index = queue.next_index++;
       }
       StartResult result =
-          run_start(local, runner, initial_state,
+          run_start(*slot.problem, runner, initial_state,
                     index > 0 || opts.randomize_first, master, index,
-                    per_start, root, worker_id, /*steal=*/true);
+                    per_start, root, slot.id, /*steal=*/true);
+      ++slot.starts;
       {
         util::MutexLock lock{queue.mu};
         queue.ready.emplace(index, std::move(result));
@@ -166,33 +185,56 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
   std::vector<std::thread> pool;
   pool.reserve(options.num_threads);
   for (unsigned t = 0; t < options.num_threads; ++t) {
-    pool.emplace_back(worker, std::ref(*clones[t]),
-                      static_cast<std::uint64_t>(t) + 1);
+    pool.emplace_back(worker, std::ref(slots[t]));
   }
 
   // Index-ordered reduction: the exact bookkeeping of the sequential loop.
+  // Ready results are drained in batches — one critical section pulls every
+  // consecutive speculative result the workers have delivered, and the
+  // folds themselves run lock-free on the local batch — so reducer/worker
+  // lock traffic is O(batches), not O(restarts).
   MultistartResult out;
   Snapshot last_final_state = initial_state;
   std::uint64_t spent = 0;
   bool first = true;
   std::uint64_t index = 0;
+  std::vector<std::pair<std::uint64_t, StartResult>> batch;
+  std::size_t batch_cursor = 0;
   while (spent < total) {
     const std::uint64_t slice = std::min(per_start, total - spent);
     StartResult start;
     if (slice == per_start) {
-      // Every full-slice index is below queue.limit (the limit is re-derived
-      // from `spent` after each fold), so a worker claims it eventually:
-      // consume the speculative result.
-      util::MutexLock lock{queue.mu};
-      while (queue.ready.count(index) == 0) queue.ready_cv.wait(queue.mu);
-      auto it = queue.ready.find(index);
-      start = std::move(it->second);
-      queue.ready.erase(it);
+      if (batch_cursor < batch.size() && batch[batch_cursor].first == index) {
+        start = std::move(batch[batch_cursor].second);
+        ++batch_cursor;
+      } else {
+        // Every full-slice index is below queue.limit (the limit is
+        // re-derived from `spent` after each batch), so a worker claims it
+        // eventually: wait for it, then drain every consecutive ready
+        // result in the same critical section.
+        batch.clear();
+        batch_cursor = 0;
+        util::MutexLock lock{queue.mu};
+        while (queue.ready.count(index) == 0) queue.ready_cv.wait(queue.mu);
+        auto it = queue.ready.find(index);
+        std::uint64_t expect = index;
+        while (it != queue.ready.end() && it->first == expect) {
+          batch.emplace_back(expect, std::move(it->second));
+          it = queue.ready.erase(it);
+          ++expect;
+        }
+        start = std::move(batch.front().second);
+        batch_cursor = 1;
+      }
     } else {
       // The remainder slice: the full-slice speculation (if any) used the
       // wrong budget, so run this index here with the sequentially-correct
       // slice.  Streams are index-keyed, so this reproduces exactly what
-      // the sequential loop would have done.
+      // the sequential loop would have done.  Any batched results are
+      // stale too: once the budget enters the remainder, every later slice
+      // is a (shrinking) remainder as well.
+      batch.clear();
+      batch_cursor = 0;
       start = run_start(problem, runner, initial_state,
                         index > 0 || opts.randomize_first, master, index,
                         slice, root, /*worker=*/0, /*steal=*/false);
@@ -238,15 +280,19 @@ MultistartResult parallel_multistart(Problem& problem, const Runner& runner,
     ++index;
 
     // Underspending restarts extend the horizon of guaranteed full-slice
-    // starts; let the workers speculate into it.
-    {
-      util::MutexLock lock{queue.mu};
-      queue.consumed = index;
-      const std::uint64_t guaranteed =
-          index + (total > spent ? (total - spent) / per_start : 0);
-      queue.limit = std::max(queue.limit, guaranteed);
+    // starts; let the workers speculate into it.  Published once per
+    // drained batch (the mid-batch values are never observable to a
+    // claim that matters: the window only throttles speculation depth).
+    if (batch_cursor >= batch.size()) {
+      {
+        util::MutexLock lock{queue.mu};
+        queue.consumed = index;
+        const std::uint64_t guaranteed =
+            index + (total > spent ? (total - spent) / per_start : 0);
+        queue.limit = std::max(queue.limit, guaranteed);
+      }
+      queue.work_cv.notify_all();
     }
-    queue.work_cv.notify_all();
   }
 
   {

@@ -21,6 +21,23 @@ namespace mcopt::core {
 /// (a permutation for linear arrangement and TSP, side bits for partition).
 using Snapshot = std::vector<std::uint32_t>;
 
+/// How a problem evaluates a proposed perturbation.
+///
+/// Both paths expose the same propose/accept/reject contract, return
+/// bit-identical costs, and consume the RNG stream identically — the
+/// differential fuzz tests enforce this — so the choice is purely a
+/// performance knob.
+enum class EvalPath {
+  /// propose() evaluates the candidate into per-move scratch without
+  /// committing; accept() commits in O(touched) and reject() only clears
+  /// scratch.  A rejected proposal is (nearly) free — the right choice
+  /// for Metropolis loops at low acceptance rates.
+  kSpeculative,
+  /// propose() applies the move and reject() replays the exact inverse —
+  /// the original path, kept as the semantic reference and fuzz oracle.
+  kApplyUndo,
+};
+
 class Problem {
  public:
   virtual ~Problem() = default;

@@ -17,11 +17,71 @@ DensityState::DensityState(const Netlist& netlist, Arrangement arrangement)
   }
   net_lo_.resize(netlist.num_nets());
   net_hi_.resize(netlist.num_nets());
-  touched_mark_.assign(netlist.num_nets(), 0);
-  // A move touches at most every net, so one reservation up front keeps the
-  // per-move scratch vector allocation-free for the life of the state.
-  touched_.reserve(netlist.num_nets());
   rebuild();
+  reserve_scratch();
+}
+
+DensityState::DensityState(const DensityState& other)
+    : netlist_(other.netlist_),
+      arrangement_(other.arrangement_),
+      net_lo_(other.net_lo_),
+      net_hi_(other.net_hi_),
+      cuts_(other.cuts_),
+      cut_histogram_(other.cut_histogram_),
+      max_cut_(other.max_cut_),
+      total_span_(other.total_span_) {
+  MCOPT_DCHECK(!other.speculating(), "copying a speculating DensityState");
+  reserve_scratch();
+}
+
+DensityState& DensityState::operator=(const DensityState& other) {
+  if (this == &other) return *this;
+  MCOPT_DCHECK(!other.speculating(), "copying a speculating DensityState");
+  netlist_ = other.netlist_;
+  arrangement_ = other.arrangement_;
+  net_lo_ = other.net_lo_;
+  net_hi_ = other.net_hi_;
+  cuts_ = other.cuts_;
+  cut_histogram_ = other.cut_histogram_;
+  max_cut_ = other.max_cut_;
+  total_span_ = other.total_span_;
+  spec_kind_ = SpecKind::kNone;
+  touched_.clear();
+  spec_clear_scratch();
+  reserve_scratch();
+  return *this;
+}
+
+void DensityState::reserve_scratch() {
+  // A move touches at most every net and every boundary, so one
+  // reservation up front keeps every per-move scratch buffer
+  // allocation-free for the life of the state (including clones — vector
+  // copies shrink capacity to size, which is zero for empty scratch).
+  const std::size_t nets = netlist_->num_nets();
+  const std::size_t boundaries = cuts_.size();
+  touched_.reserve(nets);
+  touched_mark_.assign(nets, 0);
+  spec_nets_.reserve(nets);
+  spec_new_lo_.reserve(nets);
+  spec_new_hi_.reserve(nets);
+  spec_boundaries_.reserve(boundaries);
+  spec_removed_values_.reserve(boundaries);
+  boundary_delta_.assign(boundaries, 0);
+  boundary_mark_.assign(boundaries, 0);
+  removed_at_.assign(cut_histogram_.size(), 0);
+}
+
+bool DensityState::scratch_reserved() const noexcept {
+  const std::size_t nets = netlist_->num_nets();
+  const std::size_t boundaries = cuts_.size();
+  return touched_.capacity() >= nets && touched_mark_.size() == nets &&
+         spec_nets_.capacity() >= nets && spec_new_lo_.capacity() >= nets &&
+         spec_new_hi_.capacity() >= nets &&
+         spec_boundaries_.capacity() >= boundaries &&
+         spec_removed_values_.capacity() >= boundaries &&
+         boundary_delta_.size() == boundaries &&
+         boundary_mark_.size() == boundaries &&
+         removed_at_.size() == cut_histogram_.size();
 }
 
 void DensityState::rebuild() {
@@ -46,6 +106,7 @@ int DensityState::density() const noexcept {
   return max_cut_;
 }
 
+// mcopt: hot
 void DensityState::bump_boundary(std::size_t b, int delta) {
   const int old_cut = cuts_[b];
   const int new_cut = old_cut + delta;
@@ -56,14 +117,17 @@ void DensityState::bump_boundary(std::size_t b, int delta) {
   total_span_ += delta;
 }
 
+// mcopt: hot
 void DensityState::add_span(std::size_t lo, std::size_t hi, int delta) {
   for (std::size_t b = lo; b < hi; ++b) bump_boundary(b, delta);
 }
 
+// mcopt: hot
 void DensityState::retire_net(NetId n) {
   add_span(net_lo_[n], net_hi_[n], -1);
 }
 
+// mcopt: hot
 void DensityState::activate_net(NetId n) {
   std::size_t lo = arrangement_.size();
   std::size_t hi = 0;
@@ -77,6 +141,7 @@ void DensityState::activate_net(NetId n) {
   add_span(lo, hi, +1);
 }
 
+// mcopt: hot
 void DensityState::apply_swap(std::size_t p, std::size_t q) {
   MCOPT_DCHECK(p < arrangement_.size() && q < arrangement_.size(),
                "swap position out of range");
@@ -86,7 +151,7 @@ void DensityState::apply_swap(std::size_t p, std::size_t q) {
     for (const NetId net : netlist_->nets_of(arrangement_.cell_at(pos))) {
       if (!touched_mark_[net]) {
         touched_mark_[net] = 1;
-        touched_.push_back(net);
+        touched_.push_back(net);  // mcopt-lint: allow(hot-loop-alloc)
       }
     }
   }
@@ -98,6 +163,7 @@ void DensityState::apply_swap(std::size_t p, std::size_t q) {
   }
 }
 
+// mcopt: hot
 void DensityState::apply_move(std::size_t from, std::size_t to) {
   MCOPT_DCHECK(from < arrangement_.size() && to < arrangement_.size(),
                "move position out of range");
@@ -109,7 +175,7 @@ void DensityState::apply_move(std::size_t from, std::size_t to) {
     for (const NetId net : netlist_->nets_of(arrangement_.cell_at(pos))) {
       if (!touched_mark_[net]) {
         touched_mark_[net] = 1;
-        touched_.push_back(net);
+        touched_.push_back(net);  // mcopt-lint: allow(hot-loop-alloc)
       }
     }
   }
@@ -119,6 +185,248 @@ void DensityState::apply_move(std::size_t from, std::size_t to) {
     activate_net(net);
     touched_mark_[net] = 0;
   }
+}
+
+// mcopt: hot
+void DensityState::spec_touch_range(std::size_t lo, std::size_t hi,
+                                    int delta) {
+  for (std::size_t b = lo; b < hi; ++b) {
+    if (!boundary_mark_[b]) {
+      boundary_mark_[b] = 1;
+      // Reserved to cuts_.size() up front; never reallocates.
+      spec_boundaries_.push_back(b);  // mcopt-lint: allow(hot-loop-alloc)
+    }
+    boundary_delta_[b] += delta;
+  }
+}
+
+// mcopt: hot
+void DensityState::spec_record_net(NetId n, std::size_t new_lo,
+                                   std::size_t new_hi) {
+  const std::size_t old_lo = net_lo_[n];
+  const std::size_t old_hi = net_hi_[n];
+  if (new_lo == old_lo && new_hi == old_hi) return;
+  // Reserved to num_nets() up front; never reallocates.
+  spec_nets_.push_back(n);           // mcopt-lint: allow(hot-loop-alloc)
+  spec_new_lo_.push_back(new_lo);    // mcopt-lint: allow(hot-loop-alloc)
+  spec_new_hi_.push_back(new_hi);    // mcopt-lint: allow(hot-loop-alloc)
+  // Touch only the symmetric difference of the old boundary span
+  // [old_lo, old_hi) and the new one [new_lo, new_hi): the shared middle
+  // keeps its crossing count, so a long net sliding by one position costs
+  // O(1) boundary updates instead of O(span).
+  const std::size_t ilo = std::max(old_lo, new_lo);
+  const std::size_t ihi = std::min(old_hi, new_hi);
+  if (ilo < ihi) {
+    spec_touch_range(old_lo, ilo, -1);
+    spec_touch_range(ihi, old_hi, -1);
+    spec_touch_range(new_lo, ilo, +1);
+    spec_touch_range(ihi, new_hi, +1);
+  } else {
+    spec_touch_range(old_lo, old_hi, -1);
+    spec_touch_range(new_lo, new_hi, +1);
+  }
+}
+
+// mcopt: hot
+void DensityState::spec_finish() {
+  long long span_delta = 0;
+  for (std::size_t i = 0; i < spec_nets_.size(); ++i) {
+    const NetId n = spec_nets_[i];
+    span_delta += static_cast<long long>(spec_new_hi_[i] - spec_new_lo_[i]) -
+                  static_cast<long long>(net_hi_[n] - net_lo_[n]);
+  }
+  spec_total_span_ = total_span_ + span_delta;
+
+  // Candidate density.  Boundaries outside the changed window keep their
+  // cut, so the candidate is the max of (a) the new cuts inside the window
+  // and (b) the largest committed cut value that still has at least one
+  // boundary *outside* the window.  removed_at_[v] counts changed
+  // boundaries whose committed cut is v, so cut_histogram_[v] -
+  // removed_at_[v] is the count of unchanged boundaries at v; we scan down
+  // from the committed density until that is nonzero.
+  const int cur = density();
+  int window_max = 0;
+  for (const std::size_t b : spec_boundaries_) {
+    const int dz = boundary_delta_[b];
+    if (dz == 0) continue;
+    const int old_cut = cuts_[b];
+    ++removed_at_[static_cast<std::size_t>(old_cut)];
+    // Reserved to cuts_.size() up front; never reallocates.
+    spec_removed_values_.push_back(old_cut);  // mcopt-lint: allow(hot-loop-alloc)
+    window_max = std::max(window_max, old_cut + dz);
+  }
+  if (window_max >= cur) {
+    spec_density_ = window_max;
+  } else {
+    int v = cur;
+    while (v > window_max &&
+           cut_histogram_[static_cast<std::size_t>(v)] -
+                   removed_at_[static_cast<std::size_t>(v)] ==
+               0) {
+      --v;
+    }
+    spec_density_ = v;  // v >= window_max on exit
+  }
+}
+
+// mcopt: hot
+void DensityState::speculate_swap(std::size_t p, std::size_t q) {
+  MCOPT_DCHECK(p < arrangement_.size() && q < arrangement_.size(),
+               "swap position out of range");
+  MCOPT_DCHECK(p != q, "speculate_swap requires distinct positions");
+  MCOPT_DCHECK(!speculating(), "speculation already pending");
+  spec_kind_ = SpecKind::kSwap;
+  spec_a_ = p;
+  spec_b_ = q;
+  touched_.clear();
+  // Origin marks: 1 = incident to the cell at p only, 2 = at q only,
+  // 3 = both.  touched_ is reserved to num_nets() up front.
+  for (const NetId net : netlist_->nets_of(arrangement_.cell_at(p))) {
+    if (!touched_mark_[net]) {
+      touched_mark_[net] = 1;
+      touched_.push_back(net);  // mcopt-lint: allow(hot-loop-alloc)
+    }
+  }
+  for (const NetId net : netlist_->nets_of(arrangement_.cell_at(q))) {
+    if (!touched_mark_[net]) {
+      touched_mark_[net] = 2;
+      touched_.push_back(net);  // mcopt-lint: allow(hot-loop-alloc)
+    } else if (touched_mark_[net] == 1) {
+      touched_mark_[net] = 3;
+    }
+  }
+  for (const NetId net : touched_) {
+    const char origin = touched_mark_[net];
+    touched_mark_[net] = 0;
+    // A net with pins at both p and q keeps the same position multiset
+    // after the swap: extrema provably unchanged.
+    if (origin == 3) continue;
+    const std::size_t lo = net_lo_[net];
+    const std::size_t hi = net_hi_[net];
+    const std::size_t moved = origin == 1 ? p : q;  // this net's moving pin
+    const std::size_t dest = origin == 1 ? q : p;   // ...and its new position
+    // An interior pin (strictly between the extrema, which other pins
+    // attain) landing inside [lo, hi] cannot move either extremum.
+    if (lo < moved && moved < hi && lo <= dest && dest <= hi) continue;
+    std::size_t new_lo = arrangement_.size();
+    std::size_t new_hi = 0;
+    for (const CellId cell : netlist_->pins(net)) {
+      std::size_t pos = arrangement_.position_of(cell);
+      if (pos == p) {
+        pos = q;
+      } else if (pos == q) {
+        pos = p;
+      }
+      new_lo = std::min(new_lo, pos);
+      new_hi = std::max(new_hi, pos);
+    }
+    spec_record_net(net, new_lo, new_hi);
+  }
+  spec_finish();
+}
+
+// mcopt: hot
+void DensityState::speculate_move(std::size_t from, std::size_t to) {
+  MCOPT_DCHECK(from < arrangement_.size() && to < arrangement_.size(),
+               "move position out of range");
+  MCOPT_DCHECK(from != to, "speculate_move requires distinct positions");
+  MCOPT_DCHECK(!speculating(), "speculation already pending");
+  spec_kind_ = SpecKind::kMove;
+  spec_a_ = from;
+  spec_b_ = to;
+  touched_.clear();
+  const std::size_t w_lo = std::min(from, to);
+  const std::size_t w_hi = std::max(from, to);
+  for (std::size_t pos = w_lo; pos <= w_hi; ++pos) {
+    for (const NetId net : netlist_->nets_of(arrangement_.cell_at(pos))) {
+      if (!touched_mark_[net]) {
+        touched_mark_[net] = 1;
+        touched_.push_back(net);  // mcopt-lint: allow(hot-loop-alloc)
+      }
+    }
+  }
+  for (const NetId net : touched_) {
+    touched_mark_[net] = 0;
+    std::size_t new_lo = arrangement_.size();
+    std::size_t new_hi = 0;
+    for (const CellId cell : netlist_->pins(net)) {
+      const std::size_t pos = arrangement_.position_of(cell);
+      std::size_t npos;
+      if (pos == from) {
+        npos = to;
+      } else if (from < to) {
+        npos = (pos > from && pos <= to) ? pos - 1 : pos;
+      } else {
+        npos = (pos >= to && pos < from) ? pos + 1 : pos;
+      }
+      new_lo = std::min(new_lo, npos);
+      new_hi = std::max(new_hi, npos);
+    }
+    spec_record_net(net, new_lo, new_hi);
+  }
+  spec_finish();
+}
+
+// mcopt: hot
+void DensityState::commit_speculation() {
+  MCOPT_DCHECK(speculating(), "commit without a pending speculation");
+  for (const std::size_t b : spec_boundaries_) {
+    boundary_mark_[b] = 0;
+    const int dz = boundary_delta_[b];
+    boundary_delta_[b] = 0;
+    if (dz == 0) continue;  // gained and lost the same crossings
+    const int old_cut = cuts_[b];
+    const int new_cut = old_cut + dz;
+    cuts_[b] = new_cut;
+    // One histogram update per changed boundary — bump_boundary would pay
+    // one per crossing *unit*.
+    --cut_histogram_[static_cast<std::size_t>(old_cut)];
+    ++cut_histogram_[static_cast<std::size_t>(new_cut)];
+  }
+  spec_boundaries_.clear();
+  for (const int v : spec_removed_values_) {
+    removed_at_[static_cast<std::size_t>(v)] = 0;
+  }
+  spec_removed_values_.clear();
+  for (std::size_t i = 0; i < spec_nets_.size(); ++i) {
+    const NetId n = spec_nets_[i];
+    net_lo_[n] = spec_new_lo_[i];
+    net_hi_[n] = spec_new_hi_[i];
+  }
+  spec_nets_.clear();
+  spec_new_lo_.clear();
+  spec_new_hi_.clear();
+  if (spec_kind_ == SpecKind::kSwap) {
+    arrangement_.swap_positions(spec_a_, spec_b_);
+  } else {
+    arrangement_.move_position(spec_a_, spec_b_);
+  }
+  max_cut_ = spec_density_;  // exact, not just an upper bound
+  total_span_ = spec_total_span_;
+  spec_kind_ = SpecKind::kNone;
+}
+
+// mcopt: hot
+void DensityState::discard_speculation() {
+  MCOPT_DCHECK(speculating(), "discard without a pending speculation");
+  spec_clear_scratch();
+  spec_kind_ = SpecKind::kNone;
+}
+
+// mcopt: hot
+void DensityState::spec_clear_scratch() {
+  for (const std::size_t b : spec_boundaries_) {
+    boundary_delta_[b] = 0;
+    boundary_mark_[b] = 0;
+  }
+  spec_boundaries_.clear();
+  for (const int v : spec_removed_values_) {
+    removed_at_[static_cast<std::size_t>(v)] = 0;
+  }
+  spec_removed_values_.clear();
+  spec_nets_.clear();
+  spec_new_lo_.clear();
+  spec_new_hi_.clear();
 }
 
 void DensityState::reset(Arrangement arrangement) {
@@ -131,6 +439,7 @@ void DensityState::reset(Arrangement arrangement) {
 }
 
 bool DensityState::verify() const {
+  if (speculating()) return false;
   if (!arrangement_.is_consistent()) return false;
   DensityState fresh{*netlist_, arrangement_};
   if (fresh.density() != density()) return false;

@@ -15,6 +15,21 @@
 //
 // Moves are applied through DensityState so the arrangement and the counts
 // never diverge; `verify()` recomputes everything from scratch for tests.
+//
+// Two evaluation paths:
+//   * apply_swap/apply_move mutate the committed state in place (the
+//     original PR-0 path, kept as the semantic reference: self-inverse,
+//     obviously correct, used by the differential fuzz tests);
+//   * speculate_swap/speculate_move evaluate the same move into a
+//     touched-net journal without committing anything.  The candidate
+//     density/total span are exact integers, so a Metropolis loop can test
+//     them, then commit_speculation() in O(touched) or
+//     discard_speculation() in O(touched-scratch-clears) — a rejected
+//     proposal never writes cuts_, the histogram, or the arrangement.
+//     Speculation also skips nets whose extrema provably cannot change and
+//     updates only the end segments a span actually gained or lost, with
+//     one histogram update per changed boundary instead of one per crossing
+//     unit, so accepted moves are cheaper than the apply path too.
 #pragma once
 
 #include <cstddef>
@@ -33,6 +48,16 @@ class DensityState {
   /// Binds to `netlist` (which must outlive this object) and computes all
   /// counts for `arrangement`.
   DensityState(const Netlist& netlist, Arrangement arrangement);
+
+  /// Copies re-reserve every per-move scratch buffer: vector copies shrink
+  /// capacity to size, and the scratch vectors are empty between moves, so
+  /// a defaulted copy (Problem::clone()'s path into the parallel engine)
+  /// would silently re-allocate on the worker's first hot-loop move.
+  DensityState(const DensityState& other);
+  DensityState& operator=(const DensityState& other);
+  DensityState(DensityState&&) noexcept = default;
+  DensityState& operator=(DensityState&&) noexcept = default;
+  ~DensityState() = default;
 
   [[nodiscard]] const Arrangement& arrangement() const noexcept {
     return arrangement_;
@@ -58,19 +83,68 @@ class DensityState {
   /// O(pins of nets incident to the cells in [min(from,to), max(from,to)]).
   void apply_move(std::size_t from, std::size_t to);
 
+  /// Speculatively evaluates a pairwise interchange of positions p and q
+  /// (p != q): records the touched-net journal and the exact candidate
+  /// density / total span, but commits nothing.  Exactly one of
+  /// commit_speculation()/discard_speculation() must follow before the
+  /// next move (speculative or applied).
+  void speculate_swap(std::size_t p, std::size_t q);
+
+  /// Speculatively evaluates a single-exchange (remove at `from`, insert
+  /// at `to`, from != to), same contract as speculate_swap().
+  void speculate_move(std::size_t from, std::size_t to);
+
+  /// Exact density of the candidate arrangement recorded by the pending
+  /// speculation.
+  [[nodiscard]] int speculative_density() const noexcept {
+    return spec_density_;
+  }
+
+  /// Exact total span of the candidate arrangement recorded by the
+  /// pending speculation.
+  [[nodiscard]] long long speculative_total_span() const noexcept {
+    return spec_total_span_;
+  }
+
+  /// True while a speculation is pending.
+  [[nodiscard]] bool speculating() const noexcept {
+    return spec_kind_ != SpecKind::kNone;
+  }
+
+  /// Commits the pending speculation in O(touched): one histogram update
+  /// per changed boundary, extrema from the journal, then the arrangement
+  /// move itself.
+  void commit_speculation();
+
+  /// Drops the pending speculation; only scratch marks are cleared.
+  void discard_speculation();
+
   /// Replaces the arrangement wholesale (full recount).
   void reset(Arrangement arrangement);
 
   /// Recomputes from scratch and compares with the incremental state.
-  /// Returns true when they agree; tests assert this after random moves.
+  /// Returns true when they agree (and no speculation is pending); tests
+  /// assert this after random moves.
   [[nodiscard]] bool verify() const;
 
+  /// True when every per-move scratch buffer holds its full reservation;
+  /// the clone regression test asserts this so cloned workers stay
+  /// allocation-free on the hot path.
+  [[nodiscard]] bool scratch_reserved() const noexcept;
+
  private:
+  enum class SpecKind : unsigned char { kNone, kSwap, kMove };
+
   void rebuild();
+  void reserve_scratch();
   void retire_net(NetId n);    // remove net's span from cuts_/histogram
   void activate_net(NetId n);  // recompute extrema, add span back
   void add_span(std::size_t lo, std::size_t hi, int delta);
   void bump_boundary(std::size_t b, int delta);
+  void spec_record_net(NetId n, std::size_t new_lo, std::size_t new_hi);
+  void spec_touch_range(std::size_t lo, std::size_t hi, int delta);
+  void spec_finish();
+  void spec_clear_scratch();
 
   const Netlist* netlist_;
   Arrangement arrangement_;
@@ -82,6 +156,23 @@ class DensityState {
   long long total_span_ = 0;
   std::vector<NetId> touched_;       // scratch, de-duplicated per move
   std::vector<char> touched_mark_;
+
+  // Speculation journal (SoA) and scratch.  All buffers are reserved once
+  // (constructor / copy) and only cleared between moves, so the
+  // speculate/commit/discard cycle is allocation-free.
+  SpecKind spec_kind_ = SpecKind::kNone;
+  std::size_t spec_a_ = 0;  // swap: positions; move: from -> to
+  std::size_t spec_b_ = 0;
+  int spec_density_ = 0;
+  long long spec_total_span_ = 0;
+  std::vector<NetId> spec_nets_;           // journal: net whose extrema move
+  std::vector<std::size_t> spec_new_lo_;   //   parallel: candidate lo
+  std::vector<std::size_t> spec_new_hi_;   //   parallel: candidate hi
+  std::vector<std::size_t> spec_boundaries_;  // changed boundaries, deduped
+  std::vector<int> boundary_delta_;        // per boundary, zero outside spec
+  std::vector<char> boundary_mark_;
+  std::vector<int> removed_at_;     // old cut value -> #changed boundaries
+  std::vector<int> spec_removed_values_;   // values touched in removed_at_
 };
 
 /// One-shot density of an arrangement (builds a temporary state).

@@ -11,10 +11,12 @@
 namespace mcopt::linarr {
 
 LinArrProblem::LinArrProblem(const Netlist& netlist, Arrangement start,
-                             MoveKind move_kind, Objective objective)
+                             MoveKind move_kind, Objective objective,
+                             core::EvalPath path)
     : state_(netlist, std::move(start)),
       move_kind_(move_kind),
-      objective_(objective) {
+      objective_(objective),
+      path_(path) {
   if (netlist.num_cells() < 2) {
     throw std::invalid_argument("LinArrProblem: need at least two cells");
   }
@@ -26,14 +28,33 @@ double LinArrProblem::objective_value() const noexcept {
              : static_cast<double>(state_.total_span());
 }
 
+double LinArrProblem::speculative_objective() const noexcept {
+  return objective_ == Objective::kDensity
+             ? static_cast<double>(state_.speculative_density())
+             : static_cast<double>(state_.speculative_total_span());
+}
+
 double LinArrProblem::cost() const { return objective_value(); }
 
+// mcopt: hot
 double LinArrProblem::propose(util::Rng& rng) {
   if (pending_ != Pending::kNone) {
     throw std::logic_error("propose: a perturbation is already pending");
   }
   const std::size_t n = state_.arrangement().size();
   const auto [a, b] = rng.next_distinct_pair(n);
+  pending_a_ = a;
+  pending_b_ = b;
+  if (path_ == core::EvalPath::kSpeculative) {
+    if (move_kind_ == MoveKind::kPairwiseInterchange) {
+      state_.speculate_swap(a, b);
+      pending_ = Pending::kSwap;
+    } else {
+      state_.speculate_move(a, b);
+      pending_ = Pending::kMove;
+    }
+    return speculative_objective();
+  }
   if (move_kind_ == MoveKind::kPairwiseInterchange) {
     state_.apply_swap(a, b);
     pending_ = Pending::kSwap;
@@ -41,23 +62,30 @@ double LinArrProblem::propose(util::Rng& rng) {
     state_.apply_move(a, b);
     pending_ = Pending::kMove;
   }
-  pending_a_ = a;
-  pending_b_ = b;
   return objective_value();
 }
 
+// mcopt: hot
 void LinArrProblem::accept() {
   if (pending_ == Pending::kNone) {
     throw std::logic_error("accept: no pending perturbation");
   }
+  if (path_ == core::EvalPath::kSpeculative) {
+    state_.commit_speculation();
+  }
   pending_ = Pending::kNone;
 }
 
+// mcopt: hot
 void LinArrProblem::reject() {
   if (pending_ == Pending::kNone) {
     throw std::logic_error("reject: no pending perturbation");
   }
-  undo_pending();
+  if (path_ == core::EvalPath::kSpeculative) {
+    state_.discard_speculation();
+  } else {
+    undo_pending();
+  }
   pending_ = Pending::kNone;
 }
 
@@ -70,12 +98,52 @@ void LinArrProblem::undo_pending() {
   }
 }
 
+bool LinArrProblem::try_improving_move(std::size_t a, std::size_t b,
+                                       double before) {
+  if (move_kind_ == MoveKind::kPairwiseInterchange) {
+    state_.speculate_swap(a, b);
+  } else {
+    state_.speculate_move(a, b);
+  }
+  if (speculative_objective() < before) {
+    state_.commit_speculation();
+    return true;
+  }
+  state_.discard_speculation();
+  return false;
+}
+
 void LinArrProblem::descend(util::WorkBudget& budget) {
   if (pending_ != Pending::kNone) {
     throw std::logic_error("descend: a perturbation is pending");
   }
   const std::size_t n = state_.arrangement().size();
   bool improved = true;
+  if (path_ == core::EvalPath::kSpeculative) {
+    // Same scan order and charge cadence as the apply-undo loop below, so
+    // both paths reach the identical local optimum with identical budget
+    // consumption — only the cost of each *rejected* candidate differs.
+    while (improved && !budget.exhausted()) {
+      improved = false;
+      for (std::size_t a = 0; a + 1 < n && !budget.exhausted(); ++a) {
+        for (std::size_t b = a + 1; b < n && !budget.exhausted(); ++b) {
+          const double before = objective_value();
+          budget.charge();
+          if (try_improving_move(a, b, before)) {
+            improved = true;
+            continue;
+          }
+          if (move_kind_ == MoveKind::kSingleExchange) {
+            // Single exchange is directional: try a->b, then b->a.
+            if (budget.exhausted()) break;
+            budget.charge();
+            if (try_improving_move(b, a, before)) improved = true;
+          }
+        }
+      }
+    }
+    return;
+  }
   while (improved && !budget.exhausted()) {
     improved = false;
     for (std::size_t a = 0; a + 1 < n && !budget.exhausted(); ++a) {
@@ -156,7 +224,17 @@ bool LinArrProblem::is_local_optimum() {
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = 0; b < n; ++b) {
       if (a == b) continue;
-      if (move_kind_ == MoveKind::kPairwiseInterchange) {
+      if (path_ == core::EvalPath::kSpeculative) {
+        if (move_kind_ == MoveKind::kPairwiseInterchange) {
+          if (b < a) continue;  // swaps are symmetric
+          state_.speculate_swap(a, b);
+        } else {
+          state_.speculate_move(a, b);
+        }
+        const double h = speculative_objective();
+        state_.discard_speculation();
+        if (h < h0) return false;
+      } else if (move_kind_ == MoveKind::kPairwiseInterchange) {
         if (b < a) continue;  // swaps are symmetric
         state_.apply_swap(a, b);
         const double h = objective_value();

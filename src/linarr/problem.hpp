@@ -30,9 +30,12 @@ enum class Objective {
 class LinArrProblem final : public core::Problem {
  public:
   /// Starts from `start`; `netlist` must outlive the problem.
+  /// `path` picks the proposal evaluation strategy (see core::EvalPath);
+  /// both paths produce bit-identical cost trajectories.
   LinArrProblem(const Netlist& netlist, Arrangement start,
                 MoveKind move_kind = MoveKind::kPairwiseInterchange,
-                Objective objective = Objective::kDensity);
+                Objective objective = Objective::kDensity,
+                core::EvalPath path = core::EvalPath::kSpeculative);
 
   // core::Problem
   [[nodiscard]] double cost() const override;
@@ -54,6 +57,7 @@ class LinArrProblem final : public core::Problem {
     return state_.arrangement();
   }
   [[nodiscard]] MoveKind move_kind() const noexcept { return move_kind_; }
+  [[nodiscard]] core::EvalPath eval_path() const noexcept { return path_; }
 
   /// True when no pairwise interchange (resp. single exchange) lowers the
   /// cost; Figure 2 tests assert this postcondition of descend().  O(n^2)
@@ -62,12 +66,18 @@ class LinArrProblem final : public core::Problem {
 
  private:
   double objective_value() const noexcept;
-  /// Applies the pending move's inverse.
+  double speculative_objective() const noexcept;
+  /// Applies the pending move's inverse (apply-undo path only).
   void undo_pending();
+  /// Speculatively evaluates swap/move (by move_kind_) of (a, b) and
+  /// commits iff the candidate improves on `before`.  Returns true when
+  /// committed.
+  bool try_improving_move(std::size_t a, std::size_t b, double before);
 
   DensityState state_;
   MoveKind move_kind_;
   Objective objective_;
+  core::EvalPath path_;
 
   enum class Pending { kNone, kSwap, kMove };
   Pending pending_ = Pending::kNone;

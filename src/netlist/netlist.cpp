@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <initializer_list>
 #include <stdexcept>
-#include <utility>
 
 namespace mcopt::netlist {
 
@@ -30,17 +29,19 @@ Netlist::Builder::Builder(std::size_t num_cells) : num_cells_(num_cells) {
 }
 
 NetId Netlist::Builder::add_net(std::span<const CellId> cells) {
-  std::vector<CellId> pins(cells.begin(), cells.end());
-  std::sort(pins.begin(), pins.end());
-  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
-  if (pins.size() < 2) {
+  scratch_.assign(cells.begin(), cells.end());
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  if (scratch_.size() < 2) {
     throw std::invalid_argument("a net must connect at least two distinct cells");
   }
-  if (pins.back() >= num_cells_) {
+  if (scratch_.back() >= num_cells_) {
     throw std::invalid_argument("net pin refers to a cell out of range");
   }
-  nets_.push_back(std::move(pins));
-  return static_cast<NetId>(nets_.size() - 1);
+  net_pins_.insert(net_pins_.end(), scratch_.begin(), scratch_.end());
+  net_offsets_.push_back(net_pins_.size());
+  return static_cast<NetId>(net_offsets_.size() - 2);
 }
 
 NetId Netlist::Builder::add_net(std::initializer_list<CellId> cells) {
@@ -50,22 +51,20 @@ NetId Netlist::Builder::add_net(std::initializer_list<CellId> cells) {
 Netlist Netlist::Builder::build() const {
   Netlist out;
   out.num_cells_ = num_cells_;
-  out.net_offsets_.reserve(nets_.size() + 1);
-  for (const auto& pins : nets_) {
-    out.net_pins_.insert(out.net_pins_.end(), pins.begin(), pins.end());
-    out.net_offsets_.push_back(out.net_pins_.size());
-  }
+  out.net_offsets_ = net_offsets_;
+  out.net_pins_ = net_pins_;
 
-  // Inverse incidence via counting sort.
+  // Inverse incidence via counting sort over the flat pin array.
+  const std::size_t num_nets = net_offsets_.size() - 1;
   std::vector<std::size_t> counts(num_cells_ + 1, 0);
   for (const CellId c : out.net_pins_) ++counts[c + 1];
   for (std::size_t c = 0; c < num_cells_; ++c) counts[c + 1] += counts[c];
   out.cell_offsets_ = counts;
   out.cell_nets_.resize(out.net_pins_.size());
   std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
-  for (std::size_t n = 0; n < nets_.size(); ++n) {
-    for (const CellId c : nets_[n]) {
-      out.cell_nets_[cursor[c]++] = static_cast<NetId>(n);
+  for (std::size_t n = 0; n < num_nets; ++n) {
+    for (std::size_t p = net_offsets_[n]; p < net_offsets_[n + 1]; ++p) {
+      out.cell_nets_[cursor[net_pins_[p]]++] = static_cast<NetId>(n);
     }
   }
   return out;

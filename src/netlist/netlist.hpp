@@ -68,6 +68,9 @@ class Netlist {
 
 /// Incremental construction with validation.  Throws std::invalid_argument
 /// on out-of-range pins or nets with fewer than two distinct pins.
+/// Accumulates directly into the CSR arrays the Netlist will own — no
+/// vector-of-vectors mirror, so building a large netlist costs one flat
+/// allocation stream instead of one heap node per net.
 class Netlist::Builder {
  public:
   explicit Builder(std::size_t num_cells);
@@ -79,14 +82,20 @@ class Netlist::Builder {
   NetId add_net(std::initializer_list<CellId> cells);
 
   [[nodiscard]] std::size_t num_cells() const noexcept { return num_cells_; }
-  [[nodiscard]] std::size_t num_nets() const noexcept { return nets_.size(); }
+  [[nodiscard]] std::size_t num_nets() const noexcept {
+    return net_offsets_.size() - 1;
+  }
 
   /// Finalizes into an immutable Netlist (builds the inverse incidence).
   [[nodiscard]] Netlist build() const;
 
  private:
   std::size_t num_cells_;
-  std::vector<std::vector<CellId>> nets_;
+  // CSR under construction: net n is net_pins_[net_offsets_[n] ..
+  // net_offsets_[n+1]), sorted and deduplicated at add_net time.
+  std::vector<std::size_t> net_offsets_{0};
+  std::vector<CellId> net_pins_;
+  std::vector<CellId> scratch_;  // add_net sort/dedup buffer
 };
 
 }  // namespace mcopt::netlist

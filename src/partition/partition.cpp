@@ -18,6 +18,45 @@ PartitionState::PartitionState(const Netlist& netlist,
     if (s > 1) throw std::invalid_argument("PartitionState: side must be 0/1");
   }
   rebuild();
+  reserve_scratch();
+}
+
+PartitionState::PartitionState(const PartitionState& other)
+    : netlist_(other.netlist_),
+      sides_(other.sides_),
+      on_side0_(other.on_side0_),
+      cut_(other.cut_),
+      side0_count_(other.side0_count_) {
+  MCOPT_DCHECK(!other.speculating(), "copying a speculating PartitionState");
+  reserve_scratch();
+}
+
+PartitionState& PartitionState::operator=(const PartitionState& other) {
+  if (this == &other) return *this;
+  MCOPT_DCHECK(!other.speculating(), "copying a speculating PartitionState");
+  netlist_ = other.netlist_;
+  sides_ = other.sides_;
+  on_side0_ = other.on_side0_;
+  cut_ = other.cut_;
+  side0_count_ = other.side0_count_;
+  spec_pending_ = false;
+  spec_nets_.clear();
+  spec_new0_.clear();
+  reserve_scratch();
+  return *this;
+}
+
+void PartitionState::reserve_scratch() {
+  const std::size_t nets = netlist_->num_nets();
+  spec_nets_.reserve(nets);
+  spec_new0_.reserve(nets);
+  spec_mark_.assign(nets, 0);
+}
+
+bool PartitionState::scratch_reserved() const noexcept {
+  const std::size_t nets = netlist_->num_nets();
+  return spec_nets_.capacity() >= nets && spec_new0_.capacity() >= nets &&
+         spec_mark_.size() == nets;
 }
 
 PartitionState PartitionState::random(const Netlist& netlist, util::Rng& rng) {
@@ -53,6 +92,7 @@ bool PartitionState::is_balanced() const noexcept {
   return (s0 > s1 ? s0 - s1 : s1 - s0) <= 1;
 }
 
+// mcopt: hot
 void PartitionState::flip(CellId c) {
   MCOPT_DCHECK(c < sides_.size(), "flip cell out of range");
   const int to_side0 = sides_[c] == 1 ? 1 : -1;  // +1 when moving onto side 0
@@ -81,7 +121,74 @@ void PartitionState::swap(CellId a, CellId b) {
   flip(b);
 }
 
+// mcopt: hot
+void PartitionState::speculate_swap(CellId a, CellId b) {
+  MCOPT_DCHECK(a < sides_.size() && b < sides_.size(),
+               "swap cell out of range");
+  MCOPT_DCHECK(sides_[a] != sides_[b], "speculate_swap: same side");
+  MCOPT_DCHECK(!spec_pending_, "speculation already pending");
+  spec_pending_ = true;
+  spec_a_ = a;
+  spec_b_ = b;
+  const int da = sides_[a] == 1 ? 1 : -1;  // a's flip effect on on_side0_
+  const int db = -da;
+  for (const NetId n : netlist_->nets_of(a)) spec_mark_[n] = 1;
+  for (const NetId n : netlist_->nets_of(b)) spec_mark_[n] |= 2;
+  int cut = cut_;
+  for (const NetId n : netlist_->nets_of(a)) {
+    const char m = spec_mark_[n];
+    spec_mark_[n] = 0;
+    // A net with pins on both swapped cells keeps its per-side pin counts
+    // (one pin leaves each side, one arrives): provably unchanged.
+    if (m == 3) continue;
+    const auto size = static_cast<int>(netlist_->pins(n).size());
+    const int before = on_side0_[n];
+    const int after = before + da;
+    cut += static_cast<int>(after > 0 && after < size) -
+           static_cast<int>(before > 0 && before < size);
+    // Reserved to num_nets() up front; never reallocates.
+    spec_nets_.push_back(n);    // mcopt-lint: allow(hot-loop-alloc)
+    spec_new0_.push_back(after);  // mcopt-lint: allow(hot-loop-alloc)
+  }
+  for (const NetId n : netlist_->nets_of(b)) {
+    if (spec_mark_[n] == 0) continue;  // shared net, already cleared above
+    spec_mark_[n] = 0;
+    const auto size = static_cast<int>(netlist_->pins(n).size());
+    const int before = on_side0_[n];
+    const int after = before + db;
+    cut += static_cast<int>(after > 0 && after < size) -
+           static_cast<int>(before > 0 && before < size);
+    spec_nets_.push_back(n);    // mcopt-lint: allow(hot-loop-alloc)
+    spec_new0_.push_back(after);  // mcopt-lint: allow(hot-loop-alloc)
+  }
+  spec_cut_ = cut;
+}
+
+// mcopt: hot
+void PartitionState::commit_speculation() {
+  MCOPT_DCHECK(spec_pending_, "commit without a pending speculation");
+  sides_[spec_a_] ^= 1;
+  sides_[spec_b_] ^= 1;
+  for (std::size_t i = 0; i < spec_nets_.size(); ++i) {
+    on_side0_[spec_nets_[i]] = spec_new0_[i];
+  }
+  cut_ = spec_cut_;
+  // side0_count_ is unchanged: the swap moves one cell each way.
+  spec_nets_.clear();
+  spec_new0_.clear();
+  spec_pending_ = false;
+}
+
+// mcopt: hot
+void PartitionState::discard_speculation() {
+  MCOPT_DCHECK(spec_pending_, "discard without a pending speculation");
+  spec_nets_.clear();
+  spec_new0_.clear();
+  spec_pending_ = false;
+}
+
 bool PartitionState::verify() const {
+  if (speculating()) return false;
   PartitionState fresh{*netlist_, sides_};
   return fresh.cut_ == cut_ && fresh.on_side0_ == on_side0_ &&
          fresh.side0_count_ == side0_count_;

@@ -28,6 +28,14 @@ class PartitionState {
   /// assignment.  Throws std::invalid_argument on a size mismatch.
   PartitionState(const Netlist& netlist, std::vector<std::uint8_t> sides);
 
+  /// Copies re-reserve the per-move speculation scratch (vector copies
+  /// shrink capacity to size, which is zero for empty scratch).
+  PartitionState(const PartitionState& other);
+  PartitionState& operator=(const PartitionState& other);
+  PartitionState(PartitionState&&) noexcept = default;
+  PartitionState& operator=(PartitionState&&) noexcept = default;
+  ~PartitionState() = default;
+
   /// Balanced random assignment: exactly ceil(n/2) cells on side 0.
   [[nodiscard]] static PartitionState random(const Netlist& netlist,
                                              util::Rng& rng);
@@ -54,17 +62,51 @@ class PartitionState {
   /// preserves balance.  O(deg(a) + deg(b)).
   void swap(CellId a, CellId b);
 
-  /// Recomputes from scratch and compares; tests assert this.
+  /// Speculatively evaluates swap(a, b) into a touched-net journal
+  /// without committing: the exact candidate cut is speculative_cut().
+  /// Nets incident to both cells are skipped (their pin-count per side is
+  /// unchanged by a cross-side swap).  Exactly one of
+  /// commit_speculation()/discard_speculation() must follow.
+  void speculate_swap(CellId a, CellId b);
+
+  /// Exact cut of the candidate recorded by the pending speculation.
+  [[nodiscard]] int speculative_cut() const noexcept { return spec_cut_; }
+
+  /// True while a speculation is pending.
+  [[nodiscard]] bool speculating() const noexcept { return spec_pending_; }
+
+  /// Commits the pending speculation in O(touched).
+  void commit_speculation();
+
+  /// Drops the pending speculation; only journal entries are cleared.
+  void discard_speculation();
+
+  /// Recomputes from scratch and compares; tests assert this.  False
+  /// while a speculation is pending.
   [[nodiscard]] bool verify() const;
+
+  /// True when the speculation scratch holds its full reservation; the
+  /// clone regression test asserts this.
+  [[nodiscard]] bool scratch_reserved() const noexcept;
 
  private:
   void rebuild();
+  void reserve_scratch();
 
   const Netlist* netlist_;
   std::vector<std::uint8_t> sides_;
   std::vector<int> on_side0_;  // per net: pins on side 0
   int cut_ = 0;
   std::size_t side0_count_ = 0;
+
+  // Speculation journal and scratch; reserved once, cleared per move.
+  bool spec_pending_ = false;
+  CellId spec_a_ = 0;
+  CellId spec_b_ = 0;
+  int spec_cut_ = 0;
+  std::vector<NetId> spec_nets_;   // journal: nets whose on_side0_ changes
+  std::vector<int> spec_new0_;     //   parallel: candidate pin count
+  std::vector<char> spec_mark_;    // per-net gather marks, zero between moves
 };
 
 }  // namespace mcopt::partition

@@ -18,8 +18,10 @@ namespace mcopt::partition {
 class PartitionProblem final : public core::Problem {
  public:
   /// Starts from `start` (must be balanced).  The underlying netlist must
-  /// outlive the problem.
-  explicit PartitionProblem(PartitionState start);
+  /// outlive the problem.  `path` picks the proposal evaluation strategy
+  /// (see core::EvalPath); both paths produce bit-identical trajectories.
+  explicit PartitionProblem(PartitionState start,
+                            core::EvalPath path = core::EvalPath::kSpeculative);
 
   // core::Problem
   [[nodiscard]] double cost() const override {
@@ -38,9 +40,11 @@ class PartitionProblem final : public core::Problem {
   [[nodiscard]] std::unique_ptr<core::Problem> clone() const override;
 
   [[nodiscard]] const PartitionState& state() const noexcept { return state_; }
+  [[nodiscard]] core::EvalPath eval_path() const noexcept { return path_; }
 
  private:
   PartitionState state_;
+  core::EvalPath path_;
   bool pending_ = false;
   CellId pending_a_ = 0;
   CellId pending_b_ = 0;

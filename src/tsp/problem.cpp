@@ -12,14 +12,18 @@
 namespace mcopt::tsp {
 
 TspProblem::TspProblem(const TspInstance& instance, Order start,
-                       TspMoveKind move_kind)
-    : instance_(&instance), order_(std::move(start)), move_kind_(move_kind) {
+                       TspMoveKind move_kind, core::EvalPath path)
+    : instance_(&instance),
+      order_(std::move(start)),
+      move_kind_(move_kind),
+      path_(path) {
   if (!is_valid_order(order_, instance.size())) {
     throw std::invalid_argument("TspProblem: start is not a valid order");
   }
   length_ = tour_length(*instance_, order_);
 }
 
+// mcopt: hot
 double TspProblem::propose_two_opt(util::Rng& rng) {
   const std::size_t n = order_.size();
   // Random 2-opt: i < j, excluding the (0, n-1) pair that shares an edge.
@@ -30,14 +34,18 @@ double TspProblem::propose_two_opt(util::Rng& rng) {
     i = std::min(a, b);
     j = std::max(a, b);
   } while (i == 0 && j == n - 1);
+  // The delta reads only the four changed edges of the *committed* order,
+  // so computing it before (speculative) or after recording the move
+  // (apply-undo) yields the same bits.
   pending_delta_ = two_opt_delta(*instance_, order_, i, j);
-  apply_two_opt(order_, i, j);
+  if (path_ == core::EvalPath::kApplyUndo) apply_two_opt(order_, i, j);
   pending_ = Pending::kTwoOpt;
   pending_i_ = i;
   pending_j_ = j;
   return length_ + pending_delta_;
 }
 
+// mcopt: hot
 double TspProblem::propose_or_opt(util::Rng& rng) {
   const std::size_t n = order_.size();
   std::size_t i;
@@ -49,8 +57,12 @@ double TspProblem::propose_or_opt(util::Rng& rng) {
     k = static_cast<std::size_t>(rng.next_below(n));
   } while ((k >= i && k < i + len) || k == (i + n - 1) % n || len >= n - 1);
   pending_delta_ = or_opt_delta(*instance_, order_, i, len, k);
-  pending_backup_ = order_;
-  apply_or_opt(order_, i, len, k);
+  if (path_ == core::EvalPath::kApplyUndo) {
+    // The speculative path skips both the O(n) backup copy and the
+    // rewrite: the tour is only touched on accept().
+    pending_backup_ = order_;
+    apply_or_opt(order_, i, len, k);
+  }
   pending_ = Pending::kOrOpt;
   pending_i_ = i;
   pending_j_ = k;
@@ -58,6 +70,7 @@ double TspProblem::propose_or_opt(util::Rng& rng) {
   return length_ + pending_delta_;
 }
 
+// mcopt: hot
 double TspProblem::propose(util::Rng& rng) {
   if (pending_ != Pending::kNone) {
     throw std::logic_error("propose: a perturbation is already pending");
@@ -66,24 +79,36 @@ double TspProblem::propose(util::Rng& rng) {
                                             : propose_or_opt(rng);
 }
 
+// mcopt: hot
 void TspProblem::accept() {
   if (pending_ == Pending::kNone) {
     throw std::logic_error("accept: no pending perturbation");
+  }
+  if (path_ == core::EvalPath::kSpeculative) {
+    if (pending_ == Pending::kTwoOpt) {
+      apply_two_opt(order_, pending_i_, pending_j_);
+    } else {
+      apply_or_opt(order_, pending_i_, pending_len_, pending_j_);
+    }
   }
   length_ += pending_delta_;
   pending_ = Pending::kNone;
   if (++accepts_since_resync_ >= kResyncInterval) resync_length();
 }
 
+// mcopt: hot
 void TspProblem::reject() {
   if (pending_ == Pending::kNone) {
     throw std::logic_error("reject: no pending perturbation");
   }
-  if (pending_ == Pending::kTwoOpt) {
-    apply_two_opt(order_, pending_i_, pending_j_);  // reversal self-inverse
-  } else {
-    order_ = pending_backup_;
+  if (path_ == core::EvalPath::kApplyUndo) {
+    if (pending_ == Pending::kTwoOpt) {
+      apply_two_opt(order_, pending_i_, pending_j_);  // self-inverse
+    } else {
+      order_ = pending_backup_;
+    }
   }
+  // Speculative path: the tour was never touched — nothing to undo.
   pending_ = Pending::kNone;
 }
 

@@ -49,6 +49,29 @@ std::uint64_t Rng::next() noexcept {
   return result;
 }
 
+void Rng::next_block(std::uint64_t* out, std::size_t count) noexcept {
+  // Same recurrence as next(), but the four state words stay in locals for
+  // the whole block instead of round-tripping through memory per draw.
+  std::uint64_t s0 = state_[0];
+  std::uint64_t s1 = state_[1];
+  std::uint64_t s2 = state_[2];
+  std::uint64_t s3 = state_[3];
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = rotl(s0 + s3, 23) + s0;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl(s3, 45);
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
 std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
   // Lemire's nearly-divisionless unbiased bounded generation.
   std::uint64_t x = next();

@@ -31,6 +31,12 @@ class Rng {
   std::uint64_t operator()() noexcept { return next(); }
   std::uint64_t next() noexcept;
 
+  /// Fills out[0..count) with the next `count` raw outputs, bit-identical
+  /// to calling next() `count` times.  Hot loops draw a small block up
+  /// front and stream from it, amortizing the per-call state round-trip
+  /// (the generator state lives in registers for the whole block).
+  void next_block(std::uint64_t* out, std::size_t count) noexcept;
+
   /// Uniform in [0, bound).  bound must be > 0.  Uses Lemire's unbiased
   /// multiply-shift rejection method.
   std::uint64_t next_below(std::uint64_t bound) noexcept;

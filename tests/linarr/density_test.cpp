@@ -196,5 +196,102 @@ TEST(DensityBoundTest, DensityAtLeastMinDegreeOnGraphs) {
   }
 }
 
+// Speculation unit contract: speculate_* records the exact density/span of
+// the candidate without touching the committed state; commit makes the
+// candidate current; discard is a perfect no-op.  The apply path is the
+// oracle.
+TEST(DensitySpeculationTest, SwapSpeculationMatchesApplyOracle) {
+  util::Rng rng{83};
+  const Netlist nl = random_gola(GolaParams{12, 80}, rng);
+  DensityState spec{nl, Arrangement::random(12, rng)};
+  DensityState oracle{spec};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto p = static_cast<std::size_t>(rng.next() % 12);
+    auto q = static_cast<std::size_t>(rng.next() % 11);
+    if (q >= p) ++q;
+    const int before_density = spec.density();
+    const long long before_span = spec.total_span();
+    spec.speculate_swap(p, q);
+    oracle.apply_swap(p, q);
+    ASSERT_EQ(spec.speculative_density(), oracle.density());
+    ASSERT_EQ(spec.speculative_total_span(), oracle.total_span());
+    // Committed state is untouched while speculating.
+    ASSERT_EQ(spec.density(), before_density);
+    ASSERT_EQ(spec.total_span(), before_span);
+    if (trial % 2 == 0) {
+      spec.commit_speculation();
+      ASSERT_EQ(spec.density(), oracle.density());
+      ASSERT_EQ(spec.arrangement().order(), oracle.arrangement().order());
+    } else {
+      spec.discard_speculation();
+      oracle.apply_swap(p, q);  // self-inverse: undo the oracle
+      ASSERT_EQ(spec.density(), before_density);
+      ASSERT_EQ(spec.total_span(), before_span);
+    }
+    if (trial % 25 == 0) ASSERT_TRUE(spec.verify()) << "trial " << trial;
+  }
+  EXPECT_TRUE(spec.verify());
+}
+
+TEST(DensitySpeculationTest, MoveSpeculationMatchesApplyOracle) {
+  util::Rng rng{87};
+  const Netlist nl = random_gola(GolaParams{12, 80}, rng);
+  DensityState spec{nl, Arrangement::random(12, rng)};
+  DensityState oracle{spec};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto from = static_cast<std::size_t>(rng.next() % 12);
+    auto to = static_cast<std::size_t>(rng.next() % 11);
+    if (to >= from) ++to;
+    const int before_density = spec.density();
+    const long long before_span = spec.total_span();
+    spec.speculate_move(from, to);
+    oracle.apply_move(from, to);
+    ASSERT_EQ(spec.speculative_density(), oracle.density());
+    ASSERT_EQ(spec.speculative_total_span(), oracle.total_span());
+    ASSERT_EQ(spec.density(), before_density);
+    ASSERT_EQ(spec.total_span(), before_span);
+    if (trial % 2 == 0) {
+      spec.commit_speculation();
+      ASSERT_EQ(spec.density(), oracle.density());
+      ASSERT_EQ(spec.arrangement().order(), oracle.arrangement().order());
+    } else {
+      spec.discard_speculation();
+      oracle.apply_move(to, from);  // inverse move undoes the oracle
+      ASSERT_EQ(spec.density(), before_density);
+      ASSERT_EQ(spec.total_span(), before_span);
+    }
+    if (trial % 25 == 0) ASSERT_TRUE(spec.verify()) << "trial " << trial;
+  }
+  EXPECT_TRUE(spec.verify());
+}
+
+// Clone regression: vector copies shrink capacity to size and the per-move
+// scratch is empty between moves, so a defaulted copy would silently
+// re-allocate on the worker's first hot-loop move.  The copy constructor
+// and assignment must re-reserve everything.
+TEST(DensityCopyTest, CopyAndAssignReReserveSpeculationScratch) {
+  util::Rng rng{81};
+  const Netlist nl = random_gola(GolaParams{15, 150}, rng);
+  DensityState state{nl, Arrangement::random(15, rng)};
+  ASSERT_TRUE(state.scratch_reserved());
+
+  DensityState copied{state};
+  EXPECT_TRUE(copied.scratch_reserved());
+
+  DensityState assigned{nl, Arrangement::random(15, rng)};
+  assigned = state;
+  EXPECT_TRUE(assigned.scratch_reserved());
+  EXPECT_EQ(assigned.density(), state.density());
+
+  // The copy must also be a correct speculation substrate, not just a
+  // reserved one.
+  copied.speculate_swap(2, 9);
+  const int candidate = copied.speculative_density();
+  copied.commit_speculation();
+  EXPECT_EQ(copied.density(), candidate);
+  EXPECT_TRUE(copied.verify());
+  EXPECT_TRUE(copied.scratch_reserved());
+}
+
 }  // namespace
 }  // namespace mcopt::linarr

@@ -50,10 +50,26 @@ TEST(LinArrProblemTest, RejectsTinyNetlist) {
 TEST(LinArrProblemTest, ProposeReturnsPerturbedCost) {
   const Netlist nl = paper_instance();
   util::Rng rng{4};
-  LinArrProblem problem{nl, Arrangement::random(15, rng)};
+  LinArrProblem problem{nl, Arrangement::random(15, rng),
+                        MoveKind::kPairwiseInterchange, Objective::kDensity,
+                        core::EvalPath::kApplyUndo};
   const double h_j = problem.propose(rng);
-  EXPECT_DOUBLE_EQ(h_j, problem.cost());  // pending state is visible
+  EXPECT_DOUBLE_EQ(h_j, problem.cost());  // apply-undo: pending is visible
   problem.reject();
+}
+
+TEST(LinArrProblemTest, SpeculativeProposeLeavesCommittedCostVisible) {
+  const Netlist nl = paper_instance();
+  util::Rng rng{4};
+  LinArrProblem problem{nl, Arrangement::random(15, rng)};
+  ASSERT_EQ(problem.eval_path(), core::EvalPath::kSpeculative);
+  const double h_i = problem.cost();
+  const double h_j = problem.propose(rng);
+  // Speculative: nothing is committed until accept(), so cost() still
+  // reports the current solution.
+  EXPECT_DOUBLE_EQ(problem.cost(), h_i);
+  problem.accept();
+  EXPECT_DOUBLE_EQ(problem.cost(), h_j);
 }
 
 TEST(LinArrProblemTest, RejectRestoresExactState) {
@@ -207,6 +223,27 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(MoveKind::kPairwiseInterchange,
                                          MoveKind::kSingleExchange),
                        ::testing::Bool()));
+
+TEST(LinArrProblemTest, CloneReReservesSpeculationScratch) {
+  const Netlist nl = paper_instance();
+  util::Rng rng{14};
+  LinArrProblem problem{nl, Arrangement::random(15, rng)};
+  const auto clone = problem.clone();
+  auto& cloned = dynamic_cast<LinArrProblem&>(*clone);
+  EXPECT_TRUE(cloned.state().scratch_reserved());
+  // The clone must run the speculative hot loop correctly from the start —
+  // this is exactly the parallel engine's per-worker path.
+  for (int i = 0; i < 50; ++i) {
+    const double h_j = cloned.propose(rng);
+    if (h_j <= cloned.cost()) {
+      cloned.accept();
+    } else {
+      cloned.reject();
+    }
+  }
+  EXPECT_TRUE(cloned.state().verify());
+  EXPECT_TRUE(cloned.state().scratch_reserved());
+}
 
 TEST(LinArrNolaTest, MultiPinInstancesWork) {
   util::Rng rng{20};

@@ -127,5 +127,69 @@ TEST_P(PartitionChurnTest, IncrementalMatchesRecountUnderChurn) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionChurnTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// Speculation unit contract: speculate_swap records the exact cut of the
+// cross-side swap without touching the committed state; commit makes it
+// current; discard is a perfect no-op.  Two flips are the oracle.
+TEST(PartitionSpeculationTest, SwapSpeculationMatchesFlipOracle) {
+  util::Rng rng{93};
+  const Netlist nl = netlist::random_graph(16, 48, rng);
+  PartitionState spec = PartitionState::random(nl, rng);
+  PartitionState oracle{spec};
+  for (int trial = 0; trial < 200; ++trial) {
+    CellId a = static_cast<CellId>(rng.next() % 16);
+    while (spec.side(a) != 0) a = static_cast<CellId>(rng.next() % 16);
+    CellId b = static_cast<CellId>(rng.next() % 16);
+    while (spec.side(b) != 1) b = static_cast<CellId>(rng.next() % 16);
+    const int before_cut = spec.cut();
+    spec.speculate_swap(a, b);
+    oracle.flip(a);
+    oracle.flip(b);
+    ASSERT_EQ(spec.speculative_cut(), oracle.cut()) << "trial " << trial;
+    ASSERT_EQ(spec.cut(), before_cut);  // committed state untouched
+    if (trial % 2 == 0) {
+      spec.commit_speculation();
+      ASSERT_EQ(spec.cut(), oracle.cut());
+      ASSERT_EQ(spec.side(a), 1);
+      ASSERT_EQ(spec.side(b), 0);
+    } else {
+      spec.discard_speculation();
+      oracle.flip(a);  // undo the oracle
+      oracle.flip(b);
+      ASSERT_EQ(spec.cut(), before_cut);
+    }
+    if (trial % 25 == 0) ASSERT_TRUE(spec.verify()) << "trial " << trial;
+  }
+  EXPECT_TRUE(spec.verify());
+}
+
+// Clone regression: a defaulted copy would shrink the speculation scratch
+// to zero capacity and silently re-allocate on the worker's first swap.
+TEST(PartitionCopyTest, CopyAndAssignReReserveSpeculationScratch) {
+  util::Rng rng{91};
+  const Netlist nl = netlist::random_graph(16, 48, rng);
+  PartitionState state = PartitionState::random(nl, rng);
+  ASSERT_TRUE(state.scratch_reserved());
+
+  PartitionState copied{state};
+  EXPECT_TRUE(copied.scratch_reserved());
+
+  PartitionState assigned = PartitionState::random(nl, rng);
+  assigned = state;
+  EXPECT_TRUE(assigned.scratch_reserved());
+  EXPECT_EQ(assigned.cut(), state.cut());
+
+  // The copy must also speculate correctly: pick one cell per side.
+  CellId a = 0;
+  while (copied.side(a) != 0) ++a;
+  CellId b = 0;
+  while (copied.side(b) != 1) ++b;
+  copied.speculate_swap(a, b);
+  const int candidate = copied.speculative_cut();
+  copied.commit_speculation();
+  EXPECT_EQ(copied.cut(), candidate);
+  EXPECT_TRUE(copied.verify());
+  EXPECT_TRUE(copied.scratch_reserved());
+}
+
 }  // namespace
 }  // namespace mcopt::partition

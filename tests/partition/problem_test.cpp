@@ -99,6 +99,25 @@ TEST(PartitionProblemTest, KirkpatrickAnnealingImprovesRandomCut) {
   EXPECT_TRUE(problem.state().is_balanced());
 }
 
+TEST(PartitionProblemTest, CloneReReservesSpeculationScratch) {
+  util::Rng rng{12};
+  const Netlist nl = netlist::random_graph(16, 48, rng);
+  PartitionProblem problem{PartitionState::random(nl, rng)};
+  const auto clone = problem.clone();
+  auto& cloned = dynamic_cast<PartitionProblem&>(*clone);
+  EXPECT_TRUE(cloned.state().scratch_reserved());
+  for (int i = 0; i < 50; ++i) {
+    const double h_j = cloned.propose(rng);
+    if (h_j <= cloned.cost()) {
+      cloned.accept();
+    } else {
+      cloned.reject();
+    }
+  }
+  EXPECT_TRUE(cloned.state().verify());
+  EXPECT_TRUE(cloned.state().scratch_reserved());
+}
+
 TEST(PartitionProblemTest, AnnealingApproachesKlQuality) {
   // Sanity cross-check between the two optimizers on one instance: SA with
   // a generous budget should land within 2x of KL's cut.

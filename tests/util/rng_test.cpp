@@ -344,5 +344,26 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformityTest,
                          ::testing::Values(0ULL, 1ULL, 42ULL, 1985ULL,
                                            0xffffffffffffffffULL));
 
+TEST(RngTest, NextBlockMatchesRepeatedNext) {
+  // The block-draw fast path must be stream-identical to calling next()
+  // once per word — including odd lengths and back-to-back blocks.
+  Rng block_rng{1985};
+  Rng scalar_rng{1985};
+  std::array<std::uint64_t, 300> block{};
+  block_rng.next_block(block.data(), 257);
+  for (std::size_t i = 0; i < 257; ++i) {
+    ASSERT_EQ(block[i], scalar_rng.next()) << "word " << i;
+  }
+  block_rng.next_block(block.data(), 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(block[i], scalar_rng.next()) << "word " << i;
+  }
+  // The generators stay aligned after the blocks.
+  EXPECT_EQ(block_rng.next(), scalar_rng.next());
+  // A zero-length block is a no-op.
+  block_rng.next_block(block.data(), 0);
+  EXPECT_EQ(block_rng.next(), scalar_rng.next());
+}
+
 }  // namespace
 }  // namespace mcopt::util

@@ -409,6 +409,70 @@ class IncludeHygieneRule(Rule):
         return set()
 
 
+#: Marker comment that declares the following function part of the
+#: proposal hot path (propose/accept/reject/apply in the speculation work).
+_HOT_MARKER_RE = re.compile(r"//\s*mcopt:\s*hot\b")
+
+#: Calls that may touch the heap.  Members like push_back/insert are only
+#: allocation-free when the container was reserved up front -- which is
+#: exactly what the allow() escape documents at the call site.
+_HOT_ALLOC_RE = re.compile(
+    r"\.\s*(?:push_back|emplace_back|emplace|resize|reserve|insert|"
+    r"assign|append)\s*\(|"
+    r"\bnew\b|"
+    r"\bstd\s*::\s*make_(?:unique|shared)\b"
+)
+
+
+class HotLoopAllocRule(Rule):
+    """Functions marked `// mcopt: hot` (the propose/accept/reject/apply
+    paths of the speculative hot loop) must not allocate: one stray heap
+    call per proposal erases the point of the touched-net journal.  The
+    rule scans the marked function's body (balanced braces over stripped
+    text, so strings and comments cannot confuse it) for heap-allocating
+    calls.  Push-backs into buffers reserved at construction time are
+    legal -- and must say so with a same-line
+    `// mcopt-lint: allow(hot-loop-alloc)` so the reservation claim is
+    auditable at the call site."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="hot-loop-alloc",
+            explanation="heap-allocating call inside a `// mcopt: hot` "
+            "function; hot-loop moves must be allocation-free (reserved "
+            "push_backs need a same-line allow() stating so)",
+        )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        out = []
+        for marker_line, raw in enumerate(ctx.raw_lines, start=1):
+            if not _HOT_MARKER_RE.search(raw):
+                continue
+            out.extend(self._scan_body(ctx, marker_line))
+        return out
+
+    def _scan_body(self, ctx: FileContext,
+                   marker_line: int) -> list[Finding]:
+        out = []
+        depth = 0
+        opened = False
+        for lineno in range(marker_line, len(ctx.stripped_lines) + 1):
+            line = ctx.stripped_lines[lineno - 1]
+            if not opened and "{" not in line and ";" in line:
+                return []  # marker on a declaration, not a definition
+            for ch in line:
+                if ch == "{":
+                    depth += 1
+                    opened = True
+                elif ch == "}":
+                    depth -= 1
+            if opened and _HOT_ALLOC_RE.search(line):
+                out.append(ctx.finding(lineno, self.name, self.explanation))
+            if opened and depth <= 0:
+                break
+        return out
+
+
 def default_rules() -> list[Rule]:
     rules: list[Rule] = [
         RegexRule(name=name, explanation=explanation,
@@ -421,5 +485,6 @@ def default_rules() -> list[Rule]:
         UnorderedIterationRule(),
         NodiscardContractRule(),
         IncludeHygieneRule(),
+        HotLoopAllocRule(),
     ]
     return rules
