@@ -19,6 +19,7 @@
 #include "core/figure2.hpp"
 #include "linarr/goto_heuristic.hpp"
 #include "netlist/generator.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -107,6 +108,9 @@ std::uint64_t g_invariant_checks = 0;
 // off by default, so drivers that never see an observability flag pay one
 // dead branch per event site and nothing else.
 std::unique_ptr<obs::JsonlFileSink> g_trace_sink;
+// Fans the event stream into both the trace file and the flight ring when
+// --trace and --flight-recorder are both active.
+std::unique_ptr<obs::TeeSink> g_flight_tee;
 obs::Recorder g_recorder;
 obs::Heartbeat g_heartbeat;
 obs::RunMetrics g_metrics_totals;
@@ -115,6 +119,23 @@ std::string g_metrics_path;
 std::string g_profile_path;
 std::string g_prom_path;
 std::uint64_t g_run_counter = 0;
+
+/// Observables digest for the heartbeat's final row tick, e.g.
+/// "eq 3/6 stages" — how many sampled stages reached equilibrium in at
+/// least one run.  Empty when metrics are off or nothing was sampled.
+std::string observables_note(const obs::RunMetrics& metrics) {
+  if (!metrics.collected) return {};
+  std::size_t active = 0;
+  std::size_t equilibrated = 0;
+  for (const auto& o : metrics.observables) {
+    if (o.samples == 0) continue;
+    ++active;
+    if (o.equilibrated_runs > 0) ++equilibrated;
+  }
+  if (active == 0) return {};
+  return "eq " + std::to_string(equilibrated) + "/" +
+         std::to_string(active) + " stages";
+}
 
 }  // namespace
 
@@ -179,8 +200,10 @@ std::vector<double> run_method_row(
     if (result.metrics.collected) result.metrics.restarts = 1;
     job_metrics[job] = std::move(result.metrics);
     job_events[job] = shard.take();
-    g_heartbeat.tick(jobs_done.fetch_add(1) + 1, num_jobs,
-                     std::nan(""));
+    // The final tick is emitted after the reduction below so it can carry
+    // the row's observables digest; in-flight ticks stay here.
+    const std::size_t done = jobs_done.fetch_add(1) + 1;
+    if (done < num_jobs) g_heartbeat.tick(done, num_jobs, std::nan(""));
   };
 
   const unsigned workers = config.num_threads == 0 ? 1 : config.num_threads;
@@ -208,6 +231,10 @@ std::vector<double> run_method_row(
 
   std::vector<double> totals(config.budgets.size(), 0.0);
   obs::TraceSink* sink = root.sink();
+  // Row-local metrics accumulator: merge() is associative (a tested
+  // invariant), so folding jobs -> row -> driver totals equals the direct
+  // fold, and the row aggregate feeds the heartbeat digest below.
+  obs::RunMetrics row_metrics;
   for (std::size_t job = 0; job < num_jobs; ++job) {
     totals[job / instances.size()] += reductions[job];
     g_invariant_checks += checks[job];
@@ -216,7 +243,12 @@ std::vector<double> run_method_row(
     if (sink != nullptr) {
       for (const obs::Event& event : job_events[job]) sink->write(event);
     }
-    g_metrics_totals.merge(job_metrics[job]);
+    row_metrics.merge(job_metrics[job]);
+  }
+  g_metrics_totals.merge(row_metrics);
+  if (num_jobs > 0) {
+    g_heartbeat.tick(num_jobs, num_jobs, std::nan(""),
+                     observables_note(row_metrics));
   }
   return totals;
 }
@@ -227,7 +259,8 @@ std::optional<DriverOptions> parse_driver_options(int argc,
   const util::Args args{argc, argv};
   const auto unknown = args.unknown_flags(
       {"threads", "trace", "metrics", "metrics-out", "profile-out",
-       "prom-out", "trace-sample", "progress", "quiet", "verbose"});
+       "prom-out", "trace-sample", "progress", "flight-recorder",
+       "flight-out", "quiet", "verbose"});
   if (!unknown.empty()) {
     *error = "unknown flag --" + unknown.front();
     return std::nullopt;
@@ -289,6 +322,27 @@ std::optional<DriverOptions> parse_driver_options(int argc,
     }
   }
 
+  if (args.has("flight-recorder")) {
+    const std::string value = args.value("flight-recorder").value_or("");
+    if (value.empty()) {
+      out.flight_capacity = obs::FlightRecorder::kDefaultCapacity;  // bare
+    } else {
+      long long cap = 0;
+      if (!positive_int("flight-recorder",
+                        static_cast<long long>(
+                            obs::FlightRecorder::kDefaultCapacity),
+                        &cap)) {
+        return std::nullopt;
+      }
+      out.flight_capacity = static_cast<std::size_t>(cap);
+    }
+  }
+  out.flight_path = args.get("flight-out", out.flight_path);
+  if (out.flight_capacity == 0 && args.has("flight-out")) {
+    *error = "--flight-out requires --flight-recorder";
+    return std::nullopt;
+  }
+
   out.trace_path = args.get("trace", "");
   // --metrics is the original spelling; --metrics-out matches the other
   // exporter flags and wins when both are given.
@@ -310,7 +364,8 @@ unsigned parse_driver_flags(int argc, const char* const* argv) {
     obs::log(obs::LogLevel::kError,
              "usage: %s [--threads N] [--trace FILE] [--metrics-out FILE] "
              "[--profile-out FILE] [--prom-out FILE] [--trace-sample N] "
-             "[--progress [SECS]] [--quiet|--verbose]",
+             "[--progress [SECS]] [--flight-recorder [CAP]] "
+             "[--flight-out FILE] [--quiet|--verbose]",
              args.program().c_str());
     std::exit(2);
   }
@@ -338,11 +393,27 @@ unsigned parse_driver_flags(int argc, const char* const* argv) {
   if (parsed->progress_interval > 0.0) {
     g_heartbeat.enable("jobs", parsed->progress_interval);
   }
+  // The flight ring rides the same event stream as --trace: alone it is
+  // the recorder's sink, together they share a tee.  Handlers go in after
+  // arming so a crash at any later point finds a ready ring.
+  obs::TraceSink* event_sink = g_trace_sink.get();
+  if (parsed->flight_capacity > 0) {
+    auto& flight = obs::FlightRecorder::instance();
+    flight.arm(parsed->flight_capacity, parsed->flight_path);
+    flight.install_crash_handlers();
+    if (event_sink != nullptr) {
+      g_flight_tee =
+          std::make_unique<obs::TeeSink>(event_sink, flight.sink());
+      event_sink = g_flight_tee.get();
+    } else {
+      event_sink = flight.sink();
+    }
+  }
   const bool collect_metrics =
       !g_metrics_path.empty() || !g_prom_path.empty();
   const bool collect_profile = !g_profile_path.empty();
-  if (g_trace_sink != nullptr || collect_metrics || collect_profile) {
-    g_recorder = obs::Recorder{g_trace_sink.get(), collect_metrics,
+  if (event_sink != nullptr || collect_metrics || collect_profile) {
+    g_recorder = obs::Recorder{event_sink, collect_metrics,
                                parsed->trace_sample, /*run=*/0,
                                collect_profile};
   }
@@ -398,6 +469,25 @@ void finish_driver_observability() {
       out << registry.to_prometheus();
       obs::log(obs::LogLevel::kInfo, "prometheus metrics (%zu series) -> %s",
                registry.size(), g_prom_path.c_str());
+    }
+  }
+  const obs::FlightRecorder& flight = obs::FlightRecorder::instance();
+  if (flight.armed()) {
+    // A clean exit only reports the ring; the dump file is written by the
+    // crash handlers alone, so its existence proves abnormal termination.
+    const obs::RingBufferSink* ring = flight.ring();
+    obs::log(obs::LogLevel::kInfo,
+             "flight recorder: %zu buffered events (cap %zu, %llu dropped); "
+             "dump on abnormal exit -> %s",
+             ring->size(), ring->capacity(),
+             static_cast<unsigned long long>(ring->dropped()),
+             flight.dump_path().c_str());
+    // CI hook proving the dump path end to end: abort here so the SIGABRT
+    // handler writes the flight file before the process dies.
+    if (std::getenv("MCOPT_FLIGHT_INDUCED_ABORT") != nullptr) {
+      obs::log(obs::LogLevel::kError,
+               "MCOPT_FLIGHT_INDUCED_ABORT set: aborting now");
+      std::abort();
     }
   }
 }

@@ -118,6 +118,10 @@ struct DriverOptions {
   std::string profile_path;     ///< --profile-out FILE (profile-tree JSON)
   std::string prom_path;        ///< --prom-out FILE (Prometheus text)
   double progress_interval = 0.0;  ///< --progress [SECS]; 0 = off
+  /// --flight-recorder [CAP]: keep the last CAP events in the process-wide
+  /// flight ring and dump them as JSONL on abnormal exit.  0 = off.
+  std::size_t flight_capacity = 0;
+  std::string flight_path = "flight.jsonl";  ///< --flight-out FILE
   bool quiet = false;
   bool verbose = false;
 };
@@ -138,6 +142,9 @@ std::optional<DriverOptions> parse_driver_options(int argc,
 ///   --prom-out FILE      metrics registry, Prometheus text exposition
 ///   --trace-sample N     keep every Nth proposal/accept/reject trio
 ///   --progress [SECS]    heartbeat lines, at most one per SECS (default 2)
+///   --flight-recorder [CAP]  last-CAP-events flight ring (default 4096),
+///                        dumped to --flight-out on crash/abort/SIGTERM
+///   --flight-out FILE    flight-recorder dump path (default flight.jsonl)
 ///   --quiet / --verbose  log level (errors only / debug)
 /// Applies MCOPT_LOG_LEVEL first (explicit flags win), installs the
 /// recorder returned by driver_recorder() and sets the obs::log level.

@@ -26,6 +26,9 @@ RunResult run_figure1(Problem& problem, const GFunction& g,
   obs::Recorder rec =
       options.recorder != nullptr ? *options.recorder : obs::Recorder{};
   rec.begin_run(&result.metrics, k);
+  // Declare each level's Boltzmann temperature (0 for non-thermal classes)
+  // so the observables layer can derive specific heat per stage.
+  for (unsigned t = 0; t < k; ++t) rec.stage_temperature(t, g.temperature(t));
   obs::ProfileScope profile_scope{rec, "figure1"};
   if (k > 0) {
     rec.stage_begin(0, 0, result.initial_cost, result.best_cost,

@@ -19,6 +19,8 @@ RunResult run_figure2(Problem& problem, const GFunction& g,
   obs::Recorder rec =
       options.recorder != nullptr ? *options.recorder : obs::Recorder{};
   rec.begin_run(&result.metrics, k);
+  // Level temperatures for the observables layer (0 for non-thermal g).
+  for (unsigned t = 0; t < k; ++t) rec.stage_temperature(t, g.temperature(t));
   obs::ProfileScope profile_scope{rec, "figure2"};
   if (k > 0) {
     rec.stage_begin(0, 0, result.initial_cost, result.best_cost,

@@ -92,6 +92,12 @@ class FormG final : public GFunction {
     return cls_ == GClass::kTwoLevel && t == 0;
   }
 
+  [[nodiscard]] double temperature(unsigned t) const noexcept override {
+    const bool boltzmann =
+        cls_ == GClass::kMetropolis || cls_ == GClass::kSixTempAnnealing;
+    return boltzmann && t < ys_.size() ? ys_[t] : 0.0;
+  }
+
   [[nodiscard]] std::string name() const override {
     return display_name_.empty() ? g_class_name(cls_) : display_name_;
   }
@@ -132,6 +138,8 @@ class CohoonG final : public GFunction {
 }  // namespace
 
 bool GFunction::always_accepts(unsigned /*t*/) const noexcept { return false; }
+
+double GFunction::temperature(unsigned /*t*/) const noexcept { return 0.0; }
 
 std::unique_ptr<GFunction> make_g(GClass cls, const GParams& params) {
   if (cls == GClass::kCohoonSahni) {

@@ -53,6 +53,13 @@ class GFunction {
   /// random-walk.
   [[nodiscard]] virtual bool always_accepts(unsigned t) const noexcept;
 
+  /// The Boltzmann temperature Y_t at level `t`, when this class's
+  /// acceptance rule is of the e^(-Δ/Y_t) family (Metropolis, Six
+  /// Temperature Annealing, explicit annealing schedules); 0 otherwise.
+  /// Observability uses it for the specific-heat estimate C = Var(E)/Y²
+  /// — 0 means "no temperature interpretation, specific heat undefined".
+  [[nodiscard]] virtual double temperature(unsigned t) const noexcept;
+
   /// Display name matching the paper's table rows.
   [[nodiscard]] virtual std::string name() const = 0;
 };

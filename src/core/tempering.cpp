@@ -51,6 +51,8 @@ TemperingResult parallel_tempering(
                 /*stage_walls=*/false);
   obs::ProfileScope profile_scope{rec, "tempering"};
   for (std::size_t r = 0; r < num_replicas; ++r) {
+    // Each replica IS a temperature level; declare Y_r for specific heat.
+    rec.stage_temperature(static_cast<std::uint32_t>(r), ys[r]);
     rec.stage_begin(static_cast<std::uint32_t>(r), 0, h[r],
                     out.aggregate.best_cost, obs::StageReason::kStart);
   }

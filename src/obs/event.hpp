@@ -15,6 +15,7 @@
 // (tools/trace_report.py and the trace-determinism tests do).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -63,5 +64,13 @@ struct Event {
 /// with %.17g so values round-trip exactly.  This is THE schema that
 /// tools/trace_report.py validates — change both together.
 void append_jsonl(const Event& event, std::string& out);
+
+/// Formats the same canonical JSONL line (trailing newline included) into a
+/// caller-provided buffer with a single snprintf — no allocation, usable on
+/// the flight recorder's signal-handler dump path.  Returns the line length,
+/// or 0 if `cap` was too small.  Byte-identical to append_jsonl
+/// (test-enforced).  256 bytes is always enough.
+[[nodiscard]] std::size_t format_jsonl(const Event& event, char* buf,
+                                       std::size_t cap) noexcept;
 
 }  // namespace mcopt::obs

@@ -9,7 +9,8 @@ namespace mcopt::obs {
 
 std::string format_progress_line(std::uint64_t done, std::uint64_t total,
                                  const char* unit, double best,
-                                 double elapsed_seconds) {
+                                 double elapsed_seconds,
+                                 const std::string& note) {
   const double pct =
       total == 0 ? 100.0
                  : 100.0 * static_cast<double>(done) / static_cast<double>(total);
@@ -36,6 +37,10 @@ std::string format_progress_line(std::uint64_t done, std::uint64_t total,
     }
     out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
   }
+  if (!note.empty()) {
+    out += " | ";
+    out += note;
+  }
   return out;
 }
 
@@ -50,6 +55,11 @@ bool Heartbeat::should_print_locked(std::uint64_t done, std::uint64_t total) {
 }
 
 void Heartbeat::tick(std::uint64_t done, std::uint64_t total, double best) {
+  tick(done, total, best, std::string{});
+}
+
+void Heartbeat::tick(std::uint64_t done, std::uint64_t total, double best,
+                     const std::string& note) {
   std::string line;
   {
     // The enabled test sits inside the lock: enable() may be configuring
@@ -59,7 +69,7 @@ void Heartbeat::tick(std::uint64_t done, std::uint64_t total, double best) {
     if (!enabled_) return;
     if (!should_print_locked(done, total)) return;
     line = format_progress_line(done, total, unit_, best,
-                                since_start_.seconds());
+                                since_start_.seconds(), note);
   }
   // obs::log serializes stderr itself; emitting outside mu_ keeps slow IO
   // out of the critical section (and keeps the lock graph a tree).

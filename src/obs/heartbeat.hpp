@@ -23,14 +23,17 @@
 
 namespace mcopt::obs {
 
-/// "[progress] DONE/TOTAL UNIT (PCT%) best=BEST [RATE/s, eta ETAs]".
+/// "[progress] DONE/TOTAL UNIT (PCT%) best=BEST [RATE/s, eta ETAs] | NOTE".
 /// `best` is omitted when NaN; the rate/ETA tail needs `elapsed_seconds`
-/// > 0 and `done` > 0 (ETA additionally needs a nonzero total).  Pure —
-/// the caller supplies the clock reading, so tests can pin the format.
+/// > 0 and `done` > 0 (ETA additionally needs a nonzero total); a
+/// non-empty `note` (e.g. an observables digest like "eq 3/6 stages") is
+/// appended after " | ".  Pure — the caller supplies the clock reading,
+/// so tests can pin the format.
 [[nodiscard]] std::string format_progress_line(std::uint64_t done,
                                                std::uint64_t total,
                                                const char* unit, double best,
-                                               double elapsed_seconds = 0.0);
+                                               double elapsed_seconds = 0.0,
+                                               const std::string& note = {});
 
 class Heartbeat {
  public:
@@ -60,8 +63,12 @@ class Heartbeat {
 
   /// Reports progress; prints when the interval has elapsed (and always
   /// for the final tick where done == total).  Safe from any thread.
+  /// `note`, when non-empty, rides the line after " | " — the drivers use
+  /// it to surface the run's observables digest on the final tick.
   void tick(std::uint64_t done, std::uint64_t total, double best)
       EXCLUDES(mu_);
+  void tick(std::uint64_t done, std::uint64_t total, double best,
+            const std::string& note) EXCLUDES(mu_);
 
  private:
   /// Interval gate: decides whether this tick prints and, when it does,

@@ -76,6 +76,12 @@ void RunMetrics::merge(const RunMetrics& other) {
   for (std::size_t i = 0; i < other.stages.size(); ++i) {
     stages[i] += other.stages[i];
   }
+  if (observables.size() < other.observables.size()) {
+    observables.resize(other.observables.size());
+  }
+  for (std::size_t i = 0; i < other.observables.size(); ++i) {
+    observables[i].merge(other.observables[i]);
+  }
 }
 
 std::string RunMetrics::to_json() const {
@@ -115,10 +121,39 @@ std::string RunMetrics::to_json() const {
     append_field("patience_fires", s.patience_fires, "      ", out);
     append_field("ticks", s.ticks, "      ", out);
     append_field("acceptance_rate", s.acceptance_rate(), "      ", out);
+    append_field("uphill_rate", s.uphill_rate(), "      ", out);
     append_field("wall_seconds", s.wall_seconds, "      ", out, false);
     out += "    }";
   }
   out += stages.empty() ? "],\n" : "\n  ],\n";
+  // Observables export only merge-stable values: exact counters and the
+  // doubles derived from them at this call.  Transient detector state
+  // (ring, window sums) depends on which shard last wrote it and must
+  // never leak into the JSON, or shard grouping would become observable.
+  out += "  \"observables\": [";
+  for (std::size_t i = 0; i < observables.size(); ++i) {
+    const StageObservables& o = observables[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    append_field("stage", static_cast<std::uint64_t>(i), "      ", out);
+    append_field("samples", o.samples, "      ", out);
+    append_field("cost_mean", o.mean(), "      ", out);
+    append_field("cost_variance", o.variance(), "      ", out);
+    append_field("temperature", o.temperature, "      ", out);
+    append_field("specific_heat", o.specific_heat(), "      ", out);
+    out += "      \"autocorrelation\": [";
+    for (std::size_t lag = 1; lag <= StageObservables::kMaxLag; ++lag) {
+      if (lag > 1) out += ", ";
+      append_double(o.autocorrelation(lag), out);
+    }
+    out += "],\n";
+    append_field("windows", o.windows, "      ", out);
+    append_field("equilibrated_runs", o.equilibrated_runs, "      ", out);
+    append_field("first_equilibrated_sample", o.first_equilibrated_sample,
+                 "      ", out, false);
+    out += "    }";
+  }
+  out += observables.empty() ? "],\n" : "\n  ],\n";
   out += "  \"profile\": ";
   out += profile.to_json();
   out += "\n}\n";

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/histogram.hpp"
+#include "obs/observables.hpp"
 #include "obs/profiler.hpp"
 
 namespace mcopt::obs {
@@ -46,6 +47,15 @@ struct StageMetrics {
                ? 0.0
                : static_cast<double>(accepts) / static_cast<double>(proposals);
   }
+
+  /// uphill_accepts / uphill_proposals — the empirical acceptance rate of
+  /// cost-increasing moves, i.e. the realized g(t) of this stage.  0 when
+  /// no uphill move was proposed.
+  [[nodiscard]] double uphill_rate() const noexcept {
+    return uphill_proposals == 0 ? 0.0
+                                 : static_cast<double>(uphill_accepts) /
+                                       static_cast<double>(uphill_proposals);
+  }
 };
 
 /// Whole-run (or whole-aggregate) metrics summary.
@@ -70,6 +80,10 @@ struct RunMetrics {
   LogHistogram uphill_delta_accepted;
   ProfileTree profile;                ///< hierarchical stage profile, if on
   std::vector<StageMetrics> stages;   ///< indexed by temperature level
+  /// Thermodynamic observables per temperature level (exact cost-series
+  /// statistics, specific heat, autocorrelation, equilibrium detection) —
+  /// same index space as `stages`, same shard-merge discipline.
+  std::vector<StageObservables> observables;
 
   /// Element-wise accumulation; stage vectors of different lengths merge by
   /// index (the shorter one is treated as zero-padded).

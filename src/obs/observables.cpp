@@ -1,0 +1,100 @@
+#include "obs/observables.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace mcopt::obs {
+
+void StageObservables::add_sample(std::int64_t x) noexcept {  // mcopt: hot
+  // Cross products against the ring of previous samples.  Pairs never
+  // span runs: the ring is transient per-run state, so the first kMaxLag
+  // samples of every run contribute fewer pairs, deterministically.
+  const std::uint64_t lags =
+      std::min<std::uint64_t>(samples, static_cast<std::uint64_t>(kMaxLag));
+  for (std::uint64_t lag = 1; lag <= lags; ++lag) {
+    const std::int64_t prev = ring[(samples - lag) % kMaxLag];
+    lag_cross[lag - 1] += static_cast<WideInt>(x) * static_cast<WideInt>(prev);
+    ++lag_pairs[lag - 1];
+  }
+  ring[samples % kMaxLag] = x;
+  ++samples;
+  sum += x;
+  sum_sq += static_cast<WideInt>(x) * static_cast<WideInt>(x);
+
+  window_sum += x;
+  if (++window_count == kEquilibriumWindow) {
+    ++windows;
+    if (have_prev_window && !equilibrated) {
+      const std::int64_t drift = window_sum - prev_window_sum;
+      const std::int64_t magnitude = drift < 0 ? -drift : drift;
+      const std::int64_t limit =
+          kMeanDriftLimit * static_cast<std::int64_t>(kEquilibriumWindow);
+      if (magnitude <= limit) {
+        equilibrated = true;
+        ++equilibrated_runs;
+        first_equilibrated_sample = samples;
+      }
+    }
+    prev_window_sum = window_sum;
+    have_prev_window = true;
+    window_sum = 0;
+    window_count = 0;
+  }
+}
+
+void StageObservables::merge(const StageObservables& other) noexcept {
+  samples += other.samples;
+  sum += other.sum;
+  sum_sq += other.sum_sq;
+  for (std::size_t lag = 0; lag < kMaxLag; ++lag) {
+    lag_cross[lag] += other.lag_cross[lag];
+    lag_pairs[lag] += other.lag_pairs[lag];
+  }
+  windows += other.windows;
+  equilibrated_runs += other.equilibrated_runs;
+  if (other.first_equilibrated_sample != 0 &&
+      (first_equilibrated_sample == 0 ||
+       other.first_equilibrated_sample < first_equilibrated_sample)) {
+    first_equilibrated_sample = other.first_equilibrated_sample;
+  }
+  temperature = std::max(temperature, other.temperature);
+  // Transient ring/window detector state is per-run by design: merging it
+  // would make aggregates depend on shard grouping.
+}
+
+double StageObservables::mean() const noexcept {
+  if (samples == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(samples);
+}
+
+double StageObservables::variance() const noexcept {
+  if (samples == 0) return 0.0;
+  // n·Σx² - (Σx)² is exact in 128-bit for any realistic run length; the
+  // single rounding happens in the final conversion, identically on
+  // every merge grouping because the integer inputs are identical.
+  const WideInt n = static_cast<WideInt>(samples);
+  const WideInt wide_sum = static_cast<WideInt>(sum);
+  const WideInt numerator = sum_sq * n - wide_sum * wide_sum;
+  return static_cast<double>(numerator) /
+         (static_cast<double>(samples) * static_cast<double>(samples));
+}
+
+double StageObservables::specific_heat() const noexcept {
+  if (temperature <= 0.0) return 0.0;
+  return variance() / (temperature * temperature);
+}
+
+double StageObservables::autocorrelation(std::size_t lag) const noexcept {
+  if (lag == 0 || lag > kMaxLag) return 0.0;
+  const std::uint64_t pairs = lag_pairs[lag - 1];
+  if (pairs == 0) return 0.0;
+  const double var = variance();
+  if (var <= 0.0) return 0.0;
+  const double mu = mean();
+  const double cross_mean =
+      static_cast<double>(lag_cross[lag - 1]) / static_cast<double>(pairs);
+  return (cross_mean - mu * mu) / var;
+}
+
+}  // namespace mcopt::obs

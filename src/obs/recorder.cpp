@@ -1,5 +1,6 @@
 #include "obs/recorder.hpp"
 
+#include <cmath>
 #include <cstddef>
 
 namespace mcopt::obs {
@@ -38,6 +39,9 @@ void Recorder::begin_run(RunMetrics* metrics, std::size_t num_stages,
     if (metrics_->stages.size() < num_stages) {
       metrics_->stages.resize(num_stages);
     }
+    if (metrics_->observables.size() < num_stages) {
+      metrics_->observables.resize(num_stages);
+    }
   }
   step_ = 0;
   sample_live_ = true;
@@ -63,6 +67,13 @@ void Recorder::end_run() {
 StageMetrics& Recorder::stage_slot(std::uint32_t stage) {
   if (metrics_->stages.size() <= stage) metrics_->stages.resize(stage + 1);
   return metrics_->stages[stage];
+}
+
+StageObservables& Recorder::observables_slot(std::uint32_t stage) {
+  if (metrics_->observables.size() <= stage) {
+    metrics_->observables.resize(stage + 1);
+  }
+  return metrics_->observables[stage];
 }
 
 void Recorder::emit(EventKind kind, StageReason reason, std::uint32_t stage,
@@ -118,6 +129,11 @@ void Recorder::proposal_impl(std::uint32_t stage, std::uint64_t tick,
     } else {
       ++s.sideways_proposals;
     }
+    // The chain's energy at this proposal is the pre-move cost; runners
+    // pass the candidate cost plus its delta, so recover it exactly.
+    // llround keeps integral-valued costs exact and quantizes real-valued
+    // ones deterministically.
+    observables_slot(stage).add_sample(std::llround(cost - delta));
   }
   ++step_;
   sample_live_ = sample_ <= 1 || step_ % sample_ == 0;
@@ -179,6 +195,10 @@ void Recorder::invariant_check_impl(double seconds) {
     ++metrics_->invariant_checks;
     metrics_->invariant_seconds += seconds;
   }
+}
+
+void Recorder::stage_temperature_impl(std::uint32_t stage, double y) {
+  if (metrics_ != nullptr) observables_slot(stage).temperature = y;
 }
 
 bool Recorder::profile_enter_impl(const char* name) {

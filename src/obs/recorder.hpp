@@ -140,6 +140,14 @@ class Recorder {
     if (off_) return;
     invariant_check_impl(seconds);
   }
+  /// Declares the Boltzmann temperature of a stage (observables use it for
+  /// the specific-heat estimate).  Pass 0 when the acceptance rule has no
+  /// temperature interpretation.  Idempotent; call any time after
+  /// begin_run().
+  void stage_temperature(std::uint32_t stage, double y) {
+    if (off_) return;
+    stage_temperature_impl(stage, y);
+  }
   // --- profiler hooks (used via ProfileScope / MCOPT_PROFILE_SCOPE).
 
   /// Opens scope `name` under the current scope.  Returns false (no-op)
@@ -167,11 +175,17 @@ class Recorder {
   void patience_reset_impl();
   void descent_ticks_impl(std::uint32_t stage, std::uint64_t n);
   void invariant_check_impl(double seconds);
+  void stage_temperature_impl(std::uint32_t stage, double y);
   bool profile_enter_impl(const char* name);
 
   /// stages[stage], growing the vector if a runner visits more levels than
   /// begin_run() was told about.
   StageMetrics& stage_slot(std::uint32_t stage);
+  /// observables[stage], same growth rule.  Observables are fed strictly
+  /// from this un-sampled metrics path — the --trace-sample stride gates
+  /// trace emission only, so sampled and unsampled runs report
+  /// byte-identical observables (regression-tested).
+  StageObservables& observables_slot(std::uint32_t stage);
   void emit(EventKind kind, StageReason reason, std::uint32_t stage,
             std::uint64_t tick, double cost, double best);
   void close_stage_wall();

@@ -237,6 +237,43 @@ void MetricsRegistry::populate_from_run(const RunMetrics& m) {
     gauge_max_locked("mcopt_stage_wall_seconds" + label,
                      "Wall time per level (staged runners only)",
                      s.wall_seconds, /*deterministic=*/false);
+    gauge_max_locked("mcopt_stage_acceptance_rate" + label,
+                     "accepts / proposals per level", s.acceptance_rate(),
+                     /*deterministic=*/true);
+    gauge_max_locked("mcopt_stage_uphill_rate" + label,
+                     "uphill accepts / uphill proposals per level (realized g)",
+                     s.uphill_rate(), /*deterministic=*/true);
+  }
+  // Thermodynamic observables: derived from exact integer accumulators at
+  // this call, so the exported doubles are a pure function of the seed and
+  // safe to keep in the deterministic_only view.
+  for (std::size_t i = 0; i < m.observables.size(); ++i) {
+    const StageObservables& o = m.observables[i];
+    std::string label = "{stage=\"";
+    append_u64(static_cast<std::uint64_t>(i), label);
+    label += "\"}";
+    counter_add_locked("mcopt_stage_cost_samples_total" + label,
+                       "Cost samples folded into the stage observables",
+                       o.samples, /*deterministic=*/true);
+    gauge_max_locked("mcopt_stage_cost_mean" + label,
+                     "Mean chain cost (energy) per level", o.mean(),
+                     /*deterministic=*/true);
+    gauge_max_locked("mcopt_stage_cost_variance" + label,
+                     "Chain cost variance per level", o.variance(),
+                     /*deterministic=*/true);
+    gauge_max_locked("mcopt_stage_temperature" + label,
+                     "Boltzmann temperature Y_t (0 = non-thermal rule)",
+                     o.temperature, /*deterministic=*/true);
+    gauge_max_locked("mcopt_stage_specific_heat" + label,
+                     "Var(E)/Y_t^2 — peaks at the freezing transition",
+                     o.specific_heat(), /*deterministic=*/true);
+    gauge_max_locked("mcopt_stage_autocorr_lag1" + label,
+                     "Lag-1 cost autocorrelation per level",
+                     o.autocorrelation(1), /*deterministic=*/true);
+    counter_add_locked("mcopt_stage_equilibrated_total" + label,
+                       "Runs whose drift detector flagged this level "
+                       "equilibrated",
+                       o.equilibrated_runs, /*deterministic=*/true);
   }
 }
 

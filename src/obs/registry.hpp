@@ -34,6 +34,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 
@@ -52,7 +53,11 @@ struct Metric {
   std::string help;
   bool deterministic = true;
   std::uint64_t value = 0;    ///< counters
-  double gauge = 0.0;         ///< gauges
+  /// Gauges max-merge, so the empty value is the max identity — not 0.0,
+  /// which would silently clamp negative-valued gauges (autocorrelation
+  /// can be negative).  A gauge only exists once a setter ran, so the
+  /// identity itself is never exported.
+  double gauge = std::numeric_limits<double>::lowest();  ///< gauges
   LogHistogram hist;          ///< histograms
 };
 

@@ -1,5 +1,8 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
@@ -76,6 +79,42 @@ void append_jsonl(const Event& event, std::string& out) {
   out += "}\n";
 }
 
+std::size_t format_jsonl(const Event& event, char* buf,
+                         std::size_t cap) noexcept {
+  // One snprintf mirroring append_jsonl byte for byte (a unit test pins the
+  // two together).  snprintf is not formally async-signal-safe, but this
+  // numeric subset allocates nothing on common libcs — the accepted
+  // best-effort trade for a crash-path dump.
+  int n;
+  if (event.kind == EventKind::kStageBegin) {
+    n = std::snprintf(
+        buf, cap,
+        "{\"event\":\"%s\",\"run\":%llu,\"restart\":%llu,\"worker\":%llu,"
+        "\"tick\":%llu,\"stage\":%llu,\"cost\":%.17g,\"best\":%.17g,"
+        "\"reason\":\"%s\"}\n",
+        event_kind_name(event.kind),
+        static_cast<unsigned long long>(event.run),
+        static_cast<unsigned long long>(event.restart),
+        static_cast<unsigned long long>(event.worker),
+        static_cast<unsigned long long>(event.tick),
+        static_cast<unsigned long long>(event.stage), event.cost, event.best,
+        stage_reason_name(event.reason));
+  } else {
+    n = std::snprintf(
+        buf, cap,
+        "{\"event\":\"%s\",\"run\":%llu,\"restart\":%llu,\"worker\":%llu,"
+        "\"tick\":%llu,\"stage\":%llu,\"cost\":%.17g,\"best\":%.17g}\n",
+        event_kind_name(event.kind),
+        static_cast<unsigned long long>(event.run),
+        static_cast<unsigned long long>(event.restart),
+        static_cast<unsigned long long>(event.worker),
+        static_cast<unsigned long long>(event.tick),
+        static_cast<unsigned long long>(event.stage), event.cost, event.best);
+  }
+  if (n <= 0 || static_cast<std::size_t>(n) >= cap) return 0;
+  return static_cast<std::size_t>(n);
+}
+
 RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
     throw std::invalid_argument("RingBufferSink: capacity must be >= 1");
@@ -112,6 +151,28 @@ std::vector<Event> RingBufferSink::snapshot_locked() const {
 std::vector<Event> RingBufferSink::snapshot() const {
   util::MutexLock lock{mu_};
   return snapshot_locked();
+}
+
+// NO_THREAD_SAFETY_ANALYSIS: this is the documented crash-path escape
+// hatch — taking mu_ inside a signal handler could deadlock on the very
+// thread that crashed mid-write, so the ring is read unlocked.  The
+// constructor's reserve() pins buffer_'s data pointer for the object's
+// lifetime (size never exceeds capacity), and every index is clamped, so
+// the worst concurrent outcome is a torn line, not an out-of-bounds read.
+std::size_t RingBufferSink::crash_dump(int fd) const noexcept
+    NO_THREAD_SAFETY_ANALYSIS {
+  const std::size_t count = std::min(buffer_.size(), capacity_);
+  const std::size_t start = full_ && capacity_ != 0 ? next_ % capacity_ : 0;
+  std::size_t lines = 0;
+  char line[512];
+  for (std::size_t i = 0; i < count; ++i) {
+    const Event& event = buffer_[(start + i) % capacity_];
+    const std::size_t len = format_jsonl(event, line, sizeof line);
+    if (len == 0) continue;
+    if (::write(fd, line, len) != static_cast<ssize_t>(len)) break;
+    ++lines;
+  }
+  return lines;
 }
 
 std::size_t RingBufferSink::size() const {

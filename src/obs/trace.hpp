@@ -87,6 +87,15 @@ class RingBufferSink final : public TraceSink {
   /// Events overwritten because the buffer was full.
   [[nodiscard]] std::uint64_t dropped() const EXCLUDES(mu_);
 
+  /// CRASH PATH ONLY: writes the buffered events as JSONL straight to a
+  /// file descriptor, oldest first, formatting each line into a stack
+  /// buffer — no locking, no allocation, no iostreams, so it is safe to
+  /// call from a signal or terminate handler while other threads are
+  /// stopped mid-write.  Reads are best-effort (a concurrently written
+  /// slot may come out torn as a garbled line; indices are clamped so the
+  /// walk itself stays in bounds).  Returns the number of lines written.
+  std::size_t crash_dump(int fd) const noexcept NO_THREAD_SAFETY_ANALYSIS;
+
  private:
   /// Shared by snapshot() and the (locked) parts of write.
   [[nodiscard]] std::vector<Event> snapshot_locked() const REQUIRES(mu_);
@@ -127,6 +136,29 @@ class JsonlFileSink final : public TraceSink {
   std::ostream* out_ PT_GUARDED_BY(mu_);
   std::string buffer_ GUARDED_BY(mu_);
   std::uint64_t written_ GUARDED_BY(mu_) = 0;
+};
+
+/// Fans one stream out to two sinks (e.g. a JSONL file AND the flight
+/// recorder's ring).  Holds no state of its own, so it needs no lock; the
+/// children synchronize internally.  Both pointers must outlive the tee
+/// and be non-null.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink(TraceSink* first, TraceSink* second)
+      : first_(first), second_(second) {}
+
+  void write(const Event& event) override {
+    first_->write(event);
+    second_->write(event);
+  }
+  void flush() override {
+    first_->flush();
+    second_->flush();
+  }
+
+ private:
+  TraceSink* first_;
+  TraceSink* second_;
 };
 
 }  // namespace mcopt::obs

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common.hpp"
+#include "obs/flight.hpp"
 
 namespace mcopt::bench {
 namespace {
@@ -30,8 +31,44 @@ TEST(DriverFlagsTest, DefaultsWhenNoFlagsGiven) {
   EXPECT_TRUE(opts->profile_path.empty());
   EXPECT_TRUE(opts->prom_path.empty());
   EXPECT_EQ(opts->progress_interval, 0.0);
+  EXPECT_EQ(opts->flight_capacity, 0u);
+  EXPECT_EQ(opts->flight_path, "flight.jsonl");
   EXPECT_FALSE(opts->quiet);
   EXPECT_FALSE(opts->verbose);
+}
+
+TEST(DriverFlagsTest, BareFlightRecorderUsesDefaultCapacity) {
+  std::string error;
+  const auto opts = parse({"--flight-recorder"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->flight_capacity, obs::FlightRecorder::kDefaultCapacity);
+  EXPECT_EQ(opts->flight_path, "flight.jsonl");
+}
+
+TEST(DriverFlagsTest, FlightRecorderCapacityAndPathParse) {
+  std::string error;
+  const auto opts = parse(
+      {"--flight-recorder", "128", "--flight-out", "tail.jsonl"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->flight_capacity, 128u);
+  EXPECT_EQ(opts->flight_path, "tail.jsonl");
+}
+
+TEST(DriverFlagsTest, FlightOutWithoutFlightRecorderIsAnError) {
+  std::string error;
+  EXPECT_FALSE(parse({"--flight-out", "tail.jsonl"}, &error).has_value());
+  EXPECT_NE(error.find("--flight-out"), std::string::npos) << error;
+  EXPECT_NE(error.find("--flight-recorder"), std::string::npos) << error;
+}
+
+TEST(DriverFlagsTest, RejectsNonPositiveFlightCapacity) {
+  for (const char* value : {"0", "-8", "big"}) {
+    std::string error;
+    EXPECT_FALSE(
+        parse({"--flight-recorder", value}, &error).has_value())
+        << value;
+    EXPECT_NE(error.find("--flight-recorder"), std::string::npos) << error;
+  }
 }
 
 TEST(DriverFlagsTest, ParsesEveryObservabilityFlag) {

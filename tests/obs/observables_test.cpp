@@ -1,0 +1,262 @@
+// StageObservables: exact integer accumulators for the thermodynamic run
+// diagnostics — moments, lag-k autocorrelation, the equilibrium detector —
+// plus their merge algebra and the recorder feed that must be identical
+// under any --trace-sample stride.
+#include "obs/observables.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace mcopt::obs {
+namespace {
+
+StageObservables fed(const std::vector<std::int64_t>& samples) {
+  StageObservables obs;
+  for (const std::int64_t x : samples) obs.add_sample(x);
+  return obs;
+}
+
+TEST(ObservablesTest, MomentsMatchNaiveComputation) {
+  const std::vector<std::int64_t> xs{5, -3, 12, 0, 7, 7, -1, 30, 2, 2};
+  const StageObservables obs = fed(xs);
+
+  double sum = 0.0;
+  for (const std::int64_t x : xs) sum += static_cast<double>(x);
+  const double mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const std::int64_t x : xs) {
+    var += (static_cast<double>(x) - mean) * (static_cast<double>(x) - mean);
+  }
+  var /= static_cast<double>(xs.size());
+
+  EXPECT_EQ(obs.samples, xs.size());
+  EXPECT_DOUBLE_EQ(obs.mean(), mean);
+  EXPECT_NEAR(obs.variance(), var, 1e-9);
+}
+
+TEST(ObservablesTest, EmptyAndSingletonAreWellDefined) {
+  StageObservables empty;
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.autocorrelation(1), 0.0);
+  EXPECT_DOUBLE_EQ(empty.specific_heat(), 0.0);
+
+  StageObservables one;
+  one.add_sample(42);
+  EXPECT_DOUBLE_EQ(one.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+}
+
+TEST(ObservablesTest, AlternatingSequenceIsAnticorrelatedAtLagOne) {
+  StageObservables obs;
+  for (int i = 0; i < 2000; ++i) obs.add_sample(i % 2 == 0 ? 10 : 12);
+  // Perfectly alternating: rho_1 -> -1, rho_2 -> +1.
+  EXPECT_NEAR(obs.autocorrelation(1), -1.0, 0.01);
+  EXPECT_NEAR(obs.autocorrelation(2), 1.0, 0.01);
+}
+
+TEST(ObservablesTest, ConstantSequenceHasZeroVarianceAndAutocorr) {
+  StageObservables obs;
+  for (int i = 0; i < 100; ++i) obs.add_sample(7);
+  EXPECT_DOUBLE_EQ(obs.variance(), 0.0);
+  // Degenerate variance: the estimator returns 0, not NaN.
+  EXPECT_DOUBLE_EQ(obs.autocorrelation(1), 0.0);
+}
+
+TEST(ObservablesTest, AutocorrelationLagBoundsReturnZero) {
+  StageObservables obs;
+  for (int i = 0; i < 64; ++i) obs.add_sample(i % 3);
+  EXPECT_DOUBLE_EQ(obs.autocorrelation(0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      obs.autocorrelation(StageObservables::kMaxLag + 1), 0.0);
+}
+
+TEST(ObservablesTest, SpecificHeatIsVarianceOverTemperatureSquared) {
+  StageObservables obs = fed({1, 5, 1, 5, 1, 5, 1, 5});
+  EXPECT_DOUBLE_EQ(obs.specific_heat(), 0.0) << "no temperature recorded";
+  obs.temperature = 2.0;
+  EXPECT_NEAR(obs.specific_heat(), obs.variance() / 4.0, 1e-12);
+}
+
+TEST(ObservablesTest, EquilibriumFiresOnFlatWindowPair) {
+  StageObservables obs;
+  const auto window = StageObservables::kEquilibriumWindow;
+  for (std::uint64_t i = 0; i < 2 * window; ++i) obs.add_sample(100);
+  EXPECT_EQ(obs.windows, 2u);
+  EXPECT_EQ(obs.equilibrated_runs, 1u);
+  // Flagged exactly when the second window completed.
+  EXPECT_EQ(obs.first_equilibrated_sample, 2 * window);
+}
+
+TEST(ObservablesTest, EquilibriumIgnoresDriftingWindows) {
+  StageObservables obs;
+  const auto window = StageObservables::kEquilibriumWindow;
+  // Strictly cooling chain: every window's sum drops by more than the
+  // drift limit allows, so the detector must never fire.
+  for (std::uint64_t i = 0; i < 6 * window; ++i) {
+    obs.add_sample(10'000 - static_cast<std::int64_t>(2 * i));
+  }
+  EXPECT_EQ(obs.windows, 6u);
+  EXPECT_EQ(obs.equilibrated_runs, 0u);
+  EXPECT_EQ(obs.first_equilibrated_sample, 0u);
+}
+
+TEST(ObservablesTest, EquilibriumCountsOncePerRun) {
+  StageObservables obs;
+  const auto window = StageObservables::kEquilibriumWindow;
+  for (std::uint64_t i = 0; i < 10 * window; ++i) obs.add_sample(5);
+  EXPECT_EQ(obs.equilibrated_runs, 1u)
+      << "a run equilibrates once; later flat windows must not recount";
+  EXPECT_EQ(obs.first_equilibrated_sample, 2 * window);
+}
+
+TEST(ObservablesTest, MergeIsAssociativeOnExportedValues) {
+  // Three independent "runs" (each its own accumulator), merged flat vs
+  // grouped — the property run_method_row and the shard reduction rely on.
+  const StageObservables a = fed({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  const StageObservables b = fed({100, 90, 80, 70});
+  const StageObservables c = fed({-5, -5, -5});
+
+  StageObservables flat;
+  flat.merge(a);
+  flat.merge(b);
+  flat.merge(c);
+
+  StageObservables bc;
+  bc.merge(b);
+  bc.merge(c);
+  StageObservables grouped;
+  grouped.merge(a);
+  grouped.merge(bc);
+
+  EXPECT_EQ(flat.samples, grouped.samples);
+  EXPECT_EQ(flat.samples, 17u);
+  EXPECT_DOUBLE_EQ(flat.mean(), grouped.mean());
+  EXPECT_DOUBLE_EQ(flat.variance(), grouped.variance());
+  for (std::size_t lag = 1; lag <= StageObservables::kMaxLag; ++lag) {
+    EXPECT_DOUBLE_EQ(flat.autocorrelation(lag), grouped.autocorrelation(lag))
+        << "lag " << lag;
+  }
+  EXPECT_EQ(flat.windows, grouped.windows);
+  EXPECT_EQ(flat.equilibrated_runs, grouped.equilibrated_runs);
+}
+
+TEST(ObservablesTest, MergeTakesMinFirstEquilibratedAndMaxTemperature) {
+  StageObservables a;
+  a.first_equilibrated_sample = 96;
+  a.temperature = 1.5;
+  StageObservables b;
+  b.first_equilibrated_sample = 64;
+  b.temperature = 0.0;
+  StageObservables c;  // never equilibrated: zero must not win the min
+
+  StageObservables merged;
+  merged.merge(a);
+  merged.merge(c);
+  merged.merge(b);
+  EXPECT_EQ(merged.first_equilibrated_sample, 64u);
+  EXPECT_DOUBLE_EQ(merged.temperature, 1.5);
+}
+
+TEST(ObservablesTest, MergeDoesNotMixTransientWindowState) {
+  // A half-filled window must not leak into the merge: only completed
+  // exact counts travel.
+  StageObservables partial;
+  for (int i = 0; i < 5; ++i) partial.add_sample(1);
+  StageObservables target;
+  target.merge(partial);
+  EXPECT_EQ(target.samples, 5u);
+  EXPECT_EQ(target.windows, 0u);
+  const auto window = StageObservables::kEquilibriumWindow;
+  // Feeding the *merged* accumulator a full flat window pair still uses
+  // its own (fresh) window, not the donor's partial one.
+  for (std::uint64_t i = 0; i < 2 * window; ++i) target.add_sample(1);
+  EXPECT_EQ(target.windows, 2u);
+  EXPECT_EQ(target.equilibrated_runs, 1u);
+}
+
+// The satellite-1 contract: observables feed from the metrics path, before
+// the trace-sampling stride, so any --trace-sample value yields the exact
+// same accumulators.
+TEST(ObservablesTest, RecorderFeedIsIdenticalUnderTraceSampling) {
+  auto drive = [](std::uint64_t stride) {
+    Recorder rec{nullptr, /*collect_metrics=*/true, stride};
+    RunMetrics metrics;
+    rec.begin_run(&metrics, 2);
+    rec.stage_temperature(0, 3.0);
+    rec.stage_temperature(1, 1.5);
+    double cost = 500.0;
+    for (std::uint64_t tick = 1; tick <= 200; ++tick) {
+      const std::uint32_t stage = tick <= 120 ? 0u : 1u;
+      const double delta = (tick % 3 == 0) ? -2.0 : 1.0;
+      rec.proposal(stage, tick, cost + delta, cost, delta);
+      if (delta < 0.0) {
+        cost += delta;
+        rec.accept(stage, tick, cost, cost, delta);
+      } else {
+        rec.reject(stage, tick, cost + delta, cost);
+      }
+    }
+    rec.end_run();
+    return metrics;
+  };
+
+  const RunMetrics dense = drive(1);
+  for (const std::uint64_t stride : {2ull, 7ull, 1000ull}) {
+    const RunMetrics sampled = drive(stride);
+    ASSERT_EQ(sampled.observables.size(), dense.observables.size());
+    for (std::size_t s = 0; s < dense.observables.size(); ++s) {
+      const StageObservables& d = dense.observables[s];
+      const StageObservables& o = sampled.observables[s];
+      EXPECT_EQ(o.samples, d.samples) << "stride " << stride;
+      EXPECT_DOUBLE_EQ(o.mean(), d.mean());
+      EXPECT_DOUBLE_EQ(o.variance(), d.variance());
+      EXPECT_DOUBLE_EQ(o.temperature, d.temperature);
+      for (std::size_t lag = 1; lag <= StageObservables::kMaxLag; ++lag) {
+        EXPECT_DOUBLE_EQ(o.autocorrelation(lag), d.autocorrelation(lag));
+      }
+      EXPECT_EQ(o.windows, d.windows);
+      EXPECT_EQ(o.equilibrated_runs, d.equilibrated_runs);
+      EXPECT_EQ(o.first_equilibrated_sample, d.first_equilibrated_sample);
+    }
+    // And the whole JSON export — the form CI diffs — is byte-identical
+    // modulo the wall-clock field, which sampling legitimately changes.
+    RunMetrics dense_copy = dense;
+    RunMetrics sampled_copy = sampled;
+    dense_copy.wall_seconds = sampled_copy.wall_seconds = 0.0;
+    for (auto& s : dense_copy.stages) s.wall_seconds = 0.0;
+    for (auto& s : sampled_copy.stages) s.wall_seconds = 0.0;
+    EXPECT_EQ(dense_copy.to_json(), sampled_copy.to_json())
+        << "stride " << stride;
+  }
+}
+
+TEST(ObservablesTest, RecorderSamplesPreMoveCost) {
+  Recorder rec{nullptr, /*collect_metrics=*/true};
+  RunMetrics metrics;
+  rec.begin_run(&metrics, 1);
+  // proposal(cost, best, delta) carries the post-move cost; the chain
+  // energy sampled must be the pre-move cost, cost - delta = 50.
+  rec.proposal(0, 1, 47.0, 50.0, -3.0);
+  rec.end_run();
+  ASSERT_EQ(metrics.observables.size(), 1u);
+  EXPECT_EQ(metrics.observables[0].samples, 1u);
+  EXPECT_DOUBLE_EQ(metrics.observables[0].mean(), 50.0);
+}
+
+TEST(ObservablesTest, UphillRateCountsAcceptedUphillShare) {
+  StageMetrics stage;
+  EXPECT_DOUBLE_EQ(stage.uphill_rate(), 0.0);
+  stage.uphill_proposals = 8;
+  stage.uphill_accepts = 2;
+  EXPECT_DOUBLE_EQ(stage.uphill_rate(), 0.25);
+}
+
+}  // namespace
+}  // namespace mcopt::obs

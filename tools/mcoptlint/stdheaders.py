@@ -94,7 +94,8 @@ _TABLE: dict[str, tuple[str, ...]] = {
     "sqrt": ("cmath",), "cbrt": ("cmath",), "hypot": ("cmath",),
     "sin": ("cmath",), "cos": ("cmath",), "tan": ("cmath",),
     "floor": ("cmath",), "ceil": ("cmath",), "round": ("cmath",),
-    "lround": ("cmath",), "trunc": ("cmath",), "fmod": ("cmath",),
+    "lround": ("cmath",), "llround": ("cmath",), "trunc": ("cmath",),
+    "fmod": ("cmath",),
     "isnan": ("cmath",), "isfinite": ("cmath",), "isinf": ("cmath",),
     "nan": ("cmath",),
     "numeric_limits": ("limits",),
@@ -119,6 +120,7 @@ _TABLE: dict[str, tuple[str, ...]] = {
     "tolower": ("cctype",), "toupper": ("cctype",),
     # exceptions / diagnostics
     "exception": ("exception",), "terminate": ("exception",),
+    "set_terminate": ("exception",), "terminate_handler": ("exception",),
     "logic_error": ("stdexcept",), "runtime_error": ("stdexcept",),
     "invalid_argument": ("stdexcept",), "out_of_range": ("stdexcept",),
     "domain_error": ("stdexcept",), "length_error": ("stdexcept",),

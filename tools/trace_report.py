@@ -242,6 +242,24 @@ def report_metrics(path: str) -> int:
                          s.get("uphill_accepts", 0)])
         print_table(["stage", "proposals", "accepts", "rate", "downhill",
                      "sideways", "uphill", "uphill acc"], rows)
+    observables = [o for o in metrics.get("observables", [])
+                   if o.get("samples")]
+    if observables:
+        print("Per-stage thermodynamic observables:")
+        rows = []
+        for o in observables:
+            temp = o.get("temperature", 0.0)
+            rho1 = (o.get("autocorrelation") or [0.0])[0]
+            rows.append([o["stage"], o["samples"],
+                         f"{o.get('cost_mean', 0.0):.2f}",
+                         f"{o.get('cost_variance', 0.0):.2f}",
+                         f"{temp:g}" if temp > 0 else "-",
+                         f"{o.get('specific_heat', 0.0):.2f}"
+                         if temp > 0 else "-",
+                         f"{rho1:.3f}",
+                         o.get("equilibrated_runs", 0)])
+        print_table(["stage", "samples", "mean E", "var E", "T", "C",
+                     "rho1", "equilibrated"], rows)
     for name in ("uphill_delta_proposed", "uphill_delta_accepted"):
         hist = metrics.get(name)
         if not hist or not hist.get("count"):
