@@ -22,6 +22,7 @@
 #include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/registry.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "util/invariant.hpp"
 #include "util/rng.hpp"
@@ -114,10 +115,15 @@ std::unique_ptr<obs::TeeSink> g_flight_tee;
 obs::Recorder g_recorder;
 obs::Heartbeat g_heartbeat;
 obs::RunMetrics g_metrics_totals;
+// Hardware counters armed by --perf-counters; the recorder borrows the
+// pointer, so the group must outlive every run (it lives for the process).
+std::unique_ptr<obs::PerfCounterGroup> g_perf_group;
+obs::TimelineBuilder g_timeline;
 std::string g_trace_path;
 std::string g_metrics_path;
 std::string g_profile_path;
 std::string g_prom_path;
+std::string g_timeline_path;
 std::uint64_t g_run_counter = 0;
 
 /// Observables digest for the heartbeat's final row tick, e.g.
@@ -165,6 +171,8 @@ std::vector<double> run_method_row(
                                  : obs::Recorder{};
   std::vector<obs::RunMetrics> job_metrics(num_jobs);
   std::vector<std::vector<obs::Event>> job_events(num_jobs);
+  // Worker that executed each job, for the per-worker timeline lanes.
+  std::vector<std::uint64_t> job_worker(num_jobs, 0);
   // Progress counter for the heartbeat only: rows are reduced from the
   // per-job vectors in index order, so this never touches determinism.
   std::atomic<std::size_t> jobs_done{0};  // mcopt-lint: allow(raw-atomic)
@@ -200,6 +208,7 @@ std::vector<double> run_method_row(
     if (result.metrics.collected) result.metrics.restarts = 1;
     job_metrics[job] = std::move(result.metrics);
     job_events[job] = shard.take();
+    job_worker[job] = worker;
     // The final tick is emitted after the reduction below so it can carry
     // the row's observables digest; in-flight ticks stay here.
     const std::size_t done = jobs_done.fetch_add(1) + 1;
@@ -244,6 +253,17 @@ std::vector<double> run_method_row(
       for (const obs::Event& event : job_events[job]) sink->write(event);
     }
     row_metrics.merge(job_metrics[job]);
+    // Per-worker timeline lanes: each job's own profile tree lands on the
+    // lane of the worker that ran it.  The jobs are drained in index
+    // order here, so the lane contents are append-ordered by job index —
+    // the same order the trace and metrics merges use.
+    if (!g_timeline_path.empty() && !job_metrics[job].profile.empty()) {
+      const auto tid = static_cast<std::uint32_t>(job_worker[job]);
+      g_timeline.set_process_name(1, "workers");
+      g_timeline.set_thread_name(
+          1, tid, tid == 0 ? "caller thread" : "worker " + std::to_string(tid));
+      g_timeline.add_tree(job_metrics[job].profile, 1, tid);
+    }
   }
   g_metrics_totals.merge(row_metrics);
   if (num_jobs > 0) {
@@ -259,8 +279,8 @@ std::optional<DriverOptions> parse_driver_options(int argc,
   const util::Args args{argc, argv};
   const auto unknown = args.unknown_flags(
       {"threads", "trace", "metrics", "metrics-out", "profile-out",
-       "prom-out", "trace-sample", "progress", "flight-recorder",
-       "flight-out", "quiet", "verbose"});
+       "prom-out", "timeline-out", "perf-counters", "trace-sample",
+       "progress", "flight-recorder", "flight-out", "quiet", "verbose"});
   if (!unknown.empty()) {
     *error = "unknown flag --" + unknown.front();
     return std::nullopt;
@@ -349,6 +369,28 @@ std::optional<DriverOptions> parse_driver_options(int argc,
   out.metrics_path = args.get("metrics-out", args.get("metrics", ""));
   out.profile_path = args.get("profile-out", "");
   out.prom_path = args.get("prom-out", "");
+
+  if (args.has("timeline-out")) {
+    out.timeline_path = args.value("timeline-out").value_or("");
+    if (out.timeline_path.empty()) {
+      *error = "--timeline-out expects a file path";
+      return std::nullopt;
+    }
+  }
+  if (args.has("perf-counters")) {
+    const std::string list = args.value("perf-counters").value_or("");
+    if (list.empty()) {
+      out.perf_counters = obs::all_perf_counters();  // bare flag
+    } else {
+      std::string parse_error;
+      const auto counters = obs::parse_perf_counters(list, &parse_error);
+      if (!counters) {
+        *error = "--perf-counters: " + parse_error;
+        return std::nullopt;
+      }
+      out.perf_counters = *counters;
+    }
+  }
   return out;
 }
 
@@ -363,7 +405,8 @@ unsigned parse_driver_flags(int argc, const char* const* argv) {
              error.c_str());
     obs::log(obs::LogLevel::kError,
              "usage: %s [--threads N] [--trace FILE] [--metrics-out FILE] "
-             "[--profile-out FILE] [--prom-out FILE] [--trace-sample N] "
+             "[--profile-out FILE] [--prom-out FILE] [--timeline-out FILE] "
+             "[--perf-counters [LIST]] [--trace-sample N] "
              "[--progress [SECS]] [--flight-recorder [CAP]] "
              "[--flight-out FILE] [--quiet|--verbose]",
              args.program().c_str());
@@ -381,6 +424,7 @@ unsigned parse_driver_flags(int argc, const char* const* argv) {
   g_metrics_path = parsed->metrics_path;
   g_profile_path = parsed->profile_path;
   g_prom_path = parsed->prom_path;
+  g_timeline_path = parsed->timeline_path;
   if (!g_trace_path.empty()) {
     try {
       g_trace_sink = std::make_unique<obs::JsonlFileSink>(g_trace_path);
@@ -411,11 +455,30 @@ unsigned parse_driver_flags(int argc, const char* const* argv) {
   }
   const bool collect_metrics =
       !g_metrics_path.empty() || !g_prom_path.empty();
-  const bool collect_profile = !g_profile_path.empty();
+  // Timeline export and counter attribution both ride the profile tree.
+  const bool collect_profile = !g_profile_path.empty() ||
+                               !g_timeline_path.empty() ||
+                               !parsed->perf_counters.empty();
   if (event_sink != nullptr || collect_metrics || collect_profile) {
     g_recorder = obs::Recorder{event_sink, collect_metrics,
                                parsed->trace_sample, /*run=*/0,
                                collect_profile};
+  }
+  if (!parsed->perf_counters.empty()) {
+    g_perf_group =
+        std::make_unique<obs::PerfCounterGroup>(parsed->perf_counters);
+    if (g_perf_group->available()) {
+      g_recorder.set_perf_counters(g_perf_group.get());
+      obs::log(obs::LogLevel::kInfo,
+               "perf counters armed (%zu of %zu requested)",
+               g_perf_group->active_counters().size(),
+               parsed->perf_counters.size());
+    } else {
+      // Graceful degradation: the run proceeds identically, the perf
+      // gauges are simply never produced.
+      obs::log(obs::LogLevel::kInfo, "perf counters unavailable: %s",
+               g_perf_group->unavailable_reason().c_str());
+    }
   }
   return parsed->threads;
 }
@@ -456,6 +519,25 @@ void finish_driver_observability() {
       out << "{\n  \"profile\": " << g_metrics_totals.profile.to_json()
           << "\n}\n";
       obs::log(obs::LogLevel::kInfo, "profile -> %s", g_profile_path.c_str());
+    }
+  }
+  if (!g_timeline_path.empty()) {
+    // The aggregate lane goes in last so it reflects every merged row;
+    // worker lanes were appended during run_method_row in job-index order.
+    if (!g_metrics_totals.profile.empty()) {
+      g_timeline.set_process_name(0, "mcopt aggregate profile");
+      g_timeline.set_thread_name(0, 0, "all runs");
+      g_timeline.add_tree(g_metrics_totals.profile, 0, 0);
+    }
+    std::ofstream out{g_timeline_path};
+    if (!out) {
+      obs::log(obs::LogLevel::kError, "warning: cannot write %s",
+               g_timeline_path.c_str());
+    } else {
+      out << g_timeline.to_json();
+      obs::log(obs::LogLevel::kInfo,
+               "timeline: %zu events -> %s (open in ui.perfetto.dev)",
+               g_timeline.num_events(), g_timeline_path.c_str());
     }
   }
   if (!g_prom_path.empty()) {

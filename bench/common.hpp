@@ -28,6 +28,7 @@
 #include "linarr/problem.hpp"
 #include "netlist/netlist.hpp"
 #include "obs/heartbeat.hpp"
+#include "obs/perfcount.hpp"
 #include "obs/recorder.hpp"
 #include "util/table.hpp"
 
@@ -117,6 +118,13 @@ struct DriverOptions {
   std::string metrics_path;     ///< --metrics-out FILE (--metrics alias)
   std::string profile_path;     ///< --profile-out FILE (profile-tree JSON)
   std::string prom_path;        ///< --prom-out FILE (Prometheus text)
+  /// --timeline-out FILE: Chrome Trace Event JSON of the profile trees
+  /// (Perfetto / chrome://tracing).  Implies profiling, like --profile-out.
+  std::string timeline_path;
+  /// --perf-counters [LIST]: arm hardware counters on the driver thread
+  /// and attribute them to profile scopes.  Empty list = off; the bare
+  /// flag selects every counter.  Implies profiling.
+  std::vector<obs::PerfCounter> perf_counters;
   double progress_interval = 0.0;  ///< --progress [SECS]; 0 = off
   /// --flight-recorder [CAP]: keep the last CAP events in the process-wide
   /// flight ring and dump them as JSONL on abnormal exit.  0 = off.
@@ -145,6 +153,14 @@ std::optional<DriverOptions> parse_driver_options(int argc,
 ///   --flight-recorder [CAP]  last-CAP-events flight ring (default 4096),
 ///                        dumped to --flight-out on crash/abort/SIGTERM
 ///   --flight-out FILE    flight-recorder dump path (default flight.jsonl)
+///   --timeline-out FILE  Chrome Trace Event JSON (Perfetto) of the
+///                        profile trees: one aggregate lane + one lane per
+///                        worker, appended in job-index order
+///   --perf-counters [LIST]  hardware counters (cycles,instructions,
+///                        cache-references,cache-misses,branch-misses,
+///                        task-clock; bare flag = all) attributed to
+///                        profile scopes; degrades gracefully when
+///                        perf_event_open is denied
 ///   --quiet / --verbose  log level (errors only / debug)
 /// Applies MCOPT_LOG_LEVEL first (explicit flags win), installs the
 /// recorder returned by driver_recorder() and sets the obs::log level.

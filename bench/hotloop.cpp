@@ -51,6 +51,8 @@
 #include "linarr/problem.hpp"
 #include "netlist/generator.hpp"
 #include "obs/log.hpp"
+#include "obs/perfcount.hpp"
+#include "obs/profiler.hpp"
 #include "util/args.hpp"
 #include "util/budget.hpp"
 #include "util/rng.hpp"
@@ -124,7 +126,47 @@ struct KernelRow {
   double legacy_proposals_per_sec = 0.0;
   double spec_proposals_per_sec = 0.0;
   double speedup = 0.0;
+  /// Hardware counts of the fastest rep per path (all zero when counters
+  /// are unavailable) — the microarchitectural attribution of the speedup.
+  obs::PerfCounts legacy_perf;
+  obs::PerfCounts spec_perf;
 };
+
+/// Counter deltas around one timed region; zeros when unavailable.
+class ScopedPerfSample {
+ public:
+  explicit ScopedPerfSample(const obs::PerfCounterGroup& group)
+      : group_(group), live_(group.read(&begin_)) {}
+  [[nodiscard]] obs::PerfCounts finish() const {
+    obs::PerfCounts end;
+    if (!live_ || !group_.read(&end)) return obs::PerfCounts{};
+    return obs::perf_delta(begin_, end);
+  }
+
+ private:
+  const obs::PerfCounterGroup& group_;
+  obs::PerfCounts begin_;
+  bool live_;
+};
+
+/// The informational per-path JSON fields bench_compare.py never gates:
+/// IPC, cache-miss rate, cycles per proposal.
+void append_perf_fields(const char* prefix, const obs::PerfCounts& counts,
+                        std::uint64_t proposals, std::string& json,
+                        const char* indent) {
+  char buf[192];
+  const double cycles_per_proposal =
+      proposals > 0 ? static_cast<double>(counts.cycles) /
+                          static_cast<double>(proposals)
+                    : 0.0;
+  std::snprintf(buf, sizeof buf,
+                "%s\"%s_ipc\": %.4f, \"%s_cache_miss_rate\": %.4f, "
+                "\"%s_cycles_per_proposal\": %.1f",
+                indent, prefix, obs::perf_ipc(counts), prefix,
+                obs::perf_cache_miss_rate(counts), prefix,
+                cycles_per_proposal);
+  json += buf;
+}
 
 }  // namespace
 
@@ -175,6 +217,16 @@ int main(int argc, char** argv) {
         path};
   };
 
+  // Hardware counters for the timed regions; the sweep attributes the
+  // speculative speedup to IPC / cache behaviour when the platform allows
+  // self-monitoring, and degrades to zero-valued informational fields when
+  // it does not (CI's asserted path).
+  const obs::PerfCounterGroup perf{obs::all_perf_counters()};
+  if (!perf.available()) {
+    obs::log(obs::LogLevel::kInfo, "perf counters unavailable: %s",
+             perf.unavailable_reason().c_str());
+  }
+
   bool trajectory_identical = true;
   const std::vector<double> sweep{0.0, 0.05, 0.5, 1.0};
   std::vector<KernelRow> rows;
@@ -197,10 +249,12 @@ int main(int argc, char** argv) {
           util::Rng move_rng = util::Rng::split(bench::kSeed + 9, inst.cells);
           util::Rng accept_rng =
               util::Rng::split(bench::kSeed + 11, inst.cells);
+          const ScopedPerfSample sample{perf};
           util::Stopwatch watch;
           const KernelResult result = run_kernel(problem, proposals, p_uphill,
                                                  move_rng, accept_rng);
           const double seconds = watch.seconds();
+          const obs::PerfCounts counts = sample.finish();
           if (!have_reference) {
             reference = result;
             have_reference = true;
@@ -212,8 +266,10 @@ int main(int argc, char** argv) {
             trajectory_identical = false;
           }
           if (path == core::EvalPath::kApplyUndo) {
+            if (seconds < legacy_best) row.legacy_perf = counts;
             legacy_best = std::min(legacy_best, seconds);
           } else {
+            if (seconds < spec_best) row.spec_perf = counts;
             spec_best = std::min(spec_best, seconds);
           }
         }
@@ -236,16 +292,20 @@ int main(int argc, char** argv) {
   core::RunResult fig_reference;
   double fig_legacy_best = 1e300;
   double fig_spec_best = 1e300;
+  obs::PerfCounts fig_legacy_perf;
+  obs::PerfCounts fig_spec_perf;
   bool have_fig_reference = false;
   for (const core::EvalPath path :
        {core::EvalPath::kApplyUndo, core::EvalPath::kSpeculative}) {
     for (std::size_t rep = 0; rep < reps; ++rep) {
       auto problem = make_problem(instances[0], path);
       util::Rng rng{bench::kSeed + 9};
+      const ScopedPerfSample sample{perf};
       util::Stopwatch watch;
       const core::RunResult result =
           bench::run_figure1_stripped(problem, *g, fig_options, rng);
       const double seconds = watch.seconds();
+      const obs::PerfCounts counts = sample.finish();
       if (!have_fig_reference) {
         fig_reference = result;
         have_fig_reference = true;
@@ -256,8 +316,10 @@ int main(int argc, char** argv) {
         trajectory_identical = false;
       }
       if (path == core::EvalPath::kApplyUndo) {
+        if (seconds < fig_legacy_best) fig_legacy_perf = counts;
         fig_legacy_best = std::min(fig_legacy_best, seconds);
       } else {
+        if (seconds < fig_spec_best) fig_spec_perf = counts;
         fig_spec_best = std::min(fig_spec_best, seconds);
       }
     }
@@ -360,6 +422,19 @@ int main(int argc, char** argv) {
                 static_cast<double>(fig_reference.proposals) / fig_spec_best,
                 fig_speedup);
   json += buf;
+  // Informational hardware-counter attribution (never gated): why the
+  // speculative path is faster, not just how much.
+  json += std::string{"  \"perf_counters_available\": "} +
+          (perf.available() ? "true" : "false") + ",\n";
+  json += "  \"perf_unavailable_reason\": \"" +
+          (perf.available() ? std::string{} : perf.unavailable_reason()) +
+          "\",\n";
+  append_perf_fields("figure1_legacy", fig_legacy_perf,
+                     fig_reference.proposals, json, "  ");
+  json += ",\n";
+  append_perf_fields("figure1_spec", fig_spec_perf, fig_reference.proposals,
+                     json, "  ");
+  json += ",\n";
   json += std::string{"  \"trajectory_identical\": "} +
           (trajectory_identical ? "true" : "false") + ",\n";
   json += std::string{"  \"parallel_identical\": "} +
@@ -372,11 +447,15 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof buf,
                   "    {\"name\": \"%s\", \"acceptance_rate\": %.4f, "
                   "\"legacy_proposals_per_sec\": %.1f, "
-                  "\"spec_proposals_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
+                  "\"spec_proposals_per_sec\": %.1f, \"speedup\": %.3f,\n",
                   row.name.c_str(), row.acceptance_rate,
                   row.legacy_proposals_per_sec, row.spec_proposals_per_sec,
-                  row.speedup, i + 1 < rows.size() ? "," : "");
+                  row.speedup);
     json += buf;
+    append_perf_fields("legacy", row.legacy_perf, proposals, json, "     ");
+    json += ",\n";
+    append_perf_fields("spec", row.spec_perf, proposals, json, "     ");
+    json += std::string{"}"} + (i + 1 < rows.size() ? "," : "") + "\n";
   }
   json += "  ]\n}\n";
   bench::write_json_report("BENCH_hotloop", json);

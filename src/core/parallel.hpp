@@ -34,8 +34,11 @@
 // `thread-safety` CMake preset makes any unlocked access a compile error.
 #pragma once
 
+#include <cstdint>
+
 #include "core/multistart.hpp"
 #include "core/problem.hpp"
+#include "obs/timeline.hpp"
 #include "util/rng.hpp"
 
 namespace mcopt::core {
@@ -47,6 +50,15 @@ struct ParallelMultistartOptions {
   /// this value.  Oversubscribing the hardware is allowed (useful for
   /// determinism tests); it costs throughput, not correctness.
   unsigned num_threads = 1;
+  /// Optional per-worker span export: when set (and the recorder profiles),
+  /// the reducer lays each restart's profile tree on lane
+  /// (timeline_pid, worker-id) — strictly in restart-index order, on the
+  /// reducing thread, so the builder needs no locking.  Worker 0 is the
+  /// calling thread (remainder slices); pool workers are 1-based.
+  /// Timeline content is wall-clock measurement, outside the determinism
+  /// contract like every other wall export.
+  obs::TimelineBuilder* timeline = nullptr;
+  std::uint32_t timeline_pid = 2;
 };
 
 /// Runs the restarts of multistart() on `options.num_threads` workers and

@@ -34,6 +34,7 @@ void ProfileTree::merge(const ProfileTree& other) {
     nodes[static_cast<std::size_t>(mine)].calls += node.calls;
     nodes[static_cast<std::size_t>(mine)].ticks += node.ticks;
     nodes[static_cast<std::size_t>(mine)].wall_ns += node.wall_ns;
+    nodes[static_cast<std::size_t>(mine)].perf.add(node.perf);
   }
 }
 
@@ -45,7 +46,10 @@ void ProfileTree::nest_under(const char* name, std::uint64_t calls,
   root.calls = calls;
   root.ticks = ticks;
   for (const ProfileNode& node : nodes) {
-    if (node.parent < 0) root.wall_ns += node.wall_ns;
+    if (node.parent < 0) {
+      root.wall_ns += node.wall_ns;
+      root.perf.add(node.perf);
+    }
   }
   // Prepend so the parent-before-child invariant survives for merge().
   std::vector<ProfileNode> out;
@@ -75,6 +79,26 @@ void append_node_json(const ProfileTree& tree, std::int32_t index,
     std::snprintf(buf, sizeof buf, ", \"wall_ns\": %llu",
                   static_cast<unsigned long long>(node.wall_ns));
     out += buf;
+    // Hardware counts share wall_ns' carve-out: present only in the
+    // nondeterministic form, and only when a counter actually fired.
+    if (node.perf.any()) {
+      out += ", \"perf\": {";
+      std::snprintf(buf, sizeof buf,
+                    "\"cycles\": %llu, \"instructions\": %llu",
+                    static_cast<unsigned long long>(node.perf.cycles),
+                    static_cast<unsigned long long>(node.perf.instructions));
+      out += buf;
+      std::snprintf(buf, sizeof buf,
+                    ", \"cache_refs\": %llu, \"cache_misses\": %llu",
+                    static_cast<unsigned long long>(node.perf.cache_refs),
+                    static_cast<unsigned long long>(node.perf.cache_misses));
+      out += buf;
+      std::snprintf(buf, sizeof buf,
+                    ", \"branch_misses\": %llu, \"task_clock_ns\": %llu}",
+                    static_cast<unsigned long long>(node.perf.branch_misses),
+                    static_cast<unsigned long long>(node.perf.task_clock_ns));
+      out += buf;
+    }
   }
   out += ", \"children\": [";
   bool first = true;

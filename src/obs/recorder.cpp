@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstddef>
 
+#include "obs/perfcount.hpp"
+
 namespace mcopt::obs {
 
 Recorder::Recorder(TraceSink* sink, bool collect_metrics,
@@ -27,12 +29,23 @@ Recorder Recorder::for_restart(std::uint64_t restart, std::uint64_t worker,
   out.run_ = run_;
   out.restart_ = restart;
   out.worker_ = worker;
+  // Perf descriptors count the thread that opened them; worker 0 is by
+  // convention the caller's own thread (sequential loops, remainder
+  // slices), so only those shards keep sampling — a pool worker reading
+  // the armer's counters would attribute the wrong thread's work.
+  out.perf_ = worker == 0 ? perf_ : nullptr;
   return out;
 }
 
 void Recorder::begin_run(RunMetrics* metrics, std::size_t num_stages,
                          bool stage_walls) {
   if (off_) return;
+  // Close any scopes left open by a previous run (begin_run without
+  // end_run) *before* re-pointing metrics_: the open nodes index the old
+  // tree, and discarding them would strand wall time already credited to
+  // their exited children — breaking the child-sums-never-exceed-parent
+  // invariant the timeline export and profiler_test rely on.
+  while (!pstack_.empty()) profile_exit();
   metrics_ = metrics_enabled_ ? metrics : nullptr;
   if (metrics_ != nullptr) {
     metrics_->collected = true;
@@ -206,15 +219,22 @@ bool Recorder::profile_enter_impl(const char* name) {
   const std::int32_t parent = pstack_.empty() ? -1 : pstack_.back().node;
   const std::int32_t node = metrics_->profile.find_or_add(parent, name);
   ++metrics_->profile.nodes[static_cast<std::size_t>(node)].calls;
-  pstack_.push_back(OpenScope{node, util::Stopwatch{}});
+  OpenScope scope{node, util::Stopwatch{}, PerfCounts{}, false};
+  if (perf_ != nullptr) scope.perf_live = perf_->read(&scope.perf_begin);
+  pstack_.push_back(scope);
   return true;
 }
 
 void Recorder::profile_exit() {
   if (pstack_.empty() || metrics_ == nullptr) return;
   const OpenScope& top = pstack_.back();
-  metrics_->profile.nodes[static_cast<std::size_t>(top.node)].wall_ns +=
-      top.watch.nanos();
+  ProfileNode& node =
+      metrics_->profile.nodes[static_cast<std::size_t>(top.node)];
+  node.wall_ns += top.watch.nanos();
+  if (top.perf_live && perf_ != nullptr) {
+    PerfCounts end;
+    if (perf_->read(&end)) node.perf.add(perf_delta(top.perf_begin, end));
+  }
   pstack_.pop_back();
 }
 

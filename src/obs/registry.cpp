@@ -1,8 +1,10 @@
 #include "obs/registry.hpp"
 
 #include <cstdio>
+#include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/perfcount.hpp"
 
 namespace mcopt::obs {
 
@@ -274,6 +276,74 @@ void MetricsRegistry::populate_from_run(const RunMetrics& m) {
                        "Runs whose drift detector flagged this level "
                        "equilibrated",
                        o.equilibrated_runs, /*deterministic=*/true);
+  }
+  // Hardware-counter attribution per profile scope.  Every family is a
+  // measurement of the machine, so all are nondeterministic (excluded from
+  // the bit-identity exports), and all are absent when perf_event_open was
+  // unavailable — the counts then stay zero and nothing registers, which
+  // is the graceful-degradation contract the tests pin.
+  {
+    std::vector<std::string> paths(m.profile.nodes.size());
+    for (std::size_t i = 0; i < m.profile.nodes.size(); ++i) {
+      const ProfileNode& node = m.profile.nodes[i];
+      paths[i] = node.parent < 0
+                     ? node.name
+                     : paths[static_cast<std::size_t>(node.parent)] + "/" +
+                           node.name;
+      if (!node.perf.any()) continue;
+      const std::string label = "{scope=\"" + paths[i] + "\"}";
+      if (node.perf.cycles > 0) {
+        counter_add_locked("mcopt_perf_cycles_total" + label,
+                           "CPU cycles inside the profile scope "
+                           "(perf_event, user space only)",
+                           node.perf.cycles, /*deterministic=*/false);
+      }
+      if (node.perf.instructions > 0) {
+        counter_add_locked("mcopt_perf_instructions_total" + label,
+                           "Retired instructions inside the profile scope",
+                           node.perf.instructions, /*deterministic=*/false);
+      }
+      if (node.perf.cache_refs > 0) {
+        counter_add_locked("mcopt_perf_cache_references_total" + label,
+                           "Cache references inside the profile scope",
+                           node.perf.cache_refs, /*deterministic=*/false);
+      }
+      if (node.perf.cache_misses > 0) {
+        counter_add_locked("mcopt_perf_cache_misses_total" + label,
+                           "Cache misses inside the profile scope",
+                           node.perf.cache_misses, /*deterministic=*/false);
+      }
+      if (node.perf.branch_misses > 0) {
+        counter_add_locked("mcopt_perf_branch_misses_total" + label,
+                           "Branch mispredictions inside the profile scope",
+                           node.perf.branch_misses, /*deterministic=*/false);
+      }
+      if (node.perf.task_clock_ns > 0) {
+        counter_add_locked("mcopt_perf_task_clock_ns_total" + label,
+                           "Task-clock nanoseconds inside the profile scope",
+                           node.perf.task_clock_ns, /*deterministic=*/false);
+      }
+      const double ipc = perf_ipc(node.perf);
+      if (ipc > 0.0) {
+        gauge_max_locked("mcopt_perf_ipc" + label,
+                         "Instructions per cycle inside the profile scope",
+                         ipc, /*deterministic=*/false);
+      }
+      if (node.perf.cache_refs > 0) {
+        gauge_max_locked("mcopt_perf_cache_miss_rate" + label,
+                         "cache misses / cache references per profile scope",
+                         perf_cache_miss_rate(node.perf),
+                         /*deterministic=*/false);
+      }
+      if (node.perf.cycles > 0 && node.ticks > 0) {
+        gauge_max_locked("mcopt_perf_cycles_per_tick" + label,
+                         "CPU cycles per budget tick (proposal) inside the "
+                         "profile scope",
+                         static_cast<double>(node.perf.cycles) /
+                             static_cast<double>(node.ticks),
+                         /*deterministic=*/false);
+      }
+    }
   }
 }
 

@@ -138,6 +138,62 @@ TEST(DriverFlagsTest, RejectsUnknownFlagsAndPositionals) {
   EXPECT_NE(error.find("stray"), std::string::npos) << error;
 }
 
+TEST(DriverFlagsTest, TimelineOutParsesAndImpliesNothingElse) {
+  std::string error;
+  const auto opts = parse({"--timeline-out", "tl.json"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->timeline_path, "tl.json");
+  EXPECT_TRUE(opts->profile_path.empty());
+  EXPECT_TRUE(opts->perf_counters.empty());
+}
+
+TEST(DriverFlagsTest, TimelineOutRejectsEmptyPathNamingTheFlag) {
+  std::string error;
+  EXPECT_FALSE(parse({"--timeline-out"}, &error).has_value());
+  EXPECT_NE(error.find("--timeline-out"), std::string::npos) << error;
+  EXPECT_NE(error.find("file path"), std::string::npos) << error;
+}
+
+TEST(DriverFlagsTest, BarePerfCountersSelectsEveryCounter) {
+  std::string error;
+  const auto opts = parse({"--perf-counters"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->perf_counters.size(), obs::all_perf_counters().size());
+}
+
+TEST(DriverFlagsTest, PerfCountersListParses) {
+  std::string error;
+  const auto opts =
+      parse({"--perf-counters", "cycles,task-clock"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  ASSERT_EQ(opts->perf_counters.size(), 2u);
+  EXPECT_EQ(opts->perf_counters[0], obs::PerfCounter::kCycles);
+  EXPECT_EQ(opts->perf_counters[1], obs::PerfCounter::kTaskClock);
+}
+
+TEST(DriverFlagsTest, PerfCountersRejectsUnknownNamesByName) {
+  std::string error;
+  EXPECT_FALSE(
+      parse({"--perf-counters", "cycles,zeppelins"}, &error).has_value());
+  EXPECT_NE(error.find("--perf-counters"), std::string::npos) << error;
+  EXPECT_NE(error.find("zeppelins"), std::string::npos) << error;
+  // The known vocabulary is listed so the user can self-correct.
+  EXPECT_NE(error.find("task-clock"), std::string::npos) << error;
+}
+
+TEST(DriverFlagsTest, TimelineAndPerfCombineWithOtherObservability) {
+  std::string error;
+  const auto opts = parse({"--timeline-out", "tl.json", "--perf-counters",
+                           "task-clock", "--profile-out", "p.json",
+                           "--threads", "2"},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->timeline_path, "tl.json");
+  EXPECT_EQ(opts->perf_counters.size(), 1u);
+  EXPECT_EQ(opts->profile_path, "p.json");
+  EXPECT_EQ(opts->threads, 2u);
+}
+
 TEST(DriverFlagsTest, QuietAndVerboseConflict) {
   std::string error;
   EXPECT_FALSE(parse({"--quiet", "--verbose"}, &error).has_value());

@@ -163,5 +163,87 @@ TEST(ProfileScopeTest, EndRunFailsafeClosesOpenScopes) {
   EXPECT_EQ(second.profile.nodes[0].name, "fresh");
 }
 
+std::uint64_t child_wall_sum(const ProfileTree& tree, std::int32_t parent) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    if (tree.nodes[i].parent == parent) sum += tree.nodes[i].wall_ns;
+  }
+  return sum;
+}
+
+void expect_child_sums_within_parents(const ProfileTree& tree) {
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    EXPECT_LE(child_wall_sum(tree, static_cast<std::int32_t>(i)),
+              tree.nodes[i].wall_ns)
+        << "children of '" << tree.nodes[i].name
+        << "' carry more wall time than the parent's inclusive time";
+  }
+}
+
+void spin_a_little() {
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 20000; ++i) sink = sink + static_cast<std::uint64_t>(i);
+}
+
+// The invariant the timeline export renders from: a node's children can
+// never account for more wall time than the node itself — each child
+// interval is a sub-interval of its parent's open interval.
+TEST(ProfileScopeTest, ChildWallSumsNeverExceedParentInclusiveTime) {
+  RunMetrics metrics;
+  Recorder rec{nullptr, /*collect_metrics=*/true, /*trace_sample=*/1,
+               /*run=*/0, /*collect_profile=*/true};
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    rec.begin_run(&metrics, 1);
+    ProfileScope run{rec, "run"};
+    {
+      ProfileScope sweep{rec, "sweep"};
+      {
+        ProfileScope swap{rec, "swap"};
+        spin_a_little();
+      }
+      spin_a_little();
+    }
+    {
+      ProfileScope recount{rec, "recount"};
+      spin_a_little();
+    }
+  }
+  rec.end_run();
+  ASSERT_EQ(metrics.profile.nodes.size(), 4u);
+  EXPECT_GT(metrics.profile.nodes[0].wall_ns, 0u);
+  expect_child_sums_within_parents(metrics.profile);
+
+  // The invariant survives the aggregation pipeline the drivers run:
+  // shard merge and nest_under re-rooting.
+  ProfileTree merged = metrics.profile;
+  merged.merge(metrics.profile);
+  expect_child_sums_within_parents(merged);
+  merged.nest_under("row", 1, 0);
+  expect_child_sums_within_parents(merged);
+}
+
+// begin_run without end_run must not strand wall time: scopes still open
+// are closed into the *old* run first, so exited children never out-weigh
+// the parent they ran under.
+TEST(ProfileScopeTest, BeginRunClosesScopesLeftOpenByThePreviousRun) {
+  RunMetrics first;
+  Recorder rec{nullptr, /*collect_metrics=*/true, /*trace_sample=*/1,
+               /*run=*/0, /*collect_profile=*/true};
+  rec.begin_run(&first, 1);
+  EXPECT_TRUE(rec.profile_enter("run"));
+  EXPECT_TRUE(rec.profile_enter("sweep"));
+  spin_a_little();
+  rec.profile_exit();  // child accrues wall; parent still open
+
+  RunMetrics second;
+  rec.begin_run(&second, 1);  // no end_run: the failsafe path
+  rec.end_run();
+
+  ASSERT_EQ(first.profile.nodes.size(), 2u);
+  EXPECT_GT(first.profile.nodes[0].wall_ns, 0u);
+  expect_child_sums_within_parents(first.profile);
+  EXPECT_TRUE(second.profile.empty());
+}
+
 }  // namespace
 }  // namespace mcopt::obs

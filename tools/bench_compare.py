@@ -9,7 +9,7 @@ this gate::
 
     python3 tools/bench_compare.py --baseline-dir . fresh/BENCH_obs.json ...
 
-Three field classes, chosen by key name so new benches gate themselves
+Four field classes, chosen by key name so new benches gate themselves
 without per-bench schemas:
 
 * **deterministic** (everything not listed below) — must be *exactly*
@@ -19,6 +19,10 @@ without per-bench schemas:
 * **bool gates** (``gate_ok``, ``*_identical``, ``*_bit_identical``) — a
   ``true`` baseline must stay ``true``; ``false -> true`` is an
   improvement and only prompts a baseline refresh note.
+* **informational** (``*ipc*``, ``*miss_rate*``, ``perf_*``,
+  ``*cycles_per*``) — hardware-counter telemetry, printed in reports but
+  never compared: availability depends on perf_event_open permissions, so
+  a counter-less CI run must pass against a baseline that has them.
 * **perf** (``seconds``, ``proposals_per_sec``, ``overhead_pct``, ...) —
   compared with a relative tolerance band (``--perf-tolerance``, default
   50% to absorb shared-runner noise) in the slower/worse direction only.
@@ -51,6 +55,13 @@ PERF_KEY_PARTS = (
 # Keys that describe the machine, not the run: ignored entirely.
 ENV_KEYS = {"hardware_concurrency"}
 
+# Hardware-counter telemetry (IPC, cache-miss rates, cycles/proposal,
+# perf_counters_available, ...): reported for humans, never gated.  Their
+# presence and values depend on perf_event_open permissions and the host
+# PMU, not on the code under test, so a run without counters must compare
+# clean against a baseline recorded with them (and vice versa).
+INFORMATIONAL_KEY_PARTS = ("ipc", "miss_rate", "perf_", "cycles_per")
+
 # Perf metrics where *larger* is worse (times, overheads).  Everything
 # else perf-classified (throughput, speedup, efficiency) is
 # smaller-is-worse.
@@ -60,6 +71,8 @@ LARGER_IS_WORSE_PARTS = ("seconds", "overhead_pct")
 def classify(key: str):
     if key in ENV_KEYS:
         return "env"
+    if any(part in key for part in INFORMATIONAL_KEY_PARTS):
+        return "informational"
     if any(part in key for part in PERF_KEY_PARTS):
         return "perf"
     return "exact"
@@ -102,16 +115,18 @@ def compare_values(path: str, base, fresh, tolerance_pct: float,
         return
 
     key = path.rsplit(".", 1)[-1].split("[")[0]
+    # Informational wins over the bool-gate rule: perf_counters_available
+    # flipping true -> false is the host losing PMU access, not a
+    # regression in the code under test.
+    kind = classify(key)
+    if kind in ("env", "informational"):
+        return
     if isinstance(base, bool) or isinstance(fresh, bool):
         if base is True and fresh is not True:
             diff.fail(f"{path}: gate regressed true -> {fresh!r}")
         elif base is False and fresh is True:
             diff.warn(f"{path}: improved false -> true "
                       f"(refresh the baseline to lock it in)")
-        return
-
-    kind = classify(key)
-    if kind == "env":
         return
     if kind == "perf":
         if not isinstance(base, (int, float)) or not isinstance(
@@ -133,12 +148,18 @@ def compare_objects(path: str, base: dict, fresh: dict, tolerance_pct: float,
     for key in base:
         child = f"{path}.{key}" if path else key
         if key not in fresh:
-            diff.fail(f"{child}: missing from fresh report")
+            if classify(key) == "informational":
+                diff.warn(f"{child}: informational field absent from fresh "
+                          f"report (counters unavailable on this host?)")
+            else:
+                diff.fail(f"{child}: missing from fresh report")
             continue
         compare_values(child, base[key], fresh[key], tolerance_pct,
                        perf_warn_only, diff)
     for key in fresh:
         if key not in base:
+            if classify(key) == "informational":
+                continue  # counters came online; nothing to refresh
             child = f"{path}.{key}" if path else key
             diff.warn(f"{child}: new field not in baseline "
                       f"(refresh the baseline)")
@@ -190,6 +211,10 @@ def self_test() -> int:
         "was_false": False,
         "hardware_concurrency": 1,
         "off_overhead_pct": 1.0,
+        "perf_counters_available": True,
+        "spec_ipc": 2.5,
+        "legacy_cache_miss_rate": 0.04,
+        "spec_cycles_per_proposal": 150.0,
         "configs": [
             {"name": "off", "seconds": 1.00, "proposals_per_sec": 1000.0},
             {"name": "on", "seconds": 1.10, "proposals_per_sec": 900.0},
@@ -236,6 +261,19 @@ def self_test() -> int:
     slow2["configs"][0]["proposals_per_sec"] = 100.0
     expect("throughput regression", slow2, want_fail=True)
 
+    # Informational telemetry never gates: wild drift, the availability
+    # bool flipping false, and counters vanishing entirely all pass.
+    expect("informational drift", mutated(spec_ipc=0.01), want_fail=False)
+    expect("informational bool flip",
+           mutated(perf_counters_available=False), want_fail=False)
+    no_counters = mutated()
+    for key in ("perf_counters_available", "spec_ipc",
+                "legacy_cache_miss_rate", "spec_cycles_per_proposal"):
+        del no_counters[key]
+    expect("informational fields absent", no_counters, want_fail=False)
+    expect("informational fields appear",
+           mutated(legacy_ipc=1.2), want_fail=False)
+
     # Structural: missing key and shorter row list fail; new key warns.
     missing = mutated()
     del missing["best_cost"]
@@ -250,7 +288,7 @@ def self_test() -> int:
             print(f"self-test: {failure}", file=sys.stderr)
         print("self-test: FAILED", file=sys.stderr)
         return 1
-    print("self-test: OK (10 scenarios)")
+    print("self-test: OK (14 scenarios)")
     return 0
 
 

@@ -53,6 +53,53 @@ EVENT_KINDS = {
 
 STAGE_REASONS = {"start", "slice", "patience", "equilibrium"}
 
+# Every Prometheus family the C++ registry may emit (src/obs/registry.cpp).
+# ``--prom`` validation rejects any other mcopt_-prefixed family, and
+# mcoptlint's counter-name-sync rule checks the C++ side against this
+# table, so the two can never drift silently.  Keep one name per line.
+KNOWN_METRICS = {
+    "mcopt_restarts_total",
+    "mcopt_new_bests_total",
+    "mcopt_patience_resets_total",
+    "mcopt_trace_events_total",
+    "mcopt_invariant_checks_total",
+    "mcopt_invariant_seconds",
+    "mcopt_wall_seconds",
+    "mcopt_worker_steals_total",
+    "mcopt_queue_peak",
+    "mcopt_uphill_delta_proposed",
+    "mcopt_uphill_delta_accepted",
+    "mcopt_stage_proposals_total",
+    "mcopt_stage_accepts_total",
+    "mcopt_stage_uphill_accepts_total",
+    "mcopt_stage_rejects_total",
+    "mcopt_stage_downhill_proposals_total",
+    "mcopt_stage_sideways_proposals_total",
+    "mcopt_stage_uphill_proposals_total",
+    "mcopt_stage_new_bests_total",
+    "mcopt_stage_patience_fires_total",
+    "mcopt_stage_ticks_total",
+    "mcopt_stage_wall_seconds",
+    "mcopt_stage_acceptance_rate",
+    "mcopt_stage_uphill_rate",
+    "mcopt_stage_cost_samples_total",
+    "mcopt_stage_cost_mean",
+    "mcopt_stage_cost_variance",
+    "mcopt_stage_temperature",
+    "mcopt_stage_specific_heat",
+    "mcopt_stage_autocorr_lag1",
+    "mcopt_stage_equilibrated_total",
+    "mcopt_perf_cycles_total",
+    "mcopt_perf_instructions_total",
+    "mcopt_perf_cache_references_total",
+    "mcopt_perf_cache_misses_total",
+    "mcopt_perf_branch_misses_total",
+    "mcopt_perf_task_clock_ns_total",
+    "mcopt_perf_ipc",
+    "mcopt_perf_cache_miss_rate",
+    "mcopt_perf_cycles_per_tick",
+}
+
 REQUIRED_KEYS = ("event", "run", "restart", "worker", "tick", "stage",
                  "cost", "best")
 
@@ -337,6 +384,9 @@ def validate_prometheus(path: str) -> int:
                 if name in declared:
                     errors.append(f"line {lineno}: duplicate TYPE for "
                                   f"'{name}' (family not contiguous)")
+                if name.startswith("mcopt_") and name not in KNOWN_METRICS:
+                    errors.append(f"line {lineno}: family '{name}' not in "
+                                  f"KNOWN_METRICS (update trace_report.py)")
                 declared[name] = match.group(2)
                 seen_families.append(name)
                 continue
